@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one paper artifact's experiment exactly once (the
+simulations are deterministic, so repeated timing rounds would only
+measure the host machine), asserts the paper's qualitative shape, and
+saves the rendered table under ``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def save_table():
+    """Write a rendered experiment table to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

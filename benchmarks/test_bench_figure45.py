@@ -1,0 +1,43 @@
+"""Benchmark regenerating paper Figures 4 and 5: balanced workloads.
+
+One panel per request size (64/128/256KB = Figure 4; 512/1024KB =
+Figure 5), sweeping the computation delay between reads and comparing
+collective read bandwidth with and without prefetching on a 128MB file.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure45 import (
+    FIGURE4_SIZES_KB,
+    FIGURE5_SIZES_KB,
+    check_figure45_shape,
+    run_figure45,
+)
+
+
+def test_bench_figure45(benchmark, save_table):
+    from repro.experiments.figure45 import render_panel_chart
+
+    panels = run_once(benchmark, run_figure45)
+    text = "\n\n".join(
+        panels[k].render() + "\n" + render_panel_chart(panels[k])
+        for k in sorted(panels)
+    )
+    save_table("figure45", text)
+    problem = check_figure45_shape(panels)
+    assert problem is None, problem
+
+    # Figure 4: "when overlap between I/O and computation is present,
+    # significant performance improvements can be obtained."
+    for size_kb in FIGURE4_SIZES_KB:
+        assert max(panels[size_kb].column("speedup")) >= 1.5
+    # Figure 5: "the read time itself is so large that no significant
+    # overlap takes place ... no performance gains are observed."
+    for size_kb in FIGURE5_SIZES_KB:
+        best_small = max(
+            max(panels[s].column("speedup")) for s in FIGURE4_SIZES_KB
+        )
+        assert max(panels[size_kb].column("speedup")) < best_small
+    # At zero delay the prefetch case is a wash (within overheads).
+    for size_kb, table in panels.items():
+        assert 0.8 <= table.column("speedup")[0] <= 1.15

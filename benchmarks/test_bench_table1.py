@@ -1,0 +1,25 @@
+"""Benchmark regenerating paper Table 1: prefetching on I/O-bound reads.
+
+Rows: request size per node and file size, with collective read
+bandwidth with and without prefetching (M_RECORD, stripe unit 64KB,
+stripe group 8, no computation between reads).
+"""
+
+from conftest import run_once
+
+from repro.experiments.table1 import check_table1_shape, run_table1
+
+
+def test_bench_table1(benchmark, save_table):
+    table = run_once(benchmark, run_table1)
+    save_table("table1", table.render())
+    problem = check_table1_shape(table)
+    assert problem is None, problem
+
+    # "There are no significant differences between the read bandwidths
+    # with and without prefetching."
+    for ratio in table.column("ratio"):
+        assert 0.8 <= ratio <= 1.15
+    # "... except for 64KB ... due to the overhead involved in
+    # prefetching."
+    assert table.column("ratio")[0] < 1.0

@@ -1,0 +1,33 @@
+"""Benchmark regenerating paper Table 2: read access times vs request size.
+
+The paper's only numeric anchor survives here: a 1024KB request takes
+about 0.4 s.  Access times must grow with request size.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table2 import (
+    PAPER_1024KB_ACCESS_TIME_S,
+    check_table2_shape,
+    prefetch_access_time_appears_shorter,
+    run_table2,
+)
+
+
+def test_bench_table2(benchmark, save_table):
+    table = run_once(benchmark, run_table2)
+    save_table("table2", table.render())
+    problem = check_table2_shape(table)
+    assert problem is None, problem
+
+    sizes = table.column("request_kb")
+    mins = table.column("min_access_s")
+    t_1024 = mins[sizes.index(1024)]
+    assert 0.5 * PAPER_1024KB_ACCESS_TIME_S <= t_1024 <= 1.5 * PAPER_1024KB_ACCESS_TIME_S
+
+
+def test_bench_prefetch_shortens_observed_access_time(benchmark):
+    # Section 4: "prefetching makes the read access time appear less
+    # than it actually is by reading the block before the read request
+    # was issued."
+    assert run_once(benchmark, prefetch_access_time_appears_shorter)

@@ -1,0 +1,33 @@
+"""Benchmark regenerating paper Table 3: stripe-unit sweep with prefetching.
+
+Rows: request size per node; columns: read bandwidth with prefetching
+for stripe units 64KB, 16KB and 1024KB, plus the matching no-prefetch
+baseline used by the consistency check.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table3 import (
+    check_table3_shape,
+    run_table3,
+    run_table3_baseline,
+)
+
+
+def test_bench_table3(benchmark, save_table):
+    def run_both():
+        return run_table3(), run_table3_baseline()
+
+    with_prefetch, baseline = run_once(benchmark, run_both)
+    save_table("table3", with_prefetch.render() + "\n\n" + baseline.render())
+
+    # "Given that no delay was introduced between requests, the results
+    # are consistent with the no prefetching case."
+    problem = check_table3_shape(with_prefetch, baseline)
+    assert problem is None, problem
+
+    # The default 64KB stripe unit is the best all-round choice at the
+    # paper's default 64KB-multiple request sizes.
+    su64 = with_prefetch.column("bw_su=64KB")
+    su16 = with_prefetch.column("bw_su=16KB")
+    assert all(a >= b * 0.95 for a, b in zip(su64, su16))

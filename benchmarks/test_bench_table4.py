@@ -1,0 +1,33 @@
+"""Benchmark regenerating paper Table 4: stripe-group sweep.
+
+Read bandwidth with stripe group 1 vs stripe group 8 (R1 and R2) and
+the R2/R1 speedup, with and without prefetching, no delays between
+requests.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table4 import check_table4_shape, run_table4
+
+
+def test_bench_table4(benchmark, save_table):
+    def run_both():
+        return run_table4(prefetch=True), run_table4(prefetch=False)
+
+    with_prefetch, without_prefetch = run_once(benchmark, run_both)
+    save_table(
+        "table4", with_prefetch.render() + "\n\n" + without_prefetch.render()
+    )
+    problem = check_table4_shape(with_prefetch, without_prefetch)
+    assert problem is None, problem
+
+    # Striping across 8 I/O nodes is a large win over striping across 1.
+    for speedup in with_prefetch.column("speedup_R2/R1"):
+        assert speedup > 2.0
+    # "Due to the prefetching overhead which is more pronounced when the
+    # read request sizes are small, the speedup is less than the no
+    # prefetching case for 64KB."
+    assert (
+        with_prefetch.column("speedup_R2/R1")[0]
+        <= without_prefetch.column("speedup_R2/R1")[0] * 1.05
+    )

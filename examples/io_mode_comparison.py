@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Choosing a PFS I/O mode for an SPMD application.
+
+Reproduces a compact version of the paper's Figure 2: eight compute
+nodes read a shared file under each PFS I/O mode at three request
+sizes, plus the separate-files configuration.  Prints the bandwidth
+matrix and a recommendation.
+
+The punchline is the paper's own: M_UNIX's atomicity serialises every
+read and costs an order of magnitude; M_RECORD gives node-ordered
+consistency at nearly M_ASYNC speed, which is why the prefetching
+prototype (and most SPMD codes) use it.
+
+Run:  python examples/io_mode_comparison.py
+"""
+
+from repro.experiments.figure2 import FIGURE2_MODES, run_figure2
+
+KB = 1024
+
+
+def main() -> None:
+    print(__doc__)
+    table = run_figure2(
+        request_sizes_kb=(64, 256, 1024),
+        rounds=12,
+    )
+    print(table.render())
+    print()
+
+    # Rank modes by their large-request bandwidth.
+    big_row = table.rows[-1]
+    by_mode = dict(zip(table.columns[1:], big_row[1:]))
+    ranking = sorted(by_mode.items(), key=lambda kv: kv[1], reverse=True)
+    print("At 1024KB requests, fastest to slowest:")
+    for name, bw in ranking:
+        print(f"  {name:>15}: {bw:6.2f} MB/s")
+    print()
+
+    unix_bw = by_mode["M_UNIX"]
+    record_bw = by_mode["M_RECORD"]
+    print(
+        f"M_RECORD delivers {record_bw / unix_bw:.1f}x the bandwidth of "
+        f"M_UNIX while keeping node-ordered consistency;\n"
+        f"its offsets are computable locally, which is what makes it "
+        f"prefetchable (modes: {[m.name for m in FIGURE2_MODES]})."
+    )
+    assert record_bw > unix_bw
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so `python setup.py develop` works on
+environments without the `wheel` package (offline installs).
+"""
+
+from setuptools import setup
+
+setup()

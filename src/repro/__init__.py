@@ -1,0 +1,67 @@
+"""repro: simulation-based reproduction of *Implementation and
+Evaluation of Prefetching in the Intel Paragon Parallel File System*
+(Arunachalam, Choudhary, Rullman; IPPS 1996).
+
+Quickstart::
+
+    from repro import (
+        Machine, MachineConfig, PFSConfig, IOMode,
+        CollectiveReadWorkload, Prefetcher, OneRequestAhead,
+    )
+
+    machine = Machine(MachineConfig(n_compute=8, n_io=8))
+    mount = machine.mount("/pfs", PFSConfig(stripe_unit=64 * 1024))
+    machine.create_file(mount, "data", 128 * 1024 * 1024)
+
+    workload = CollectiveReadWorkload(
+        machine, mount, "data",
+        request_size=64 * 1024,
+        compute_delay=0.05,
+        iomode=IOMode.M_RECORD,
+        prefetcher_factory=lambda rank: Prefetcher(OneRequestAhead()),
+    )
+    result = workload.run()
+    print(result.report.collective_bandwidth_mbps)
+"""
+
+from repro.config import MachineConfig, PFSConfig
+from repro.core import (
+    AdaptivePolicy,
+    NoPrefetch,
+    OneRequestAhead,
+    Prefetcher,
+    PrefetchPolicy,
+    PrefetchStats,
+    StridedPolicy,
+)
+from repro.machine import Machine
+from repro.metrics import BandwidthReport, report_from_handles
+from repro.pfs import IOMode, StripeAttributes
+from repro.workloads import (
+    CollectiveReadWorkload,
+    SeparateFilesWorkload,
+    WorkloadResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePolicy",
+    "BandwidthReport",
+    "CollectiveReadWorkload",
+    "IOMode",
+    "Machine",
+    "MachineConfig",
+    "NoPrefetch",
+    "OneRequestAhead",
+    "PFSConfig",
+    "PrefetchPolicy",
+    "PrefetchStats",
+    "Prefetcher",
+    "SeparateFilesWorkload",
+    "StridedPolicy",
+    "StripeAttributes",
+    "WorkloadResult",
+    "__version__",
+    "report_from_handles",
+]

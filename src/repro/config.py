@@ -1,0 +1,70 @@
+"""Configuration dataclasses for building simulated machines.
+
+The defaults describe the paper's testbed: 8 compute nodes, 8 I/O nodes
+(one SCSI-8 RAID-3 array each), 64KB file-system blocks, default stripe
+factor 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.params import HardwareParams
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Shape and constants of one simulated Paragon."""
+
+    #: Number of compute nodes running the application.
+    n_compute: int = 8
+    #: Number of I/O nodes, each with one RAID-3 array.
+    n_io: int = 8
+    #: PFS file-system block size ("The default block size was 64KB").
+    block_size: int = 64 * KB
+    #: I/O-node buffer cache capacity in blocks (used only by buffered
+    #: mounts; Fast Path bypasses it).
+    cache_blocks: int = 128
+    #: ART pool size per compute node.
+    art_threads: int = 4
+    #: Server-side readahead depth in blocks (0 = off).  Applies only to
+    #: buffered mounts; the I/O-node alternative to client prefetching.
+    server_readahead_blocks: int = 0
+    #: Write-back caching on buffered mounts: writes return once the data
+    #: is in the I/O-node cache; the disk write is deferred to the sync
+    #: daemon / flush.  False = write-through (safer, slower).
+    write_back: bool = False
+    #: Sync-daemon flush interval (only started when write_back is on).
+    sync_interval_s: float = 30.0
+    #: Hardware constants.
+    hardware: HardwareParams = field(default_factory=HardwareParams)
+
+    def __post_init__(self) -> None:
+        if self.n_compute <= 0:
+            raise ValueError("need at least one compute node")
+        if self.n_io <= 0:
+            raise ValueError("need at least one I/O node")
+        if self.block_size <= 0:
+            raise ValueError("block size must be positive")
+
+
+@dataclass(frozen=True)
+class PFSConfig:
+    """Per-mount PFS configuration."""
+
+    #: Stripe unit in bytes (default equals the FS block size).
+    stripe_unit: int = 64 * KB
+    #: Stripe factor; None means "all I/O nodes".
+    stripe_factor: int = 0
+    #: True routes transfers through the I/O-node buffer cache; False is
+    #: Fast Path I/O (the configuration the paper measures).
+    buffered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.stripe_unit <= 0:
+            raise ValueError("stripe unit must be positive")
+        if self.stripe_factor < 0:
+            raise ValueError("stripe factor must be non-negative (0 = all)")

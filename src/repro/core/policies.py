@@ -1,0 +1,193 @@
+"""Prefetch policies: deciding *what* to fetch ahead.
+
+The paper's prototype is :class:`OneRequestAhead`: "The prototype
+prefetches only one block of data it anticipates will be needed for the
+future read request.  [...] The prefetch request is issued in
+anticipation of another read request issued by the same user thread on
+the same file."  The anticipated block is the same process's next
+request under the current I/O mode -- computable without messages only
+in the deterministic-offset modes (M_RECORD, M_ASYNC), which is why the
+prototype lives in M_RECORD.
+
+Extensions (the paper's future work, exercised by the ablation
+benches): deeper pipelines (*depth* > 1), stride detection for
+non-unit-stride M_ASYNC readers, and an adaptive wrapper that stops
+prefetching when the hit rate shows the pattern is unpredictable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.prefetcher import Prefetcher
+    from repro.pfs.client import PFSFileHandle
+
+#: A planned prefetch: (pfs_offset, length).
+PlannedRange = Tuple[int, int]
+
+
+class PrefetchPolicy:
+    """Decides which ranges to prefetch after a demand read."""
+
+    name = "base"
+
+    def plan(
+        self,
+        handle: "PFSFileHandle",
+        offset: int,
+        nbytes: int,
+        prefetcher: "Prefetcher",
+    ) -> List[PlannedRange]:
+        """Ranges to prefetch after a demand read of [offset, offset+nbytes)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class NoPrefetch(PrefetchPolicy):
+    """Prefetching disabled (the paper's baseline)."""
+
+    name = "none"
+
+    def plan(self, handle, offset, nbytes, prefetcher):
+        return []
+
+
+class OneRequestAhead(PrefetchPolicy):
+    """The paper's prototype: fetch the next anticipated request.
+
+    Parameters
+    ----------
+    depth:
+        How many future requests to cover (1 = the prototype).
+    """
+
+    def __init__(self, depth: int = 1) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "one-ahead" if self.depth == 1 else f"{self.depth}-ahead"
+
+    def plan(self, handle, offset, nbytes, prefetcher):
+        if nbytes <= 0:
+            return []
+        base = handle.next_read_offset(nbytes)
+        if base is None:
+            # Mode without deterministic offsets: nothing to anticipate.
+            return []
+        from repro.pfs.modes import IOMode
+
+        stride = handle.nprocs * nbytes if handle.iomode is IOMode.M_RECORD else nbytes
+        plans: List[PlannedRange] = []
+        size = handle.file.size_bytes
+        for k in range(self.depth):
+            start = base + k * stride
+            length = max(0, min(nbytes, size - start))
+            if length <= 0:
+                break
+            plans.append((start, length))
+        return plans
+
+    def __repr__(self) -> str:
+        return f"<OneRequestAhead depth={self.depth}>"
+
+
+class StridedPolicy(PrefetchPolicy):
+    """Detects a fixed stride from the demand stream and runs ahead of it.
+
+    Useful for M_ASYNC readers walking a file with lseek in a regular
+    pattern the mode arithmetic cannot predict.
+    """
+
+    name = "strided"
+
+    def __init__(self, depth: int = 1, min_confirmations: int = 2) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if min_confirmations < 1:
+            raise ValueError("min_confirmations must be >= 1")
+        self.depth = depth
+        self.min_confirmations = min_confirmations
+        self._last_offset: Optional[int] = None
+        self._stride: Optional[int] = None
+        self._confirmations = 0
+
+    def observe(self, offset: int) -> None:
+        if self._last_offset is not None:
+            stride = offset - self._last_offset
+            if stride != 0 and stride == self._stride:
+                self._confirmations += 1
+            else:
+                self._stride = stride if stride != 0 else None
+                self._confirmations = 1
+        self._last_offset = offset
+
+    def plan(self, handle, offset, nbytes, prefetcher):
+        self.observe(offset)
+        if (
+            self._stride is None
+            or self._confirmations < self.min_confirmations
+            or nbytes <= 0
+        ):
+            return []
+        plans: List[PlannedRange] = []
+        size = handle.file.size_bytes
+        for k in range(1, self.depth + 1):
+            start = offset + k * self._stride
+            if start < 0:
+                break
+            length = max(0, min(nbytes, size - start))
+            if length <= 0:
+                break
+            plans.append((start, length))
+        return plans
+
+
+class AdaptivePolicy(PrefetchPolicy):
+    """Wraps a policy, throttling when recent prefetches miss.
+
+    After *window* consumed-or-discarded prefetches, if the useful
+    fraction falls below *min_useful*, prefetching pauses for *backoff*
+    demand reads before probing again.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        inner: Optional[PrefetchPolicy] = None,
+        window: int = 8,
+        min_useful: float = 0.5,
+        backoff: int = 8,
+    ) -> None:
+        if not 0.0 <= min_useful <= 1.0:
+            raise ValueError("min_useful must be within [0, 1]")
+        if window < 1 or backoff < 1:
+            raise ValueError("window and backoff must be >= 1")
+        self.inner = inner or OneRequestAhead()
+        self.window = window
+        self.min_useful = min_useful
+        self.backoff = backoff
+        self._paused_for = 0
+
+    def plan(self, handle, offset, nbytes, prefetcher):
+        if self._paused_for > 0:
+            self._paused_for -= 1
+            return []
+        stats = prefetcher.stats
+        resolved = stats.hits + stats.partial_hits + stats.discarded
+        if resolved >= self.window:
+            useful = (stats.hits + stats.partial_hits) / resolved
+            if useful < self.min_useful:
+                self._paused_for = self.backoff
+                stats.throttled += 1
+                return []
+        return self.inner.plan(handle, offset, nbytes, prefetcher)
+
+    def __repr__(self) -> str:
+        return f"<AdaptivePolicy inner={self.inner!r}>"

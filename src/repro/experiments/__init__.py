@@ -1,0 +1,35 @@
+"""Experiment harnesses reproducing every table and figure in the paper.
+
+Each module rebuilds one artifact of the evaluation section on the
+simulated machine and returns structured rows (plus a text rendering
+matching the paper's layout):
+
+- :mod:`repro.experiments.figure2`  -- Figure 2: read performance of the
+  PFS I/O modes vs request size.
+- :mod:`repro.experiments.table1`   -- Table 1: prefetch vs no-prefetch on
+  the I/O-bound workload.
+- :mod:`repro.experiments.table2`   -- Table 2: read access times vs
+  request size.
+- :mod:`repro.experiments.figure45` -- Figures 4 & 5: balanced workloads,
+  bandwidth vs computation delay, prefetch on/off.
+- :mod:`repro.experiments.table3`   -- Table 3: stripe-unit sweep with
+  prefetching.
+- :mod:`repro.experiments.table4`   -- Table 4: stripe-group sweep with
+  and without prefetching.
+- :mod:`repro.experiments.ablations` -- design-choice studies beyond the
+  paper (prefetch depth, policies, buffering, scaling).
+"""
+
+from repro.experiments.common import (
+    DEFAULT_REQUEST_SIZES_KB,
+    ExperimentTable,
+    build_machine,
+    run_collective,
+)
+
+__all__ = [
+    "DEFAULT_REQUEST_SIZES_KB",
+    "ExperimentTable",
+    "build_machine",
+    "run_collective",
+]

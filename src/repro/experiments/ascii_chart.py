@@ -1,0 +1,108 @@
+"""ASCII line charts for figure artifacts.
+
+The paper's Figures 2, 4 and 5 are line charts; rendering the
+reproduced series as text keeps the comparison self-contained (no
+plotting dependencies) and greppable in CI logs.
+
+``plot_series`` draws multiple named series over a shared x axis on a
+character grid, one marker letter per series, with y-axis labels and a
+legend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox*+#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    """Map value in [lo, hi] onto 0..steps (clamped)."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return max(0, min(steps, round(frac * steps)))
+
+
+def plot_series(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named y-series over shared x values as an ASCII chart."""
+    if not x:
+        raise ValueError("need at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x)} x values"
+            )
+    if not series:
+        raise ValueError("need at least one series")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = 0.0, max(all_y) * 1.05 or 1.0
+    x_lo, x_hi = min(x), max(x)
+
+    grid = [[" "] * width for _ in range(height + 1)]
+    legend: List[Tuple[str, str]] = []
+    for index, (name, ys) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append((marker, name))
+        previous = None
+        for xv, yv in zip(x, ys):
+            col = _scale(xv, x_lo, x_hi, width - 1)
+            row = height - _scale(yv, y_lo, y_hi, height)
+            # Simple line interpolation between consecutive points.
+            if previous is not None:
+                pcol, prow = previous
+                span = max(abs(col - pcol), 1)
+                for step in range(1, span):
+                    icol = pcol + (col - pcol) * step // span
+                    irow = prow + (row - prow) * step // span
+                    if grid[irow][icol] == " ":
+                        grid[irow][icol] = "."
+            grid[row][col] = marker
+            previous = (col, row)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_hi:.1f}"), len(f"{y_lo:.1f}")) + 1
+    for rownum, row in enumerate(grid):
+        if rownum == 0:
+            label = f"{y_hi:.1f}".rjust(label_width)
+        elif rownum == height:
+            label = f"{y_lo:.1f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    x_axis = f"{x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width // 2)
+    lines.append(f"{' ' * label_width}  {x_axis}")
+    if x_label or y_label:
+        lines.append(f"{' ' * label_width}  x: {x_label}   y: {y_label}")
+    lines.append(
+        "  legend: " + "  ".join(f"{marker}={name}" for marker, name in legend)
+    )
+    return "\n".join(lines)
+
+
+def plot_table(table, x_column: str, title: str = "", **kwargs) -> str:
+    """Plot an :class:`~repro.experiments.common.ExperimentTable`:
+    *x_column* on the x axis, every other numeric column as a series."""
+    x = table.column(x_column)
+    series = {}
+    for column in table.columns:
+        if column == x_column:
+            continue
+        values = table.column(column)
+        if all(isinstance(v, (int, float)) for v in values):
+            series[column] = values
+    return plot_series(x, series, title=title or table.title, **kwargs)

@@ -1,0 +1,130 @@
+"""Parameter-grid campaigns: sweep configurations, collect CSV rows.
+
+For studies beyond the paper's fixed tables -- e.g. "bandwidth over the
+full (request size x delay x prefetch depth) grid" -- a
+:class:`Campaign` takes named parameter axes and a run function, runs
+the full cross product (each point on a fresh machine), and returns
+rows that render as CSV or an :class:`ExperimentTable`.
+
+Example::
+
+    campaign = Campaign(
+        axes={
+            "request_kb": [64, 256],
+            "delay_s": [0.0, 0.05],
+            "prefetch": [False, True],
+        },
+        run=lambda p: {
+            "bw": run_collective(
+                request_size=p["request_kb"] * KB,
+                file_size=scaled_file_size(p["request_kb"] * KB),
+                compute_delay=p["delay_s"],
+                prefetch=p["prefetch"],
+            ).collective_bandwidth_mbps
+        },
+    )
+    rows = campaign.run_all()
+    print(campaign.to_csv())
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.common import ExperimentTable
+
+
+class Campaign:
+    """A cross-product parameter sweep."""
+
+    def __init__(
+        self,
+        axes: Mapping[str, Sequence],
+        run: Callable[[Dict], Dict],
+        name: str = "campaign",
+    ) -> None:
+        if not axes:
+            raise ValueError("need at least one parameter axis")
+        for axis, values in axes.items():
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values")
+        self.axes = dict(axes)
+        self.run = run
+        self.name = name
+        self.rows: List[Dict] = []
+
+    @property
+    def points(self) -> List[Dict]:
+        """All parameter combinations, in axis-major order."""
+        names = list(self.axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.axes[n] for n in names))
+        ]
+
+    def run_all(self, progress: Optional[Callable[[Dict], None]] = None) -> List[Dict]:
+        """Run every grid point; returns (and stores) the result rows.
+
+        Each row is the parameter dict merged with the run function's
+        metric dict.  Metric keys may not collide with axis names.
+        """
+        self.rows = []
+        for point in self.points:
+            metrics = self.run(dict(point))
+            if not isinstance(metrics, dict):
+                raise TypeError("run function must return a dict of metrics")
+            collision = set(metrics) & set(point)
+            if collision:
+                raise ValueError(f"metrics shadow axes: {sorted(collision)}")
+            row = {**point, **metrics}
+            self.rows.append(row)
+            if progress is not None:
+                progress(row)
+        return self.rows
+
+    # -- output ----------------------------------------------------------
+
+    def _columns(self) -> List[str]:
+        if not self.rows:
+            return list(self.axes)
+        metric_names = [k for k in self.rows[0] if k not in self.axes]
+        return list(self.axes) + metric_names
+
+    def to_csv(self) -> str:
+        """Render collected rows as CSV text."""
+        columns = self._columns()
+
+        def cell(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.4f}"
+            text = str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(columns)]
+        for row in self.rows:
+            lines.append(",".join(cell(row.get(c, "")) for c in columns))
+        return "\n".join(lines)
+
+    def to_table(self, title: Optional[str] = None) -> ExperimentTable:
+        """Collected rows as an :class:`ExperimentTable`."""
+        columns = self._columns()
+        table = ExperimentTable(title=title or self.name, columns=columns)
+        for row in self.rows:
+            table.add_row(*[row.get(c, "") for c in columns])
+        return table
+
+    def best(self, metric: str, maximize: bool = True) -> Dict:
+        """The row with the best value of *metric*."""
+        if not self.rows:
+            raise ValueError("run_all() first")
+        chooser = max if maximize else min
+        return chooser(self.rows, key=lambda r: r[metric])
+
+    def __repr__(self) -> str:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return f"<Campaign {self.name!r} {size} points, {len(self.rows)} run>"

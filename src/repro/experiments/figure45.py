@@ -1,0 +1,159 @@
+"""Figures 4 and 5: balanced workloads (computation between reads).
+
+Paper section 4.2: "To simulate computation for each block read, delays
+were introduced between consecutive reads.  Figures 4 and 5 summarize
+the results for file size of 128MBytes when delays are introduced
+between successive read requests.  The computation times between the
+I/O requests ranged from 0 second to 0.1 second."
+
+Figure 4 (panels A-C): request sizes 64KB, 128KB, 256KB -- "when overlap
+between I/O and computation is present, significant performance
+improvements can be obtained."
+
+Figure 5 (panels D-E): request sizes 512KB, 1024KB -- "the read time
+itself is so large that no significant overlap takes place with the
+computation.  Thus, no performance gains are observed."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import (
+    KB,
+    MB,
+    DEFAULT_DELAYS_S,
+    ExperimentTable,
+    run_collective,
+)
+from repro.pfs import IOMode
+
+#: Panel -> request size, as in the paper.
+FIGURE4_SIZES_KB = (64, 128, 256)
+FIGURE5_SIZES_KB = (512, 1024)
+PAPER_FILE_SIZE = 128 * MB
+
+
+def run_figure45(
+    request_sizes_kb: Sequence[int] = FIGURE4_SIZES_KB + FIGURE5_SIZES_KB,
+    delays_s: Sequence[float] = DEFAULT_DELAYS_S,
+    file_size: int = PAPER_FILE_SIZE,
+    n_compute: int = 8,
+    n_io: int = 8,
+    max_rounds: int = 24,
+) -> Dict[int, ExperimentTable]:
+    """One table per request size (figure panel): bandwidth vs delay.
+
+    ``max_rounds`` caps reads per node so small-request sweeps finish
+    quickly; the paper's shape is delay-driven, not length-driven.
+    """
+    panels: Dict[int, ExperimentTable] = {}
+    for size_kb in request_sizes_kb:
+        request = size_kb * KB
+        rounds = min(max_rounds, max(4, file_size // (request * n_compute)))
+        table = ExperimentTable(
+            title=(
+                f"Figure 4/5 panel: {size_kb}KB request size, file "
+                f"{file_size // MB}MB -- read bandwidth [MB/s] vs compute delay"
+            ),
+            columns=["delay_s", "bw_no_prefetch_mbps", "bw_prefetch_mbps", "speedup"],
+        )
+        for delay in delays_s:
+            without = run_collective(
+                request_size=request,
+                file_size=file_size,
+                compute_delay=delay,
+                iomode=IOMode.M_RECORD,
+                prefetch=False,
+                n_compute=n_compute,
+                n_io=n_io,
+                rounds=rounds,
+            )
+            with_pf = run_collective(
+                request_size=request,
+                file_size=file_size,
+                compute_delay=delay,
+                iomode=IOMode.M_RECORD,
+                prefetch=True,
+                n_compute=n_compute,
+                n_io=n_io,
+                rounds=rounds,
+            )
+            table.add_row(
+                delay,
+                without.collective_bandwidth_mbps,
+                with_pf.collective_bandwidth_mbps,
+                with_pf.collective_bandwidth_mbps
+                / without.collective_bandwidth_mbps,
+            )
+        panels[size_kb] = table
+    return panels
+
+
+def check_figure45_shape(panels: Dict[int, ExperimentTable]) -> Optional[str]:
+    """The paper's claims:
+
+    - Small requests (Figure 4): prefetch bandwidth *rises* with delay
+      and clearly beats no-prefetch once the delay covers the read time.
+    - Large requests (Figure 5): the gain at the largest delay is modest
+      relative to Figure 4's -- "the read time itself is so large that
+      no significant overlap takes place".
+
+    (Known deviation, recorded in EXPERIMENTS.md: our no-prefetch
+    baseline drifts upward at large delays because unsynchronised nodes
+    de-phase and see less disk contention; the paper's flat baselines
+    are not asserted here.)
+    """
+    for size_kb in FIGURE4_SIZES_KB:
+        if size_kb not in panels:
+            continue
+        speedups = panels[size_kb].column("speedup")
+        if max(speedups) < 1.5:
+            return f"{size_kb}KB: max speedup {max(speedups):.2f} < 1.5"
+        if speedups[-1] < speedups[0]:
+            return f"{size_kb}KB: speedup does not grow with delay"
+    small_gain = max(
+        max(panels[s].column("speedup")) for s in FIGURE4_SIZES_KB if s in panels
+    )
+    for size_kb in FIGURE5_SIZES_KB:
+        if size_kb not in panels:
+            continue
+        gain = max(panels[size_kb].column("speedup"))
+        # "No significant overlap takes place": large requests may show
+        # residual partial-hit benefit, but far below Figure 4's gains.
+        if gain > max(2.0, 0.5 * small_gain):
+            return (
+                f"{size_kb}KB gained {gain:.2f}; should be well below the "
+                f"small-request gain ({small_gain:.2f})"
+            )
+    return None
+
+
+def render_panel_chart(table: ExperimentTable) -> str:
+    """ASCII line chart of one panel (bandwidth vs delay, both curves)."""
+    from repro.experiments.ascii_chart import plot_series
+
+    return plot_series(
+        table.column("delay_s"),
+        {
+            "no prefetch": table.column("bw_no_prefetch_mbps"),
+            "prefetch": table.column("bw_prefetch_mbps"),
+        },
+        title=table.title,
+        x_label="compute delay (s)",
+        y_label="MB/s",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    panels = run_figure45()
+    for size_kb, table in sorted(panels.items()):
+        print(table.render())
+        print(render_panel_chart(table))
+        print()
+    problem = check_figure45_shape(panels)
+    print(f"shape check: {'OK' if problem is None else problem}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

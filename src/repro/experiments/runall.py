@@ -1,0 +1,105 @@
+"""Run every experiment and print (or save) every table.
+
+Usage::
+
+    python -m repro.experiments.runall [output_dir]
+
+With an output directory, each artifact's rendering is also written to
+``<output_dir>/<name>.txt``.  The full suite takes about half a minute.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments import (
+    ablations,
+    figure2,
+    figure45,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+def _run_all() -> List[Tuple[str, str, Optional[str]]]:
+    """Returns (name, rendering, shape_problem) per artifact."""
+    out: List[Tuple[str, str, Optional[str]]] = []
+
+    fig2 = figure2.run_figure2()
+    out.append(("figure2", fig2.render(), figure2.check_figure2_shape(fig2)))
+
+    tab1 = table1.run_table1()
+    out.append(("table1", tab1.render(), table1.check_table1_shape(tab1)))
+
+    tab2 = table2.run_table2()
+    out.append(("table2", tab2.render(), table2.check_table2_shape(tab2)))
+
+    panels = figure45.run_figure45()
+    rendering = "\n\n".join(panels[k].render() for k in sorted(panels))
+    out.append(("figure45", rendering, figure45.check_figure45_shape(panels)))
+
+    tab3 = table3.run_table3()
+    tab3_base = table3.run_table3_baseline()
+    out.append(
+        (
+            "table3",
+            tab3.render() + "\n\n" + tab3_base.render(),
+            table3.check_table3_shape(tab3, tab3_base),
+        )
+    )
+
+    tab4 = table4.run_table4(prefetch=True)
+    tab4_np = table4.run_table4(prefetch=False)
+    out.append(
+        (
+            "table4",
+            tab4.render() + "\n\n" + tab4_np.render(),
+            table4.check_table4_shape(tab4, tab4_np),
+        )
+    )
+
+    sens = sensitivity.run_sensitivity()
+    out.append(
+        ("sensitivity", sens.render(), sensitivity.check_sensitivity_shape(sens))
+    )
+
+    abl: List[Tuple[str, Callable]] = [
+        ("ablation_depth", ablations.run_depth_ablation),
+        ("ablation_modes", ablations.run_mode_ablation),
+        ("ablation_policies", ablations.run_policy_ablation),
+        ("ablation_buffering", ablations.run_buffering_ablation),
+        ("ablation_prefetch_location", ablations.run_prefetch_location_ablation),
+        ("ablation_multiprogramming", ablations.run_multiprogramming_ablation),
+        ("ablation_write_strategies", ablations.run_write_strategy_ablation),
+        ("ablation_scaling", ablations.run_scaling_ablation),
+    ]
+    for name, fn in abl:
+        out.append((name, fn().render(), None))
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    output_dir = argv[0] if argv else None
+    failures = 0
+    for name, rendering, problem in _run_all():
+        print(rendering)
+        status = "OK" if problem is None else f"SHAPE PROBLEM: {problem}"
+        print(f"[{name}] {status}\n")
+        if problem is not None:
+            failures += 1
+        if output_dir:
+            os.makedirs(output_dir, exist_ok=True)
+            with open(os.path.join(output_dir, f"{name}.txt"), "w") as fh:
+                fh.write(rendering + "\n")
+    print(f"done: {failures} shape problem(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

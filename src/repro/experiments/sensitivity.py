@@ -1,0 +1,129 @@
+"""Calibration-sensitivity study, including the paper's SCSI-16 remark.
+
+The reproduction is calibrated to one surviving number (0.4 s per 1024KB
+read); this study shows the paper's *qualitative* conclusions are robust
+to that calibration.  It also answers the paper's own aside -- "SCSI-16
+hardware is also available that effectively quadruples the bandwidth
+available on each I/O node" -- by predicting the machine's behaviour at
+0.5x / 1x / 2x / 4x the I/O-node bandwidth:
+
+- absolute bandwidth scales with the storage path;
+- the prefetching crossover (gains iff compute delay covers read time)
+  shifts with the read time but never disappears;
+- faster disks *shrink* the balanced-workload speedup at a fixed delay
+  (there is less latency left to hide), they do not grow it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    KB,
+    ExperimentTable,
+    run_collective,
+    scaled_file_size,
+)
+from repro.hardware.params import DEFAULT_HARDWARE
+from repro.pfs import IOMode
+
+
+def scaled_hardware(io_scale: float):
+    """Hardware with the per-I/O-node path scaled by *io_scale*.
+
+    Scales the SCSI bus and the spindle media rate together (the paper's
+    SCSI-16 upgrade replaced the whole I/O-node storage path).
+    """
+    hw = DEFAULT_HARDWARE
+    return replace(
+        hw,
+        scsi=replace(hw.scsi, bandwidth_bps=hw.scsi.bandwidth_bps * io_scale),
+        disk=replace(hw.disk, media_rate_bps=hw.disk.media_rate_bps * io_scale),
+    )
+
+
+def run_sensitivity(
+    io_scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    request_kb: int = 64,
+    compute_delay: float = 0.1,
+    rounds: int = 16,
+) -> ExperimentTable:
+    """Sweep the I/O-node bandwidth scale; 4.0 is the SCSI-16 machine."""
+    table = ExperimentTable(
+        title=(
+            f"Sensitivity: I/O-node bandwidth scale ({request_kb}KB requests; "
+            f"1.0 = calibrated SCSI-8, 4.0 = the paper's SCSI-16 remark)"
+        ),
+        columns=[
+            "io_scale",
+            "bw_iobound_mbps",
+            "iobound_prefetch_ratio",
+            "bw_balanced_prefetch_mbps",
+            "balanced_speedup",
+        ],
+    )
+    request = request_kb * KB
+    file_size = scaled_file_size(request, 8, rounds)
+    for scale in io_scales:
+        hardware = scaled_hardware(scale)
+        iob_base = run_collective(
+            request_size=request, file_size=file_size, prefetch=False,
+            rounds=rounds, hardware=hardware,
+        )
+        iob_pf = run_collective(
+            request_size=request, file_size=file_size, prefetch=True,
+            rounds=rounds, hardware=hardware,
+        )
+        bal_base = run_collective(
+            request_size=request, file_size=file_size, prefetch=False,
+            compute_delay=compute_delay, rounds=rounds, hardware=hardware,
+        )
+        bal_pf = run_collective(
+            request_size=request, file_size=file_size, prefetch=True,
+            compute_delay=compute_delay, rounds=rounds, hardware=hardware,
+        )
+        table.add_row(
+            scale,
+            iob_base.collective_bandwidth_mbps,
+            iob_pf.collective_bandwidth_mbps / iob_base.collective_bandwidth_mbps,
+            bal_pf.collective_bandwidth_mbps,
+            bal_pf.collective_bandwidth_mbps / bal_base.collective_bandwidth_mbps,
+        )
+    return table
+
+
+def check_sensitivity_shape(table: ExperimentTable) -> Optional[str]:
+    """Claims that must hold at every calibration:
+
+    - baseline bandwidth increases with the I/O path scale;
+    - the I/O-bound prefetch ratio stays ~1 (no free lunch) everywhere;
+    - the balanced workload gains from prefetching at every scale;
+    - the balanced speedup does not *grow* with faster disks.
+    """
+    scales = table.column("io_scale")
+    base = table.column("bw_iobound_mbps")
+    for (s1, b1), (s2, b2) in zip(zip(scales, base), zip(scales[1:], base[1:])):
+        if b2 <= b1:
+            return f"baseline bandwidth fell from scale {s1} to {s2}"
+    for scale, ratio in zip(scales, table.column("iobound_prefetch_ratio")):
+        if not 0.75 <= ratio <= 1.2:
+            return f"I/O-bound ratio {ratio:.2f} at scale {scale} not ~1"
+    speedups = table.column("balanced_speedup")
+    for scale, sp in zip(scales, speedups):
+        if sp < 1.2:
+            return f"balanced workload gained only {sp:.2f}x at scale {scale}"
+    if speedups[-1] > speedups[0] * 1.3:
+        return "speedup grew with faster disks (should shrink or hold)"
+    return None
+
+
+def main() -> None:  # pragma: no cover
+    table = run_sensitivity()
+    print(table.render())
+    problem = check_sensitivity_shape(table)
+    print(f"shape check: {'OK' if problem is None else problem}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,175 @@
+"""Single-spindle disk model.
+
+Service time of a request = controller overhead + seek + rotational
+latency + media transfer.  Sequential accesses (starting exactly where
+the previous request ended) hit the drive's track cache / read-ahead and
+skip both seek and rotational latency, which is what makes the PFS's
+block coalescing and contiguous UFS allocation pay off.  A re-read
+falling entirely inside the most recently transferred region is served
+from the track cache with no positioning at all.
+
+Rotational latency is jittered uniformly over one revolution by default
+(a seeded LCG keeps runs reproducible); pass ``jitter=False`` for the
+constant-average model.
+
+Requests are served strictly in arrival order (FIFO); an optional
+elevator (LOOK) policy can be enabled to study scheduling effects.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from typing import Optional
+
+from repro.hardware.params import DiskParams
+from repro.sim import Environment, PriorityResource, Resource
+from repro.sim.monitor import Monitor
+
+
+class DiskError(Exception):
+    """Raised for invalid disk requests (out-of-range, negative size)."""
+
+
+class Disk:
+    """One spindle.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Identifier used in statistics.
+    params:
+        Mechanical/electrical constants.
+    elevator:
+        If True, pending requests are served in LOOK order (by LBA
+        distance direction) instead of FIFO.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "disk",
+        params: Optional[DiskParams] = None,
+        elevator: bool = False,
+        jitter: bool = True,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.params = params or DiskParams()
+        self.monitor = monitor
+        self.elevator = elevator
+        self.jitter = jitter
+        if elevator:
+            self._arm: Resource = PriorityResource(env, capacity=1)
+        else:
+            self._arm = Resource(env, capacity=1)
+        #: Head position (LBA) after the last completed request.
+        self._head_lba = 0
+        #: End LBA of the last completed transfer, for sequential detection.
+        self._last_end_lba: Optional[int] = None
+        #: Most recently read region (track cache window).
+        self._cached_start = 0
+        self._cached_end = 0
+        self._rng_state = (zlib.crc32(name.encode()) & 0xFFFFFFFF) | 1
+
+    # -- service-time model -------------------------------------------------
+
+    def seek_time(self, from_lba: int, to_lba: int) -> float:
+        """Seek time as a concave function of LBA distance."""
+        p = self.params
+        distance = abs(to_lba - from_lba)
+        if distance == 0:
+            return 0.0
+        frac = min(1.0, distance / p.capacity_bytes)
+        return p.min_seek_s + (p.full_seek_s - p.min_seek_s) * math.sqrt(frac)
+
+    def _rotational_latency(self) -> float:
+        if not self.jitter:
+            return self.params.avg_rotational_latency_s
+        self._rng_state = (self._rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return (self._rng_state / 0x7FFFFFFF) * self.params.rotation_s
+
+    def cached(self, lba: int, nbytes: int) -> bool:
+        """True if the range sits inside the track cache window."""
+        return self._cached_start <= lba and lba + nbytes <= self._cached_end
+
+    def service_time(self, lba: int, nbytes: int, sequential: bool) -> float:
+        """Uncontended service time for one request."""
+        p = self.params
+        transfer = nbytes / p.media_rate_bps
+        if sequential:
+            # Track cache streaming: no positioning cost.
+            return p.controller_overhead_s + transfer
+        positioning = self.seek_time(self._head_lba, lba) + self._rotational_latency()
+        return p.controller_overhead_s + positioning + transfer
+
+    # -- operations ----------------------------------------------------------
+
+    def _validate(self, lba: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise DiskError(f"negative transfer size {nbytes}")
+        if lba < 0 or lba + nbytes > self.params.capacity_bytes:
+            raise DiskError(
+                f"request [{lba}, {lba + nbytes}) outside disk capacity "
+                f"{self.params.capacity_bytes}"
+            )
+
+    def _access(self, lba: int, nbytes: int, kind: str):
+        self._validate(lba, nbytes)
+        if self.elevator:
+            assert isinstance(self._arm, PriorityResource)
+            req = self._arm.request(priority=abs(lba - self._head_lba))
+        else:
+            req = self._arm.request()
+        queued_at = self.env.now
+        sequential = False
+        cache_hit = False
+        try:
+            yield req
+            cache_hit = kind == "read" and self.cached(lba, nbytes)
+            if cache_hit:
+                # Served from the drive buffer: controller time only.
+                yield self.env.timeout(self.params.controller_overhead_s)
+            else:
+                sequential = self._last_end_lba == lba
+                service = self.service_time(lba, nbytes, sequential)
+                yield self.env.timeout(service)
+                self._head_lba = lba + nbytes
+                self._last_end_lba = lba + nbytes
+                if kind == "read":
+                    self._cached_start = max(
+                        lba, lba + nbytes - self.params.track_cache_bytes
+                    )
+                    self._cached_end = lba + nbytes
+        finally:
+            self._arm.release(req)
+        if self.monitor is not None:
+            self.monitor.counter(f"{self.name}.{kind}s").add(1)
+            self.monitor.counter(f"{self.name}.bytes_{kind}").add(nbytes)
+            if sequential:
+                self.monitor.counter(f"{self.name}.sequential_hits").add(1)
+            if cache_hit:
+                self.monitor.counter(f"{self.name}.track_cache_hits").add(1)
+            self.monitor.series(f"{self.name}.latency").record(self.env.now - queued_at)
+        return nbytes
+
+    def read(self, lba: int, nbytes: int):
+        """Generator: read *nbytes* starting at *lba*."""
+        return (yield from self._access(lba, nbytes, "read"))
+
+    def write(self, lba: int, nbytes: int):
+        """Generator: write *nbytes* starting at *lba*."""
+        return (yield from self._access(lba, nbytes, "write"))
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for the arm (excluding the one in service)."""
+        if isinstance(self._arm, PriorityResource):
+            return len(self._arm._heap)
+        return len(self._arm.queue)
+
+    def __repr__(self) -> str:
+        return f"<Disk {self.name} head={self._head_lba}>"

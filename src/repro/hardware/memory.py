@@ -1,0 +1,83 @@
+"""Per-node memory accounting.
+
+A :class:`MemoryRegion` tracks allocations against a fixed capacity.  The
+prefetch prototype allocates its prefetch buffers from the compute node's
+memory (paper section 3: "Memory for the prefetch buffers is allocated in
+the compute node"), so runaway prefetching is bounded by real capacity.
+
+Allocation is modelled as instantaneous bookkeeping (the allocation *time*
+cost is charged separately via NodeParams.buffer_alloc_overhead_s); only
+capacity is enforced here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when an allocation would exceed the region's capacity."""
+
+
+class MemoryRegion:
+    """Fixed-capacity memory with named allocation classes."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._used = 0
+        self._by_class: Dict[str, int] = {}
+        self._peak = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    def used_by(self, alloc_class: str) -> int:
+        """Bytes currently allocated under *alloc_class*."""
+        return self._by_class.get(alloc_class, 0)
+
+    def allocate(self, nbytes: int, alloc_class: str = "anon") -> None:
+        """Allocate *nbytes*; raises :class:`OutOfMemoryError` if over."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        if self._used + nbytes > self.capacity_bytes:
+            raise OutOfMemoryError(
+                f"allocation of {nbytes} bytes ({alloc_class}) exceeds "
+                f"capacity: {self._used}/{self.capacity_bytes} in use"
+            )
+        self._used += nbytes
+        self._by_class[alloc_class] = self._by_class.get(alloc_class, 0) + nbytes
+        if self._used > self._peak:
+            self._peak = self._used
+
+    def free(self, nbytes: int, alloc_class: str = "anon") -> None:
+        """Return *nbytes* previously allocated under *alloc_class*."""
+        if nbytes < 0:
+            raise ValueError("cannot free a negative size")
+        held = self._by_class.get(alloc_class, 0)
+        if nbytes > held:
+            raise ValueError(
+                f"freeing {nbytes} bytes from {alloc_class!r} but only "
+                f"{held} allocated"
+            )
+        self._by_class[alloc_class] = held - nbytes
+        self._used -= nbytes
+
+    def can_allocate(self, nbytes: int) -> bool:
+        return self._used + nbytes <= self.capacity_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryRegion {self._used}/{self.capacity_bytes} bytes "
+            f"(peak {self._peak})>"
+        )

@@ -1,0 +1,126 @@
+"""Paragon node model.
+
+A node bundles a CPU (a unit-capacity resource used to charge software
+path and memory-copy time), a :class:`~repro.hardware.memory.MemoryRegion`,
+and a mesh position.  Compute nodes additionally host the PFS client and
+the prefetch buffer lists; I/O nodes host the PFS server, buffer cache,
+UFS and disk hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.hardware.memory import MemoryRegion
+from repro.hardware.params import NodeParams
+from repro.sim import Environment, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+
+class NodeKind(enum.Enum):
+    """Functional classification of Paragon nodes (paper section 2)."""
+
+    COMPUTE = "compute"
+    IO = "io"
+    SERVICE = "service"
+
+
+class Node:
+    """One Paragon node.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    node_id:
+        Globally unique integer id.
+    kind:
+        Functional classification.
+    position:
+        (x, y) coordinates in the mesh.
+    params:
+        Hardware constants for the node.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        kind: NodeKind,
+        position: Tuple[int, int],
+        params: Optional[NodeParams] = None,
+    ) -> None:
+        self.env = env
+        self.node_id = int(node_id)
+        self.kind = kind
+        self.position = position
+        self.params = params or NodeParams()
+        #: The CPU(s): software path costs and memory copies serialise
+        #: here (SMP nodes have capacity > 1).
+        self.cpu = Resource(env, capacity=self.params.cpu_count)
+        #: The message co-processor (the Paragon's second i860): incoming
+        #: mesh data is landed into destination buffers here, *without*
+        #: occupying the application CPU -- which is what lets a prefetch
+        #: land while the application computes.
+        self.msgproc = Resource(env, capacity=1)
+        self.memory = MemoryRegion(self.params.memory_bytes)
+        #: Accumulated busy time (utilisation accounting).
+        self.cpu_busy_s = 0.0
+        self.msgproc_busy_s = 0.0
+
+    # -- CPU time helpers (generators to be yielded from processes) ------
+
+    def busy(self, seconds: float):
+        """Occupy the CPU for *seconds* (software path, bookkeeping)."""
+        with self.cpu.request() as req:
+            yield req
+            if seconds > 0:
+                yield self.env.timeout(seconds)
+                self.cpu_busy_s += seconds
+
+    def memcpy(self, nbytes: int):
+        """Copy *nbytes* through the CPU at the calibrated memcpy rate.
+
+        This is the cost the prefetch prototype pays on every hit: the
+        prefetched block sits in a prefetch buffer and must be copied into
+        the user's buffer (paper section 4.1).
+        """
+        if nbytes < 0:
+            raise ValueError("cannot copy a negative size")
+        seconds = nbytes / self.params.memcpy_bps
+        yield from self.busy(seconds)
+
+    def compute(self, seconds: float):
+        """Model application computation occupying the CPU."""
+        yield from self.busy(seconds)
+
+    def receive(self, nbytes: int):
+        """Land *nbytes* of incoming mesh data via the message
+        co-processor (serialises with other receptions on this node, but
+        not with application compute)."""
+        if nbytes < 0:
+            raise ValueError("cannot receive a negative size")
+        with self.msgproc.request() as req:
+            yield req
+            seconds = nbytes / self.params.receive_bps
+            if seconds > 0:
+                yield self.env.timeout(seconds)
+                self.msgproc_busy_s += seconds
+
+    def landing_copy(self, nbytes: int):
+        """Copy received data into a staging buffer (e.g. a prefetch
+        buffer) on the message co-processor at memcpy speed."""
+        if nbytes < 0:
+            raise ValueError("cannot copy a negative size")
+        with self.msgproc.request() as req:
+            yield req
+            seconds = nbytes / self.params.memcpy_bps
+            if seconds > 0:
+                yield self.env.timeout(seconds)
+                self.msgproc_busy_s += seconds
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_id} {self.kind.value} at {self.position}>"

@@ -1,0 +1,143 @@
+"""Calibrated hardware constants for the simulated Paragon.
+
+All times are in seconds, sizes in bytes, rates in bytes/second.
+
+The values are chosen so the simulated machine lands the paper's anchor
+measurements (DESIGN.md section 3):
+
+- a 1024KB-per-node collective read on 8 compute / 8 I/O nodes with 64KB
+  stripe units completes in about 0.4 s (paper Table 2);
+- the streaming bottleneck per I/O node is the SCSI-8 bus (~3.5 MB/s
+  effective), consistent with the paper's remark that SCSI-16 hardware
+  "effectively quadruples the bandwidth available on each I/O node";
+- the mesh (175 MB/s links) is never the bottleneck, as on the real
+  machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """A single spindle of the RAID-3 array behind each I/O node."""
+
+    #: Average seek time for a random access.
+    avg_seek_s: float = 0.012
+    #: Full-stroke seek time (seek scales with LBA distance up to this).
+    full_seek_s: float = 0.025
+    #: Minimum (track-to-track) seek time.
+    min_seek_s: float = 0.002
+    #: Spindle speed; one revolution = 60/rpm seconds.
+    rpm: float = 4500.0
+    #: Media (internal) transfer rate of one spindle.
+    media_rate_bps: float = 1.1 * MB
+    #: Capacity of the spindle.
+    capacity_bytes: int = 1024 * MB
+    #: Per-request controller/firmware overhead.
+    controller_overhead_s: float = 0.001
+    #: Size of the on-drive track cache used for sequential-read detection.
+    track_cache_bytes: int = 64 * KB
+
+    @property
+    def rotation_s(self) -> float:
+        """Time of one full revolution."""
+        return 60.0 / self.rpm
+
+    @property
+    def avg_rotational_latency_s(self) -> float:
+        """Average rotational latency (half a revolution)."""
+        return 0.5 * self.rotation_s
+
+
+@dataclass(frozen=True)
+class RAIDParams:
+    """RAID-3 array configuration (byte-interleaved, dedicated parity)."""
+
+    #: Number of data spindles (parity spindle is extra).
+    data_disks: int = 4
+    #: Per-array request overhead in the RAID controller.
+    controller_overhead_s: float = 0.0008
+
+
+@dataclass(frozen=True)
+class SCSIParams:
+    """SCSI bus between the RAID array and the I/O node."""
+
+    #: Effective bus bandwidth.  SCSI-8 era, including file-system and
+    #: controller inefficiencies: ~2.2 MB/s sustained.  Calibrated so a
+    #: 1024KB-per-node collective read takes ~0.4 s (paper Table 2).
+    #: The paper notes SCSI-16 "effectively quadruples" this.
+    bandwidth_bps: float = 2.2 * MB
+    #: Bus arbitration + command overhead per transfer.
+    arbitration_s: float = 0.0004
+
+
+@dataclass(frozen=True)
+class MeshParams:
+    """2D mesh interconnect (Paragon backplane)."""
+
+    #: Per-link bandwidth (Paragon: 175 MB/s full duplex).
+    link_bandwidth_bps: float = 175.0 * MB
+    #: Software send/receive overhead per message (NX message layer).
+    sw_overhead_s: float = 30e-6
+    #: Per-hop router latency.
+    per_hop_s: float = 1e-7
+
+
+@dataclass(frozen=True)
+class NodeParams:
+    """A Paragon node (i860 XP class)."""
+
+    #: Application processors per node ("SMP nodes are available with
+    #: three i860 processors"): capacity of the node's CPU resource.
+    cpu_count: int = 1
+    #: Sustained memory-copy bandwidth (source of prefetch copy overhead).
+    memcpy_bps: float = 45.0 * MB
+    #: Message-reception data path: rate at which incoming mesh data is
+    #: landed into a destination buffer by the node's message
+    #: co-processor (the Paragon's second i860).  Calibrated against the
+    #: paper's Table-2 floor (a 1024KB read call takes ~0.4 s): the
+    #: per-call path moves data at only a few MB/s even though the mesh
+    #: links run at 175 MB/s.
+    receive_bps: float = 2.8 * MB
+    #: Node memory size (paper: 16-32 MB per node; I/O nodes had 32 MB).
+    memory_bytes: int = 32 * MB
+    #: Client-side software path for one PFS read/write call (syscall,
+    #: request marshalling; the Paragon OSF/1 path was millisecond-scale).
+    client_call_overhead_s: float = 0.002
+    #: Server-side software path for one PFS request.
+    server_request_overhead_s: float = 0.001
+    #: Cost of setting up an asynchronous request structure + ART dispatch
+    #: (the paper's "setup and posting phase").
+    async_setup_overhead_s: float = 0.0004
+    #: Cost of allocating a prefetch buffer on the compute node.
+    buffer_alloc_overhead_s: float = 0.0002
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Bundle of all hardware constants for one machine."""
+
+    disk: DiskParams = field(default_factory=DiskParams)
+    raid: RAIDParams = field(default_factory=RAIDParams)
+    scsi: SCSIParams = field(default_factory=SCSIParams)
+    mesh: MeshParams = field(default_factory=MeshParams)
+    node: NodeParams = field(default_factory=NodeParams)
+
+    @property
+    def io_node_stream_rate_bps(self) -> float:
+        """Back-of-envelope streaming rate of one I/O node.
+
+        The bottleneck is min(total media rate of the data spindles, SCSI
+        bus bandwidth); on the default calibration it is the SCSI bus.
+        """
+        media = self.raid.data_disks * self.disk.media_rate_bps
+        return min(media, self.scsi.bandwidth_bps)
+
+
+DEFAULT_HARDWARE = HardwareParams()

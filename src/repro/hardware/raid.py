@@ -1,0 +1,252 @@
+"""RAID-3 array model.
+
+RAID-3 byte-interleaves data across N spindle-synchronised data disks
+with one dedicated parity disk.  Because the spindles are synchronised
+and dedicated to the array, they position and stream in lockstep: the
+array behaves like a single mechanism with N times the media rate of one
+spindle.  Reads engage the data disks; writes engage data + parity
+(which streams concurrently, adding no time).
+
+The array streams onto a :class:`~repro.hardware.scsi.SCSIBus`; media
+read and bus transfer are pipelined, so a transfer is governed by the
+*slower* of total media rate and bus bandwidth (the bus, on the default
+calibration).
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from typing import Optional
+
+from repro.hardware.params import DiskParams, RAIDParams
+from repro.hardware.scsi import SCSIBus
+from repro.sim import Environment
+from repro.sim.monitor import Monitor
+
+
+class RAIDError(Exception):
+    """Raised for invalid array requests."""
+
+
+class RAID3Array:
+    """A RAID-3 array of spindle-synchronised disks behind one SCSI bus.
+
+    Two pieces of drive/controller realism matter for parallel
+    workloads:
+
+    - **Elevator scheduling** (default on): queued requests are served
+      nearest-LBA-first, so interleaved arrivals from many compute nodes
+      at consecutive offsets still stream near-sequentially.
+    - **Track cache**: a request falling entirely inside the most
+      recently transferred region is served from the drive buffer with
+      no positioning cost (several clients reading the *same* region --
+      e.g. M_ASYNC with all private pointers at the same offset -- only
+      pay the disk once).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bus: SCSIBus,
+        name: str = "raid",
+        disk_params: Optional[DiskParams] = None,
+        raid_params: Optional[RAIDParams] = None,
+        elevator: bool = True,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.env = env
+        self.bus = bus
+        self.name = name
+        self.disk_params = disk_params or DiskParams()
+        self.raid_params = raid_params or RAIDParams()
+        self.monitor = monitor
+        self.elevator = elevator
+        if self.raid_params.data_disks <= 0:
+            raise ValueError("a RAID-3 array needs at least one data disk")
+        #: Pending requests waiting for the (ganged) arm: list of
+        #: [lba, grant_event] entries; dispatch picks nearest-to-head.
+        self._pending: list = []
+        self._busy = False
+        self._sweep_up = True
+        self._head_lba = 0
+        #: Seeded LCG for rotational-latency jitter: real positioning is
+        #: uniform over a revolution, which keeps multiple synchronous
+        #: clients from phase-locking into artificial perfect schedules.
+        #: (zlib.crc32, not hash(): runs must be reproducible across
+        #: processes regardless of PYTHONHASHSEED.)
+        self._rng_state = (zlib.crc32(name.encode()) & 0xFFFFFFFF) | 1
+        self._last_end_lba: Optional[int] = None
+        #: The most recently transferred region (drive track cache).
+        self._cached_start = 0
+        self._cached_end = 0
+        #: Fault injection: number of upcoming accesses that will fail.
+        self._fail_next = 0
+        #: Accumulated time the arm was held (utilisation).
+        self.busy_s = 0.0
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def data_disks(self) -> int:
+        return self.raid_params.data_disks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Logical capacity (data disks only; parity is not addressable)."""
+        return self.disk_params.capacity_bytes * self.data_disks
+
+    @property
+    def media_rate_bps(self) -> float:
+        """Aggregate media rate of the synchronised data spindles."""
+        return self.disk_params.media_rate_bps * self.data_disks
+
+    # -- service-time model ---------------------------------------------------
+
+    def seek_time(self, from_lba: int, to_lba: int) -> float:
+        """Ganged seek: all spindles cover 1/N of the logical distance."""
+        p = self.disk_params
+        distance = abs(to_lba - from_lba) / self.data_disks
+        if distance == 0:
+            return 0.0
+        frac = min(1.0, distance / p.capacity_bytes)
+        return p.min_seek_s + (p.full_seek_s - p.min_seek_s) * math.sqrt(frac)
+
+    def cached(self, lba: int, nbytes: int) -> bool:
+        """True if the range is inside the most recent transfer (track cache)."""
+        return self._cached_start <= lba and lba + nbytes <= self._cached_end
+
+    def _rotational_latency(self) -> float:
+        """Jittered rotational latency: uniform over one revolution."""
+        self._rng_state = (self._rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+        frac = self._rng_state / 0x7FFFFFFF
+        return frac * self.disk_params.rotation_s
+
+    def positioning_time(self, lba: int, sequential: bool) -> float:
+        if sequential:
+            return 0.0
+        return self.seek_time(self._head_lba, lba) + self._rotational_latency()
+
+    def estimate_service_time(self, lba: int, nbytes: int) -> float:
+        """Uncontended estimate for planning/tests (non-sequential)."""
+        stream = nbytes / min(self.media_rate_bps, self.bus.params.bandwidth_bps)
+        return (
+            self.raid_params.controller_overhead_s
+            + self.positioning_time(lba, sequential=False)
+            + self.bus.params.arbitration_s
+            + stream
+        )
+
+    # -- operations ------------------------------------------------------------
+
+    def _validate(self, lba: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise RAIDError(f"negative transfer size {nbytes}")
+        if lba < 0 or lba + nbytes > self.capacity_bytes:
+            raise RAIDError(
+                f"request [{lba}, {lba + nbytes}) outside array capacity "
+                f"{self.capacity_bytes}"
+            )
+
+    def _grant_next(self) -> None:
+        """Dispatch the next pending request.
+
+        Elevator mode is a proper LOOK sweep: serve the nearest request
+        *in the current direction*, reversing only when none remain
+        ahead.  (Greedy nearest-first -- SSTF -- starves distant
+        requests under saturation.)
+        """
+        if self._busy or not self._pending:
+            return
+        if self.elevator:
+            head = self._head_lba
+            ahead = [i for i, (lba, _g) in enumerate(self._pending)
+                     if (lba >= head if self._sweep_up else lba <= head)]
+            if not ahead:
+                self._sweep_up = not self._sweep_up
+                ahead = list(range(len(self._pending)))
+            best = min(ahead, key=lambda i: abs(self._pending[i][0] - head))
+        else:
+            best = 0
+        _lba, grant = self._pending.pop(best)
+        self._busy = True
+        grant.succeed()
+
+    def _access(self, lba: int, nbytes: int, kind: str):
+        self._validate(lba, nbytes)
+        queued_at = self.env.now
+        sequential = False
+        cache_hit = False
+        grant = self.env.event()
+        self._pending.append((lba, grant))
+        self._grant_next()
+        started_at = None
+        try:
+            yield grant
+            started_at = self.env.now
+            yield self.env.timeout(self.raid_params.controller_overhead_s)
+            if self._fail_next > 0:
+                self._fail_next -= 1
+                if self.monitor is not None:
+                    self.monitor.counter(f"{self.name}.injected_errors").add(1)
+                raise RAIDError(
+                    f"injected media error on {self.name} at lba {lba}"
+                )
+            cache_hit = kind == "read" and self.cached(lba, nbytes)
+            if cache_hit:
+                # Served from the drive buffer: bus transfer only.
+                yield from self.bus.transfer(nbytes)
+            else:
+                sequential = self._last_end_lba == lba
+                positioning = self.positioning_time(lba, sequential)
+                if positioning > 0:
+                    yield self.env.timeout(positioning)
+                # Stream through the bus while the spindles feed it.
+                yield from self.bus.transfer(
+                    nbytes, stream_rate_bps=self.media_rate_bps
+                )
+                self._head_lba = lba + nbytes
+                self._last_end_lba = lba + nbytes
+                if kind == "read":
+                    window = self.disk_params.track_cache_bytes * self.data_disks
+                    self._cached_start = max(lba, lba + nbytes - window)
+                    self._cached_end = lba + nbytes
+        finally:
+            if started_at is not None:
+                self.busy_s += self.env.now - started_at
+            self._busy = False
+            self._grant_next()
+        if self.monitor is not None:
+            self.monitor.counter(f"{self.name}.{kind}s").add(1)
+            self.monitor.counter(f"{self.name}.bytes_{kind}").add(nbytes)
+            if sequential:
+                self.monitor.counter(f"{self.name}.sequential_hits").add(1)
+            if cache_hit:
+                self.monitor.counter(f"{self.name}.track_cache_hits").add(1)
+            self.monitor.series(f"{self.name}.latency").record(self.env.now - queued_at)
+        return nbytes
+
+    def read(self, lba: int, nbytes: int):
+        """Generator: read *nbytes* at logical *lba*; all data spindles engage."""
+        return (yield from self._access(lba, nbytes, "read"))
+
+    def write(self, lba: int, nbytes: int):
+        """Generator: write *nbytes*; parity spindle streams concurrently."""
+        return (yield from self._access(lba, nbytes, "write"))
+
+    def inject_failures(self, count: int = 1) -> None:
+        """Fault injection: make the next *count* accesses fail with
+        :class:`RAIDError` (failure-path testing)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._fail_next += count
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RAID3Array {self.name} {self.data_disks}+1 disks, "
+            f"{self.capacity_bytes / 2**20:.0f}MB>"
+        )

@@ -1,0 +1,71 @@
+"""SCSI bus model.
+
+The bus connecting an I/O node to its RAID array.  On the calibrated
+machine this is the streaming bottleneck (~3.5 MB/s effective, SCSI-8),
+matching the paper's note that SCSI-16 hardware "effectively quadruples
+the bandwidth available on each I/O node".
+
+The bus is a unit-capacity resource; each transfer pays an arbitration
+overhead plus size / bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.params import SCSIParams
+from repro.sim import Environment, Resource
+from repro.sim.monitor import Monitor
+
+
+class SCSIBus:
+    """A shared SCSI bus."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "scsi",
+        params: Optional[SCSIParams] = None,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.params = params or SCSIParams()
+        self.monitor = monitor
+        self._bus = Resource(env, capacity=1)
+        #: Accumulated time the bus spent transferring (utilisation).
+        self.busy_s = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Uncontended time to move *nbytes* across the bus."""
+        return self.params.arbitration_s + nbytes / self.params.bandwidth_bps
+
+    def transfer(self, nbytes: int, stream_rate_bps: Optional[float] = None):
+        """Generator: hold the bus while *nbytes* stream across it.
+
+        If *stream_rate_bps* is given (the media rate of the device
+        feeding the bus), the transfer proceeds at the slower of the two
+        rates -- the device and the bus stream concurrently, so the time
+        is governed by the bottleneck, not the sum.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        rate = self.params.bandwidth_bps
+        if stream_rate_bps is not None:
+            rate = min(rate, stream_rate_bps)
+        with self._bus.request() as req:
+            yield req
+            duration = self.params.arbitration_s + nbytes / rate
+            yield self.env.timeout(duration)
+            self.busy_s += duration
+        if self.monitor is not None:
+            self.monitor.counter(f"{self.name}.transfers").add(1)
+            self.monitor.counter(f"{self.name}.bytes").add(nbytes)
+        return nbytes
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._bus.queue)
+
+    def __repr__(self) -> str:
+        return f"<SCSIBus {self.name} bw={self.params.bandwidth_bps / 2**20:.1f}MB/s>"

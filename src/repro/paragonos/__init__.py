@@ -1,0 +1,40 @@
+"""Paragon OS layer.
+
+Models the operating-system services the PFS prototype is built on
+(paper sections 2 and 3):
+
+- :mod:`repro.paragonos.messages` -- typed request/reply messages.
+- :mod:`repro.paragonos.rpc` -- RPC endpoints between compute and I/O
+  nodes over the mesh.
+- :mod:`repro.paragonos.art` -- Asynchronous Request Threads: the FIFO
+  active list and setup/posting phases that asynchronous PFS reads (and
+  therefore prefetch requests) go through.
+- :mod:`repro.paragonos.buffercache` -- the I/O-node file-system buffer
+  cache that Fast Path I/O bypasses.
+"""
+
+from repro.paragonos.art import AsyncRequest, AsyncRequestManager
+from repro.paragonos.buffercache import BufferCache
+from repro.paragonos.syncdaemon import SyncDaemon
+from repro.paragonos.messages import (
+    ReadReply,
+    ReadRequest,
+    RPCMessage,
+    WriteReply,
+    WriteRequest,
+)
+from repro.paragonos.rpc import RPCEndpoint, RPCError
+
+__all__ = [
+    "AsyncRequest",
+    "AsyncRequestManager",
+    "BufferCache",
+    "RPCEndpoint",
+    "RPCError",
+    "RPCMessage",
+    "ReadReply",
+    "ReadRequest",
+    "SyncDaemon",
+    "WriteReply",
+    "WriteRequest",
+]

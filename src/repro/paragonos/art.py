@@ -1,0 +1,159 @@
+"""Asynchronous Request Threads (ARTs).
+
+Paper section 3:
+
+    "During the setup phase, the incoming request for read is allocated
+    an internal structure for tracking the state of request during the
+    asynchronous processing.  A pointer to this structure then resides
+    in the list of pointers maintained for active asynchronous requests
+    issued by the user.  Associated with each request structure is an
+    asynchronous request thread (ART). [...] Once the ART is
+    initialized, it begins processing asynchronous requests that are
+    queued in a FIFO manner on the active list."
+
+We model a pool of ART workers per compute node draining a FIFO active
+list.  Submitting a request charges the setup/posting overhead on the
+node's CPU; the ART then runs the request's *operation* (a generator --
+in practice the Fast Path read) and triggers the request's completion
+event.  Prefetch requests ride this exact machinery, as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Generator, List, Optional
+
+from repro.hardware.node import Node
+from repro.sim import Environment, Store
+from repro.sim.monitor import Monitor
+
+_request_ids = itertools.count(1)
+
+
+class AsyncRequest:
+    """Tracking structure for one asynchronous I/O request."""
+
+    __slots__ = (
+        "request_id",
+        "operation",
+        "tag",
+        "event",
+        "issued_at",
+        "started_at",
+        "completed_at",
+        "result",
+        "cancelled",
+    )
+
+    def __init__(self, env: Environment, operation: Callable[[], Generator], tag: str) -> None:
+        self.request_id = next(_request_ids)
+        self.operation = operation
+        self.tag = tag
+        #: Fires with the operation's return value when the ART finishes.
+        self.event = env.event()
+        self.issued_at = env.now
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.result = None
+        self.cancelled = False
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def in_flight(self) -> bool:
+        return self.started_at is not None and self.completed_at is None
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else ("in-flight" if self.in_flight else "queued")
+        return f"<AsyncRequest {self.request_id} {self.tag} {state}>"
+
+
+class AsyncRequestManager:
+    """Per-node pool of ARTs draining a FIFO active list."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        max_threads: int = 4,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        if max_threads <= 0:
+            raise ValueError("need at least one ART")
+        self.env = env
+        self.node = node
+        self.max_threads = max_threads
+        self.monitor = monitor
+        #: The active list: FIFO queue of pending AsyncRequests.
+        self._active_list: Store = Store(env)
+        self._outstanding: List[AsyncRequest] = []
+        self._workers = [
+            env.process(self._art_loop(i), name=f"art-{node.node_id}-{i}")
+            for i in range(max_threads)
+        ]
+
+    @property
+    def outstanding(self) -> List[AsyncRequest]:
+        """Requests submitted but not yet completed."""
+        return [r for r in self._outstanding if not r.done]
+
+    def submit(self, operation: Callable[[], Generator], tag: str = "async"):
+        """Generator: set up an async request and enqueue it.
+
+        Charges the setup/posting overhead on the node CPU (the paper's
+        "request setup and posting phase"), then returns the
+        :class:`AsyncRequest`; the caller waits on ``request.event`` for
+        completion (or never does -- prefetches are fire-and-forget).
+        """
+        request = AsyncRequest(self.env, operation, tag)
+        yield from self.node.busy(self.node.params.async_setup_overhead_s)
+        self._outstanding.append(request)
+        yield self._active_list.put(request)
+        if self.monitor is not None:
+            self.monitor.counter(f"art.submitted.{tag}").add(1)
+        return request
+
+    def cancel_pending(self, predicate: Callable[[AsyncRequest], bool]) -> int:
+        """Mark queued (not yet started) requests matching *predicate* as
+        cancelled.  The ART discards them without running the operation.
+        Returns the number cancelled."""
+        n = 0
+        for request in self._active_list.items:
+            if not request.cancelled and predicate(request):
+                request.cancelled = True
+                n += 1
+        return n
+
+    def _art_loop(self, worker_index: int):
+        while True:
+            request = yield self._active_list.get()
+            if request.cancelled:
+                request.completed_at = self.env.now
+                request.event.succeed(None)
+                self._outstanding.remove(request)
+                continue
+            request.started_at = self.env.now
+            try:
+                result = yield from request.operation()
+            except Exception as exc:
+                request.completed_at = self.env.now
+                self._outstanding.remove(request)
+                request.event.fail(exc)
+                continue
+            request.result = result
+            request.completed_at = self.env.now
+            self._outstanding.remove(request)
+            request.event.succeed(result)
+            if self.monitor is not None:
+                self.monitor.counter(f"art.completed.{request.tag}").add(1)
+                self.monitor.series("art.service_time").record(
+                    request.completed_at - request.issued_at
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"<AsyncRequestManager node={self.node.node_id} "
+            f"threads={self.max_threads} outstanding={len(self.outstanding)}>"
+        )

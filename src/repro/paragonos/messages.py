@@ -1,0 +1,104 @@
+"""Typed messages exchanged between compute-node clients and I/O-node
+servers.
+
+Message *sizes* matter: the request header crosses the mesh, and the
+reply carries the data bytes back, so large reads spend (negligible but
+modelled) time on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Size of a request/areply header on the wire.
+HEADER_BYTES = 128
+
+_msg_ids = itertools.count(1)
+
+
+def next_message_id() -> int:
+    return next(_msg_ids)
+
+
+@dataclass
+class RPCMessage:
+    """Base class for all RPC payloads."""
+
+    msg_id: int = field(default_factory=next_message_id, init=False)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this message occupies on the mesh."""
+        return HEADER_BYTES
+
+
+@dataclass
+class ReadRequest(RPCMessage):
+    """Ask an I/O node to read a byte range of one of its UFS stripe files."""
+
+    file_id: int
+    ufs_offset: int
+    nbytes: int
+    #: True if buffering is disabled and the server should use Fast Path.
+    fastpath: bool = True
+    #: Tag for statistics: "demand" or "prefetch".
+    cause: str = "demand"
+
+
+@dataclass
+class ReadReply(RPCMessage):
+    """Data coming back from an I/O node."""
+
+    file_id: int
+    ufs_offset: int
+    data: bytes
+    #: True if the block was served from the I/O-node buffer cache.
+    cache_hit: bool = False
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + len(self.data)
+
+
+@dataclass
+class WriteRequest(RPCMessage):
+    """Write a byte range to one of an I/O node's UFS stripe files."""
+
+    file_id: int
+    ufs_offset: int
+    data: bytes
+    fastpath: bool = True
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + len(self.data)
+
+
+@dataclass
+class WriteReply(RPCMessage):
+    """Acknowledgement of a completed write."""
+
+    file_id: int
+    ufs_offset: int
+    nbytes: int
+
+
+@dataclass
+class ControlRequest(RPCMessage):
+    """Metadata operation (create/truncate/stat) on an I/O node."""
+
+    op: str
+    file_id: int
+    arg: Any = None
+
+
+@dataclass
+class ControlReply(RPCMessage):
+    """Reply to a metadata operation."""
+
+    op: str
+    file_id: int
+    result: Any = None
+    error: Optional[str] = None

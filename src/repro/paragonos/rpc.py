@@ -1,0 +1,128 @@
+"""RPC endpoints between nodes over the mesh.
+
+Every node owns an :class:`RPCEndpoint`.  A client calls
+``yield from endpoint.call(server_endpoint, request)``; the request
+message crosses the mesh, the server's dispatcher runs the registered
+handler (a generator, so it can perform disk I/O), and the reply crosses
+the mesh back.  Handlers run one process per request -- the Paragon OS
+server is multithreaded, so requests from different clients are serviced
+concurrently, contending only on real resources (CPU, disks, bus).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, Type
+
+from repro.hardware.mesh import Mesh, MeshMessage
+from repro.hardware.node import Node
+from repro.paragonos.messages import RPCMessage
+from repro.sim import Environment, Store
+from repro.sim.monitor import Monitor
+
+
+class RPCError(Exception):
+    """Raised when a handler fails or no handler is registered."""
+
+
+class _Envelope:
+    """Internal wrapper pairing a request with its reply event."""
+
+    __slots__ = ("request", "reply_event", "source")
+
+    def __init__(self, request: RPCMessage, reply_event, source: "RPCEndpoint") -> None:
+        self.request = request
+        self.reply_event = reply_event
+        self.source = source
+
+
+class RPCEndpoint:
+    """Message endpoint bound to one node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        mesh: Mesh,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.mesh = mesh
+        self.monitor = monitor
+        self._inbox: Store = Store(env)
+        self._handlers: Dict[Type[RPCMessage], Callable[..., Generator]] = {}
+        self._dispatcher = env.process(
+            self._dispatch_loop(), name=f"rpc-dispatch-{node.node_id}"
+        )
+
+    def register(
+        self, request_type: Type[RPCMessage], handler: Callable[..., Generator]
+    ) -> None:
+        """Register *handler* (a generator function) for *request_type*.
+
+        The handler is called as ``handler(request)`` and must return the
+        reply message.
+        """
+        self._handlers[request_type] = handler
+
+    # -- client side -----------------------------------------------------------
+
+    def call(self, target: "RPCEndpoint", request: RPCMessage):
+        """Generator: send *request* to *target*, wait for and return the reply."""
+        reply_event = self.env.event()
+        envelope = _Envelope(request, reply_event, self)
+        yield from self.mesh.send(
+            MeshMessage(
+                src=self.node.position,
+                dst=target.node.position,
+                size_bytes=request.wire_bytes,
+                payload=envelope,
+            )
+        )
+        yield target._inbox.put(envelope)
+        reply = yield reply_event
+        if self.monitor is not None:
+            self.monitor.counter("rpc.calls").add(1)
+        return reply
+
+    # -- server side -------------------------------------------------------------
+
+    def _dispatch_loop(self):
+        while True:
+            envelope = yield self._inbox.get()
+            self.env.process(
+                self._serve(envelope),
+                name=f"rpc-serve-{self.node.node_id}-{envelope.request.msg_id}",
+            )
+
+    def _serve(self, envelope: _Envelope):
+        request = envelope.request
+        handler = self._handlers.get(type(request))
+        if handler is None:
+            envelope.reply_event.fail(
+                RPCError(
+                    f"node {self.node.node_id} has no handler for "
+                    f"{type(request).__name__}"
+                )
+            )
+            return
+        try:
+            reply = yield from handler(request)
+        except Exception as exc:  # propagate handler failure to the caller
+            envelope.reply_event.fail(RPCError(str(exc)))
+            return
+        # Ship the reply back across the mesh before waking the caller.
+        yield from self.mesh.send(
+            MeshMessage(
+                src=self.node.position,
+                dst=envelope.source.node.position,
+                size_bytes=reply.wire_bytes if reply is not None else 0,
+                payload=reply,
+            )
+        )
+        envelope.reply_event.succeed(reply)
+        if self.monitor is not None:
+            self.monitor.counter("rpc.served").add(1)
+
+    def __repr__(self) -> str:
+        return f"<RPCEndpoint node={self.node.node_id}>"

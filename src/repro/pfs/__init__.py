@@ -1,0 +1,38 @@
+"""The Paragon Parallel File System (PFS) model.
+
+A PFS file is striped across a group of UFSes on distinct I/O nodes;
+multiple application processes on compute nodes access it concurrently
+under one of six I/O modes (paper Figure 1).  Reads and writes are
+declustered into per-I/O-node pieces (paper Figure 3) and served either
+through the I/O-node buffer cache or via Fast Path directly from disk
+to the user's buffer.
+
+- :mod:`repro.pfs.modes` -- the I/O modes and their semantics.
+- :mod:`repro.pfs.stripe` -- stripe attributes and declustering math.
+- :mod:`repro.pfs.file` -- PFS file metadata and shared pointer state.
+- :mod:`repro.pfs.coordinator` -- file-pointer token / barrier service.
+- :mod:`repro.pfs.server` -- the PFS server on each I/O node.
+- :mod:`repro.pfs.client` -- the PFS client library on compute nodes.
+- :mod:`repro.pfs.mount` -- mount table with per-mount stripe attributes.
+"""
+
+from repro.pfs.client import PFSClient, PFSFileHandle
+from repro.pfs.coordinator import CoordinatorService
+from repro.pfs.file import PFSFile
+from repro.pfs.modes import IOMode
+from repro.pfs.mount import PFSMount
+from repro.pfs.server import PFSServer
+from repro.pfs.stripe import StripeAttributes, StripePiece, decluster
+
+__all__ = [
+    "CoordinatorService",
+    "IOMode",
+    "PFSClient",
+    "PFSFile",
+    "PFSFileHandle",
+    "PFSMount",
+    "PFSServer",
+    "StripeAttributes",
+    "StripePiece",
+    "decluster",
+]

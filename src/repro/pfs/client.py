@@ -1,0 +1,744 @@
+"""The PFS client library on compute nodes.
+
+Implements ``open`` / ``read`` / ``write`` / ``lseek`` / ``close`` /
+``setiomode`` plus asynchronous reads (``iread``) over the RPC layer.
+A read is declustered into per-I/O-node pieces (paper Figure 3) which
+are fetched concurrently; mode-specific coordination (token, barrier,
+leader election) happens first and is part of the measured read-call
+time.
+
+The prefetch prototype hooks in here: if a handle carries a prefetcher,
+demand reads are served through it (hit / partial hit / miss) and every
+read triggers the issue of the next prefetch, exactly as in paper
+section 3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.hardware.mesh import Mesh, MeshMessage
+from repro.hardware.node import Node
+from repro.paragonos.art import AsyncRequestManager
+from repro.paragonos.messages import (
+    ControlRequest,
+    ReadReply,
+    ReadRequest,
+    WriteRequest,
+)
+from repro.paragonos.rpc import RPCEndpoint
+from repro.pfs.coordinator import (
+    GlobalArrive,
+    SyncArrive,
+    TokenAcquire,
+    TokenRelease,
+)
+from repro.pfs.file import PFSFile
+from repro.pfs.modes import IOMode
+from repro.pfs.mount import PFSMount
+from repro.pfs.stripe import coalesce_pieces, decluster
+from repro.sim import Environment
+from repro.sim.monitor import Monitor
+from repro.ufs.data import Data, LiteralData, concat_data
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.prefetcher import Prefetcher
+
+
+class PFSClientError(Exception):
+    """Client-level usage errors (closed handle, bad mode, ...)."""
+
+
+class HandleStats:
+    """Per-handle accounting used by the paper's bandwidth metric.
+
+    The collective read bandwidth divides total bytes by the time a
+    compute node spends *in read calls* (computation between calls is
+    excluded), so we record each call's duration.
+    """
+
+    __slots__ = ("bytes_read", "bytes_written", "read_call_time", "read_calls",
+                 "write_call_time", "write_calls", "call_durations")
+
+    def __init__(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_call_time = 0.0
+        self.read_calls = 0
+        self.write_call_time = 0.0
+        self.write_calls = 0
+        self.call_durations: List[float] = []
+
+    def record_read(self, nbytes: int, duration: float) -> None:
+        self.bytes_read += nbytes
+        self.read_call_time += duration
+        self.read_calls += 1
+        self.call_durations.append(duration)
+
+    def record_write(self, nbytes: int, duration: float) -> None:
+        self.bytes_written += nbytes
+        self.write_call_time += duration
+        self.write_calls += 1
+
+
+class PFSFileHandle:
+    """One process's open instance of a PFS file."""
+
+    def __init__(
+        self,
+        client: "PFSClient",
+        pfs_file: PFSFile,
+        rank: int,
+        nprocs: int,
+        prefetcher: Optional["Prefetcher"] = None,
+    ) -> None:
+        self.client = client
+        self.file = pfs_file
+        self.rank = rank
+        self.nprocs = nprocs
+        self.prefetcher = prefetcher
+        #: Private pointer (M_ASYNC; scratch for other modes).
+        self.private_offset = 0
+        #: Per-handle collective call counter (M_SYNC / M_GLOBAL).
+        self.call_index = 0
+        #: M_RECORD: PFS offset where the current record round begins.
+        self.record_base = 0
+        self.closed = False
+        self.stats = HandleStats()
+
+    # -- conveniences ------------------------------------------------------
+
+    @property
+    def env(self) -> Environment:
+        return self.client.env
+
+    @property
+    def node(self) -> Node:
+        return self.client.node
+
+    @property
+    def iomode(self) -> IOMode:
+        return self.file.iomode
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise PFSClientError(f"operation on closed handle of {self.file.name!r}")
+
+    # -- offset prediction (used by the prefetcher) ---------------------------
+
+    def next_read_offset(self, nbytes: int) -> Optional[int]:
+        """Where this handle's next read of *nbytes* will fall, if knowable.
+
+        Deterministic for M_RECORD (record arithmetic) and M_ASYNC
+        (private pointer); None for modes whose offsets depend on other
+        nodes' arrival order.
+        """
+        mode = self.iomode
+        if mode is IOMode.M_RECORD:
+            return self.record_base + self.rank * nbytes
+        if mode is IOMode.M_ASYNC:
+            return self.private_offset
+        return None
+
+    # -- read ---------------------------------------------------------------------
+
+    def read(self, nbytes: int):
+        """Generator: read *nbytes* under the file's I/O mode; returns Data.
+
+        Short reads happen at end of file; a read entirely past EOF
+        returns empty data.
+        """
+        self._check_open()
+        if nbytes < 0:
+            raise PFSClientError("negative read size")
+        start = self.env.now
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+
+        mode = self.iomode
+        if mode is IOMode.M_UNIX:
+            data = yield from self._read_m_unix(nbytes)
+        elif mode is IOMode.M_LOG:
+            data = yield from self._read_m_log(nbytes)
+        elif mode is IOMode.M_SYNC:
+            data = yield from self._read_m_sync(nbytes)
+        elif mode is IOMode.M_RECORD:
+            data = yield from self._read_m_record(nbytes)
+        elif mode is IOMode.M_GLOBAL:
+            data = yield from self._read_m_global(nbytes)
+        elif mode is IOMode.M_ASYNC:
+            data = yield from self._read_m_async(nbytes)
+        else:  # pragma: no cover - exhaustive over IOMode
+            raise PFSClientError(f"unsupported mode {mode}")
+
+        duration = self.env.now - start
+        self.stats.record_read(len(data), duration)
+        self.client._record_read(len(data), duration)
+        return data
+
+    def _clamp(self, offset: int, nbytes: int) -> int:
+        return max(0, min(nbytes, self.file.size_bytes - offset))
+
+    def _read_m_unix(self, nbytes: int):
+        # Atomic: hold the pointer token for the entire operation.
+        grant = yield from self.client._coordinate(
+            TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+        )
+        offset = grant.offset
+        n = self._clamp(offset, nbytes)
+        data = yield from self._demand_read(offset, n)
+        # Atomicity: completion bookkeeping happens inside the hold.
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        yield from self.client._coordinate(
+            TokenRelease(
+                file_id=self.file.file_id, rank=self.rank, new_offset=offset + n
+            )
+        )
+        return data
+
+    def _read_m_log(self, nbytes: int):
+        # Arrival-order data placement: the pointer token is held until
+        # the transfer lands (the Paragon implementation serialised
+        # M_LOG operations almost as heavily as M_UNIX; only the final
+        # client-side completion overlaps with the next grant).
+        grant = yield from self.client._coordinate(
+            TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+        )
+        offset = grant.offset
+        n = self._clamp(offset, nbytes)
+        data = yield from self._demand_read(offset, n)
+        yield from self.client._coordinate(
+            TokenRelease(
+                file_id=self.file.file_id, rank=self.rank, new_offset=offset + n
+            )
+        )
+        return data
+
+    def _read_m_sync(self, nbytes: int):
+        go = yield from self.client._coordinate(
+            SyncArrive(
+                file_id=self.file.file_id,
+                call_index=self.call_index,
+                rank=self.rank,
+                nbytes=nbytes,
+            )
+        )
+        self.call_index += 1
+        n = self._clamp(go.offset, nbytes)
+        return (yield from self._demand_read(go.offset, n))
+
+    def _read_m_record(self, nbytes: int):
+        offset = self.record_base + self.rank * nbytes
+        self.record_base += self.nprocs * nbytes
+        self.call_index += 1
+        n = self._clamp(offset, nbytes)
+        return (yield from self._demand_read(offset, n))
+
+    def _read_m_global(self, nbytes: int):
+        call_index = self.call_index
+        self.call_index += 1
+        go = yield from self.client._coordinate(
+            GlobalArrive(
+                file_id=self.file.file_id,
+                call_index=call_index,
+                rank=self.rank,
+                nbytes=nbytes,
+            )
+        )
+        n = self._clamp(go.offset, nbytes)
+        state = self._global_state(call_index)
+        if go.leader:
+            data = yield from self._demand_read(go.offset, n)
+            state["data"] = data
+            state["leader_node"] = self.node
+            state["event"].succeed()
+        else:
+            if not state["event"].triggered:
+                yield state["event"]
+            # The leader ships the block to this node across the mesh.
+            leader_node = state["leader_node"]
+            yield from self.client.mesh.send(
+                MeshMessage(
+                    src=leader_node.position,
+                    dst=self.node.position,
+                    size_bytes=n,
+                )
+            )
+            data = state["data"]
+        state["served"] += 1
+        if state["served"] == self.nprocs:
+            self.file.__dict__.setdefault("_client_global", {}).pop(call_index, None)
+        return data
+
+    def _read_m_async(self, nbytes: int):
+        offset = self.private_offset
+        n = self._clamp(offset, nbytes)
+        # Advance before serving so the prefetcher's "next read" question
+        # (next_read_offset) sees the post-read position.
+        self.private_offset = offset + n
+        return (yield from self._demand_read(offset, n))
+
+    def _global_state(self, call_index: int) -> dict:
+        registry = self.file.__dict__.setdefault("_client_global", {})
+        state = registry.get(call_index)
+        if state is None:
+            state = registry[call_index] = {
+                "event": self.env.event(),
+                "data": None,
+                "leader_node": None,
+                "served": 0,
+            }
+        return state
+
+    def _demand_read(self, offset: int, nbytes: int):
+        """Serve a demand read, through the prefetcher when present."""
+        if nbytes == 0:
+            return LiteralData(b"")
+        if self.prefetcher is not None:
+            return (yield from self.prefetcher.serve_read(self, offset, nbytes))
+        return (yield from self.transfer_read(offset, nbytes))
+
+    def transfer_read(self, offset: int, nbytes: int, cause: str = "demand"):
+        """Generator: declustered fetch of [offset, offset+nbytes) from the
+        I/O nodes; no pointer coordination, no prefetching."""
+        return (
+            yield from self.client.transfer_read(self.file, offset, nbytes, cause)
+        )
+
+    # -- write -----------------------------------------------------------------------
+
+    def write(self, data: Data):
+        """Generator: write *data* under the file's I/O mode."""
+        self._check_open()
+        start = self.env.now
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        nbytes = len(data)
+        mode = self.iomode
+
+        if mode is IOMode.M_UNIX:
+            grant = yield from self.client._coordinate(
+                TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+            )
+            offset = grant.offset
+            yield from self.client.transfer_write(self.file, offset, data)
+            yield from self.client._coordinate(
+                TokenRelease(
+                    file_id=self.file.file_id,
+                    rank=self.rank,
+                    new_offset=offset + nbytes,
+                )
+            )
+        elif mode is IOMode.M_LOG:
+            grant = yield from self.client._coordinate(
+                TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+            )
+            offset = grant.offset
+            yield from self.client._coordinate(
+                TokenRelease(
+                    file_id=self.file.file_id,
+                    rank=self.rank,
+                    new_offset=offset + nbytes,
+                )
+            )
+            yield from self.client.transfer_write(self.file, offset, data)
+        elif mode is IOMode.M_SYNC:
+            go = yield from self.client._coordinate(
+                SyncArrive(
+                    file_id=self.file.file_id,
+                    call_index=self.call_index,
+                    rank=self.rank,
+                    nbytes=nbytes,
+                )
+            )
+            self.call_index += 1
+            yield from self.client.transfer_write(self.file, go.offset, data)
+        elif mode is IOMode.M_RECORD:
+            offset = self.record_base + self.rank * nbytes
+            self.record_base += self.nprocs * nbytes
+            self.call_index += 1
+            yield from self.client.transfer_write(self.file, offset, data)
+        elif mode is IOMode.M_GLOBAL:
+            call_index = self.call_index
+            self.call_index += 1
+            go = yield from self.client._coordinate(
+                GlobalArrive(
+                    file_id=self.file.file_id,
+                    call_index=call_index,
+                    rank=self.rank,
+                    nbytes=nbytes,
+                )
+            )
+            if go.leader:
+                yield from self.client.transfer_write(self.file, go.offset, data)
+        elif mode is IOMode.M_ASYNC:
+            offset = self.private_offset
+            yield from self.client.transfer_write(self.file, offset, data)
+            self.private_offset = offset + nbytes
+        else:  # pragma: no cover
+            raise PFSClientError(f"unsupported mode {mode}")
+
+        # Writes may grow the file.
+        duration = self.env.now - start
+        self.stats.record_write(nbytes, duration)
+        return nbytes
+
+    # -- async reads --------------------------------------------------------------------
+
+    def iread(self, nbytes: int):
+        """Generator: issue an asynchronous read via the ART machinery.
+
+        Returns the :class:`~repro.paragonos.art.AsyncRequest`; wait on
+        ``request.event`` for the data.
+        """
+        self._check_open()
+
+        def operation():
+            return (yield from self.read(nbytes))
+
+        request = yield from self.client.art.submit(operation, tag="iread")
+        return request
+
+    def iwrite(self, data: Data):
+        """Generator: issue an asynchronous write via the ART machinery.
+
+        Returns the :class:`~repro.paragonos.art.AsyncRequest`; wait on
+        ``request.event`` for the byte count.
+        """
+        self._check_open()
+
+        def operation():
+            return (yield from self.write(data))
+
+        request = yield from self.client.art.submit(operation, tag="iwrite")
+        return request
+
+    # -- pointer management ----------------------------------------------------------------
+
+    def lseek(self, offset: int, whence: str = "set"):
+        """Generator: reposition the pointer.
+
+        *whence* is "set" (absolute), "cur" (relative to the current
+        position) or "end" (relative to end of file).
+
+        - M_ASYNC: sets this handle's private pointer (no messages).
+        - M_UNIX / M_LOG: sets the shared pointer (token round trip).
+        - M_RECORD: sets the record base; all handles must do the same.
+        - M_SYNC / M_GLOBAL: unsupported mid-stream repositioning.
+        """
+        self._check_open()
+        mode = self.iomode
+        if whence == "cur":
+            if mode is IOMode.M_ASYNC:
+                offset += self.private_offset
+            elif mode is IOMode.M_RECORD:
+                offset += self.record_base
+            else:
+                offset += self.file.shared_offset
+        elif whence == "end":
+            offset += self.file.size_bytes
+        elif whence != "set":
+            raise PFSClientError(f"unknown whence {whence!r}")
+        if offset < 0:
+            raise PFSClientError("negative seek offset")
+        if mode is IOMode.M_ASYNC:
+            self.private_offset = offset
+        elif mode in (IOMode.M_UNIX, IOMode.M_LOG):
+            yield from self.client._coordinate(
+                TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+            )
+            yield from self.client._coordinate(
+                TokenRelease(
+                    file_id=self.file.file_id, rank=self.rank, new_offset=offset
+                )
+            )
+        elif mode is IOMode.M_RECORD:
+            self.record_base = offset
+        else:
+            raise PFSClientError(f"lseek is not supported in {mode.name}")
+        return offset
+
+    def setiomode(self, mode: IOMode):
+        """Generator: change the file's I/O mode (collective operation).
+
+        "The I/O mode can be set when a file is opened, and the
+        application can also set/modify the I/O mode during the course
+        of reading or writing the file."
+        """
+        self._check_open()
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        self.file.iomode = mode
+        self.call_index = 0
+        self.record_base = self.file.shared_offset
+        return mode
+
+    def close(self):
+        """Generator: close the handle; frees all prefetch buffers."""
+        if self.closed:
+            return None
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        if self.prefetcher is not None:
+            self.prefetcher.on_close(self)
+        self.closed = True
+        self.file.open_handles -= 1
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<PFSFileHandle {self.file.name!r} rank={self.rank}/{self.nprocs} "
+            f"mode={self.iomode.name}{' closed' if self.closed else ''}>"
+        )
+
+
+class PFSClient:
+    """PFS client library instance on one compute node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        endpoint: RPCEndpoint,
+        mesh: Mesh,
+        io_endpoints: Dict[int, RPCEndpoint],
+        coordinator_endpoint: RPCEndpoint,
+        art: Optional[AsyncRequestManager] = None,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.endpoint = endpoint
+        self.mesh = mesh
+        self.io_endpoints = io_endpoints
+        self.coordinator_endpoint = coordinator_endpoint
+        self.art = art or AsyncRequestManager(env, node)
+        self.monitor = monitor
+
+    # -- namespace ------------------------------------------------------------
+
+    def open(
+        self,
+        mount: PFSMount,
+        name: str,
+        iomode: IOMode,
+        rank: int = 0,
+        nprocs: int = 1,
+        prefetcher: Optional["Prefetcher"] = None,
+    ):
+        """Generator: open *name* on *mount*, returning a handle.
+
+        Every participating process opens with its *rank* out of
+        *nprocs*; the synchronised modes rely on these being consistent.
+        """
+        if not 0 <= rank < nprocs:
+            raise PFSClientError(f"rank {rank} outside 0..{nprocs - 1}")
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        pfs_file = mount.lookup(name)
+        pfs_file.iomode = iomode
+        pfs_file.nprocs = nprocs
+        pfs_file.open_handles += 1
+        handle = PFSFileHandle(self, pfs_file, rank, nprocs, prefetcher=prefetcher)
+        if prefetcher is not None:
+            prefetcher.on_open(handle)
+        return handle
+
+    # -- transfers --------------------------------------------------------------
+
+    def transfer_read(self, pfs_file: PFSFile, offset: int, nbytes: int, cause: str):
+        """Generator: declustered read returning assembled Data.
+
+        Pieces contiguous in one I/O node's stripe file are coalesced
+        into a single request; the per-node fetches run concurrently.
+        """
+        if nbytes == 0:
+            return LiteralData(b"")
+        requests = coalesce_pieces(decluster(pfs_file.attrs, offset, nbytes))
+        fastpath = pfs_file.mount.fastpath
+
+        def fetch(creq):
+            def gen():
+                reply = yield from self.endpoint.call(
+                    self._io_endpoint(creq.io_node),
+                    ReadRequest(
+                        file_id=pfs_file.file_id,
+                        ufs_offset=creq.ufs_offset,
+                        nbytes=creq.length,
+                        fastpath=fastpath,
+                        cause=cause,
+                    ),
+                )
+                # Land the reply into the destination buffer through the
+                # message co-processor.  This per-call data path (a few
+                # MB/s) is what bounds single-request latency on the
+                # real machine (paper Table 2's 0.4s for 1024KB).
+                yield from self.node.receive(creq.length)
+                return reply
+
+            return gen
+
+        if len(requests) == 1:
+            replies = [(yield from fetch(requests[0])())]
+        else:
+            procs = [
+                self.env.process(fetch(creq)(), name=f"read-piece-{i}")
+                for i, creq in enumerate(requests)
+            ]
+            condition = yield self.env.all_of(procs)
+            replies = [condition[p] for p in procs]
+
+        # Reassemble in PFS offset order from the per-node replies.
+        located: List[tuple] = []
+        for creq, reply in zip(requests, replies):
+            assert isinstance(reply, ReadReply)
+            for piece in creq.pieces:
+                chunk = reply.data.slice(
+                    piece.ufs_offset - creq.ufs_offset, piece.length
+                )
+                located.append((piece.pfs_offset, chunk))
+        located.sort(key=lambda item: item[0])
+        data = concat_data([chunk for _pos, chunk in located])
+        if self.monitor is not None:
+            self.monitor.counter(f"pfs_client.{cause}_reads").add(1)
+            self.monitor.counter(f"pfs_client.{cause}_bytes").add(len(data))
+        return data
+
+    def transfer_write(self, pfs_file: PFSFile, offset: int, data: Data):
+        """Generator: declustered write of *data* at *offset*."""
+        nbytes = len(data)
+        if nbytes == 0:
+            return 0
+        requests = coalesce_pieces(decluster(pfs_file.attrs, offset, nbytes))
+        fastpath = pfs_file.mount.fastpath
+
+        def put(creq):
+            def gen():
+                # Gather the UFS-contiguous run from the PFS-ordered data.
+                chunk = concat_data(
+                    [
+                        data.slice(piece.pfs_offset - offset, piece.length)
+                        for piece in creq.pieces
+                    ]
+                )
+                yield from self.endpoint.call(
+                    self._io_endpoint(creq.io_node),
+                    WriteRequest(
+                        file_id=pfs_file.file_id,
+                        ufs_offset=creq.ufs_offset,
+                        data=chunk,
+                        fastpath=fastpath,
+                    ),
+                )
+
+            return gen
+
+        if len(requests) == 1:
+            yield from put(requests[0])()
+        else:
+            procs = [
+                self.env.process(put(creq)(), name=f"write-piece-{i}")
+                for i, creq in enumerate(requests)
+            ]
+            yield self.env.all_of(procs)
+        if offset + nbytes > pfs_file.size_bytes:
+            pfs_file.size_bytes = offset + nbytes
+        return nbytes
+
+    # -- metadata operations -----------------------------------------------------
+
+    def stat(self, mount: PFSMount, name: str):
+        """Generator: return the file's size, verified against the
+        stripe files on the I/O nodes."""
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        pfs_file = mount.lookup(name)
+        total = 0
+        for io_node in pfs_file.attrs.stripe_group:
+            reply = yield from self._control(
+                io_node, ControlRequest(op="stat", file_id=pfs_file.file_id)
+            )
+            if reply.error:
+                raise PFSClientError(f"stat failed on node {io_node}: {reply.error}")
+            total += reply.result
+        # Sparse files may hold fewer stripe bytes than the logical size,
+        # but never more.
+        if total > pfs_file.size_bytes:
+            raise PFSClientError(
+                f"stripe files hold {total} bytes but metadata says "
+                f"{pfs_file.size_bytes}"
+            )
+        return pfs_file.size_bytes
+
+    def unlink(self, mount: PFSMount, name: str):
+        """Generator: remove a PFS file and its stripe files."""
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        pfs_file = mount.lookup(name)
+        if pfs_file.open_handles > 0:
+            raise PFSClientError(f"{name!r} still has open handles")
+        for io_node in pfs_file.attrs.stripe_group:
+            reply = yield from self._control(
+                io_node, ControlRequest(op="unlink", file_id=pfs_file.file_id)
+            )
+            if reply.error:
+                raise PFSClientError(
+                    f"unlink failed on node {io_node}: {reply.error}"
+                )
+        mount.remove(name)
+        return None
+
+    def truncate(self, mount: PFSMount, name: str, new_size: int):
+        """Generator: set the file's logical size to *new_size*,
+        resizing every stripe file accordingly."""
+        if new_size < 0:
+            raise PFSClientError("negative truncate size")
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        pfs_file = mount.lookup(name)
+        from repro.pfs.stripe import ufs_file_size
+
+        for group_index, io_node in enumerate(pfs_file.attrs.stripe_group):
+            target = ufs_file_size(pfs_file.attrs, new_size, group_index)
+            reply = yield from self._control(
+                io_node,
+                ControlRequest(op="truncate", file_id=pfs_file.file_id, arg=target),
+            )
+            if reply.error:
+                raise PFSClientError(
+                    f"truncate failed on node {io_node}: {reply.error}"
+                )
+        pfs_file.size_bytes = new_size
+        if pfs_file.shared_offset > new_size:
+            pfs_file.shared_offset = new_size
+        return new_size
+
+    def flush(self, mount: PFSMount, name: str):
+        """Generator: flush dirty cached blocks of the file on every
+        I/O node in its stripe group."""
+        yield from self.node.busy(self.node.params.client_call_overhead_s)
+        pfs_file = mount.lookup(name)
+        for io_node in pfs_file.attrs.stripe_group:
+            reply = yield from self._control(
+                io_node, ControlRequest(op="flush", file_id=pfs_file.file_id)
+            )
+            if reply.error:
+                raise PFSClientError(f"flush failed on node {io_node}: {reply.error}")
+        return None
+
+    # -- internals ----------------------------------------------------------------
+
+    def _io_endpoint(self, io_node: int) -> RPCEndpoint:
+        try:
+            return self.io_endpoints[io_node]
+        except KeyError:
+            raise PFSClientError(f"no PFS server on I/O node {io_node}") from None
+
+    def _coordinate(self, request):
+        """Generator: RPC to the coordination service."""
+        return (yield from self.endpoint.call(self.coordinator_endpoint, request))
+
+    def _control(self, io_node: int, request: ControlRequest):
+        """Generator: metadata RPC to one I/O node."""
+        return (yield from self.endpoint.call(self._io_endpoint(io_node), request))
+
+    def _record_read(self, nbytes: int, duration: float) -> None:
+        if self.monitor is not None:
+            self.monitor.series(f"pfs_client.{self.node.node_id}.read_call").record(
+                duration
+            )
+
+    def __repr__(self) -> str:
+        return f"<PFSClient node={self.node.node_id}>"

@@ -1,0 +1,214 @@
+"""File-pointer token and synchronisation service.
+
+The Paragon OS keeps shared-file-pointer state on a server; clients
+round-trip to it whenever their I/O mode needs coordination:
+
+- M_UNIX: the token is held for the *whole* operation (atomicity), so
+  concurrent readers fully serialise.
+- M_LOG: the token is held only to atomically advance the pointer; the
+  data transfers themselves proceed concurrently.
+- M_SYNC: every node must arrive; offsets are assigned in node-rank
+  order and everyone is released together (a barrier).
+- M_GLOBAL: the first arrival becomes the leader and advances the
+  pointer once; followers learn the common offset.
+
+All of these cost a request/reply across the mesh, which is exactly why
+M_RECORD (no messages) is the fast, prefetchable mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.paragonos.messages import RPCMessage
+from repro.paragonos.rpc import RPCEndpoint
+from repro.pfs.file import PFSFile
+from repro.sim import Environment, Event
+
+#: CPU time the coordinator spends per coordination request.
+COORDINATION_OVERHEAD_S = 0.001
+#: Extra cost when the pointer token moves to a *different* node: the
+#: holder's cached pointer state must be recalled and forwarded
+#: (cache-coherence-style migration, the dominant cost of the shared-
+#: pointer modes on the real machine).
+TOKEN_MIGRATION_S = 0.003
+
+
+@dataclass
+class TokenAcquire(RPCMessage):
+    file_id: int
+    rank: int
+
+
+@dataclass
+class TokenGrant(RPCMessage):
+    file_id: int
+    offset: int
+
+
+@dataclass
+class TokenRelease(RPCMessage):
+    file_id: int
+    rank: int
+    new_offset: int
+
+
+@dataclass
+class TokenReleased(RPCMessage):
+    file_id: int
+
+
+@dataclass
+class SyncArrive(RPCMessage):
+    file_id: int
+    call_index: int
+    rank: int
+    nbytes: int
+
+
+@dataclass
+class SyncGo(RPCMessage):
+    file_id: int
+    call_index: int
+    offset: int
+
+
+@dataclass
+class GlobalArrive(RPCMessage):
+    file_id: int
+    call_index: int
+    rank: int
+    nbytes: int
+
+
+@dataclass
+class GlobalGo(RPCMessage):
+    file_id: int
+    call_index: int
+    offset: int
+    leader: bool
+
+
+@dataclass
+class _TokenState:
+    holder: Optional[int] = None
+    last_holder: Optional[int] = None
+    #: Queue of (rank, event) waiting for the token.
+    waiters: List[tuple] = field(default_factory=list)
+
+
+class CoordinatorService:
+    """Pointer-token / barrier service bound to one node's RPC endpoint."""
+
+    def __init__(self, env: Environment, endpoint: RPCEndpoint) -> None:
+        self.env = env
+        self.endpoint = endpoint
+        self._files: Dict[int, PFSFile] = {}
+        self._tokens: Dict[int, _TokenState] = {}
+        endpoint.register(TokenAcquire, self._handle_acquire)
+        endpoint.register(TokenRelease, self._handle_release)
+        endpoint.register(SyncArrive, self._handle_sync)
+        endpoint.register(GlobalArrive, self._handle_global)
+
+    def register_file(self, pfs_file: PFSFile) -> None:
+        self._files[pfs_file.file_id] = pfs_file
+        self._tokens.setdefault(pfs_file.file_id, _TokenState())
+
+    def unregister_file(self, pfs_file: PFSFile) -> None:
+        self._files.pop(pfs_file.file_id, None)
+        self._tokens.pop(pfs_file.file_id, None)
+
+    def _file(self, file_id: int) -> PFSFile:
+        try:
+            return self._files[file_id]
+        except KeyError:
+            raise KeyError(f"file {file_id} not registered with coordinator") from None
+
+    # -- token (M_UNIX / M_LOG) -------------------------------------------------
+
+    def _handle_acquire(self, request: TokenAcquire):
+        yield from self.endpoint.node.busy(COORDINATION_OVERHEAD_S)
+        pfs_file = self._file(request.file_id)
+        token = self._tokens[request.file_id]
+        if token.holder is None:
+            token.holder = request.rank
+        else:
+            waiter = self.env.event()
+            token.waiters.append((request.rank, waiter))
+            yield waiter
+            # The releasing handler transferred ownership to us directly.
+            assert token.holder == request.rank
+        if token.last_holder is not None and token.last_holder != request.rank:
+            # The pointer state migrates from the previous holder's node.
+            yield self.env.timeout(TOKEN_MIGRATION_S)
+        token.last_holder = request.rank
+        return TokenGrant(file_id=request.file_id, offset=pfs_file.shared_offset)
+
+    def _handle_release(self, request: TokenRelease):
+        yield from self.endpoint.node.busy(COORDINATION_OVERHEAD_S)
+        pfs_file = self._file(request.file_id)
+        token = self._tokens[request.file_id]
+        if token.holder != request.rank:
+            raise RuntimeError(
+                f"rank {request.rank} releasing token held by {token.holder}"
+            )
+        pfs_file.shared_offset = request.new_offset
+        if token.waiters:
+            next_rank, waiter = token.waiters.pop(0)
+            token.holder = next_rank
+            waiter.succeed()
+        else:
+            token.holder = None
+        return TokenReleased(file_id=request.file_id)
+
+    # -- barrier (M_SYNC) ----------------------------------------------------------
+
+    def _handle_sync(self, request: SyncArrive):
+        yield from self.endpoint.node.busy(COORDINATION_OVERHEAD_S)
+        pfs_file = self._file(request.file_id)
+        call = pfs_file.collective(request.call_index)
+        if request.rank in call.sizes:
+            raise RuntimeError(
+                f"rank {request.rank} arrived twice at M_SYNC call "
+                f"{request.call_index}"
+            )
+        call.sizes[request.rank] = request.nbytes
+        call.arrived += 1
+        if call.complete is None:
+            call.complete = self.env.event()
+        if call.arrived == pfs_file.nprocs:
+            # Everyone is here: assign node-rank-ordered offsets.
+            call.base_offset = pfs_file.shared_offset
+            total = sum(call.sizes.values())
+            pfs_file.shared_offset += total
+            call.complete.succeed()
+            pfs_file.retire_collective(request.call_index)
+        else:
+            yield call.complete
+        offset = call.base_offset + sum(
+            size for rank, size in call.sizes.items() if rank < request.rank
+        )
+        return SyncGo(
+            file_id=request.file_id, call_index=request.call_index, offset=offset
+        )
+
+    # -- global (M_GLOBAL) --------------------------------------------------------------
+
+    def _handle_global(self, request: GlobalArrive):
+        yield from self.endpoint.node.busy(COORDINATION_OVERHEAD_S)
+        pfs_file = self._file(request.file_id)
+        call = pfs_file.collective(request.call_index)
+        leader = call.arrived == 0
+        call.arrived += 1
+        if leader:
+            call.base_offset = pfs_file.shared_offset
+            pfs_file.shared_offset += request.nbytes
+        if call.arrived == pfs_file.nprocs:
+            pfs_file.retire_collective(request.call_index)
+        return GlobalGo(
+            file_id=request.file_id,
+            call_index=request.call_index,
+            offset=call.base_offset,
+            leader=leader,
+        )

@@ -1,0 +1,85 @@
+"""PFS file metadata and shared state.
+
+A :class:`PFSFile` is the system-wide view of one striped file: its
+stripe attributes, logical size, the shared file pointer, and the
+transient collective-operation state used by the synchronised modes.
+
+Per-open, per-node state (individual pointers, read-call counters,
+prefetch buffer lists) lives in :class:`repro.pfs.client.PFSFileHandle`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.pfs.modes import IOMode
+from repro.pfs.stripe import StripeAttributes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pfs.mount import PFSMount
+
+_file_ids = itertools.count(1)
+
+
+@dataclass
+class CollectiveCall:
+    """Transient state of one in-progress collective operation."""
+
+    call_index: int
+    base_offset: int = 0
+    #: rank -> request size, for M_SYNC offset assignment.
+    sizes: Dict[int, int] = field(default_factory=dict)
+    arrived: int = 0
+    #: For M_GLOBAL: the leader's data, shared with followers.
+    result: Optional[object] = None
+    #: Event fired when the collective is fully resolved.
+    complete: Optional[object] = None
+
+
+class PFSFile:
+    """System-wide metadata for one PFS file."""
+
+    def __init__(
+        self,
+        name: str,
+        mount: "PFSMount",
+        attrs: StripeAttributes,
+        size_bytes: int = 0,
+    ) -> None:
+        self.file_id = next(_file_ids)
+        self.name = name
+        self.mount = mount
+        self.attrs = attrs
+        self.size_bytes = size_bytes
+        #: The shared file pointer (modes with shared pointers).
+        self.shared_offset = 0
+        #: Current I/O mode; handles inherit it and may change it together.
+        self.iomode = IOMode.M_UNIX
+        #: Number of processes that opened the file (fixed at open time for
+        #: the synchronised modes).
+        self.nprocs = 1
+        #: Open handle count (for close-time cleanup checks).
+        self.open_handles = 0
+        #: M_SYNC / M_GLOBAL collective bookkeeping, keyed by call index.
+        self.collectives: Dict[int, CollectiveCall] = {}
+        #: Monotonic counter of *completed* collective rounds.
+        self.collective_rounds = 0
+
+    def collective(self, call_index: int) -> CollectiveCall:
+        call = self.collectives.get(call_index)
+        if call is None:
+            call = self.collectives[call_index] = CollectiveCall(call_index)
+        return call
+
+    def retire_collective(self, call_index: int) -> None:
+        self.collectives.pop(call_index, None)
+        self.collective_rounds = max(self.collective_rounds, call_index + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PFSFile {self.name!r} id={self.file_id} size={self.size_bytes} "
+            f"mode={self.iomode.name} su={self.attrs.stripe_unit} "
+            f"sf={self.attrs.stripe_factor}>"
+        )

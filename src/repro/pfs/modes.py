@@ -1,0 +1,73 @@
+"""PFS I/O modes (paper Figure 1 and the Paragon OSF/1 User's Guide).
+
+========== ====== ================= ============ =========================
+Mode       Number File pointer      Ordering     Notes
+========== ====== ================= ============ =========================
+M_UNIX     0      shared            arrival      atomic: pointer held for
+                                                 the whole operation
+M_LOG      1      shared            arrival      pointer update atomic,
+                                                 data transfer concurrent
+M_SYNC     2      shared            node order   synchronised: all nodes
+                                                 must call; sizes may vary
+M_RECORD   3      shared (implicit) node order   fixed-size records; no
+                                                 synchronisation needed
+M_GLOBAL   4      shared            n/a          all nodes read the same
+                                                 data; one logical I/O
+M_ASYNC    5      unique            none         no coordination, no
+                                                 atomicity guarantees
+========== ====== ================= ============ =========================
+
+The prefetching prototype (and the paper's measurements) use M_RECORD:
+"it is well suited for the SPMD programming model, in which applications
+performing an extensive amount of I/O usually distribute the data
+equally among the I/O nodes for load-balancing and concurrency."
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IOMode(enum.IntEnum):
+    """PFS file sharing modes."""
+
+    M_UNIX = 0
+    M_LOG = 1
+    M_SYNC = 2
+    M_RECORD = 3
+    M_GLOBAL = 4
+    M_ASYNC = 5
+
+    @property
+    def shared_pointer(self) -> bool:
+        """True if all nodes share one file pointer."""
+        return self in (IOMode.M_UNIX, IOMode.M_LOG, IOMode.M_SYNC, IOMode.M_GLOBAL)
+
+    @property
+    def needs_token(self) -> bool:
+        """True if a read must round-trip to the pointer-token service."""
+        return self in (IOMode.M_UNIX, IOMode.M_LOG)
+
+    @property
+    def node_ordered(self) -> bool:
+        """True if data lands in node-rank order."""
+        return self in (IOMode.M_SYNC, IOMode.M_RECORD)
+
+    @property
+    def synchronised(self) -> bool:
+        """True if every node must participate in every operation."""
+        return self in (IOMode.M_SYNC, IOMode.M_GLOBAL)
+
+    @property
+    def atomic(self) -> bool:
+        """True if the whole operation holds the shared pointer."""
+        return self is IOMode.M_UNIX
+
+    @property
+    def deterministic_offsets(self) -> bool:
+        """True if a node can compute its own offsets with no messages.
+
+        This is the property that makes M_RECORD prefetchable: the client
+        knows exactly where its *next* read will fall.
+        """
+        return self in (IOMode.M_RECORD, IOMode.M_ASYNC)

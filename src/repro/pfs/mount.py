@@ -1,0 +1,87 @@
+"""PFS mount table.
+
+"Any number of PFS file systems may be mounted in the system, each with
+different default data striping attributes and buffering strategies."
+
+A :class:`PFSMount` carries the default stripe attributes, the buffering
+strategy (buffering disabled means Fast Path I/O), and the name -> file
+registry.  Individual files may override the stripe attributes at
+create time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.pfs.file import PFSFile
+from repro.pfs.stripe import StripeAttributes
+
+
+class PFSMountError(Exception):
+    """Mount-level errors (duplicate file, unknown file, ...)."""
+
+
+class PFSMount:
+    """One mounted PFS file system."""
+
+    def __init__(
+        self,
+        name: str,
+        default_attrs: StripeAttributes,
+        buffered: bool = False,
+    ) -> None:
+        self.name = name
+        self.default_attrs = default_attrs
+        #: False => Fast Path I/O (the high-performance default the paper
+        #: measures); True => route transfers through the I/O-node cache.
+        self.buffered = buffered
+        self._files: Dict[str, PFSFile] = {}
+
+    @property
+    def fastpath(self) -> bool:
+        return not self.buffered
+
+    def create_file(
+        self,
+        name: str,
+        size_bytes: int = 0,
+        attrs: Optional[StripeAttributes] = None,
+    ) -> PFSFile:
+        """Register a new PFS file (stripe files are created by the machine)."""
+        if name in self._files:
+            raise PFSMountError(f"file {name!r} already exists on mount {self.name!r}")
+        pfs_file = PFSFile(
+            name=name,
+            mount=self,
+            attrs=attrs or self.default_attrs,
+            size_bytes=size_bytes,
+        )
+        self._files[name] = pfs_file
+        return pfs_file
+
+    def lookup(self, name: str) -> PFSFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise PFSMountError(f"no file {name!r} on mount {self.name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def remove(self, name: str) -> PFSFile:
+        try:
+            return self._files.pop(name)
+        except KeyError:
+            raise PFSMountError(f"no file {name!r} on mount {self.name!r}") from None
+
+    @property
+    def files(self) -> Dict[str, PFSFile]:
+        return dict(self._files)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PFSMount {self.name!r} su={self.default_attrs.stripe_unit} "
+            f"sf={self.default_attrs.stripe_factor} "
+            f"{'buffered' if self.buffered else 'fastpath'} "
+            f"files={len(self._files)}>"
+        )

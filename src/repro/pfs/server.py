@@ -1,0 +1,333 @@
+"""The PFS server running on each I/O node.
+
+Serves read/write requests against the node's UFS, through one of two
+paths:
+
+- **Fast Path** (mount buffering disabled, the PFS default for large
+  transfers): data moves directly between the disks and the reply
+  message -- no buffer-cache copy.  Contiguous file-system blocks are
+  coalesced into single disk requests.
+- **Buffered**: blocks go through the I/O-node buffer cache; hits skip
+  the disk entirely, but every byte pays a cache-to-message memcpy on
+  the I/O node CPU.
+
+Requests that are not aligned to file-system block boundaries move the
+covering whole blocks from disk and pay a partial-block copy ("there is
+a higher overhead involved in creating temporary buffers for the size
+of the partial blocks and copying only the necessary data").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.node import Node
+from repro.paragonos.buffercache import BufferCache
+from repro.paragonos.messages import (
+    ControlReply,
+    ControlRequest,
+    ReadReply,
+    ReadRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.paragonos.rpc import RPCEndpoint
+from repro.sim import Environment
+from repro.sim.monitor import Monitor
+from repro.ufs import UFS, concat_data
+
+
+class PFSServer:
+    """PFS request handlers bound to one I/O node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        endpoint: RPCEndpoint,
+        ufs: UFS,
+        cache: Optional[BufferCache] = None,
+        readahead_blocks: int = 0,
+        write_back: bool = False,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        """*readahead_blocks* > 0 enables server-side readahead: after a
+        buffered read, the server asynchronously pulls the next blocks of
+        the stripe file into its cache (classic UFS readahead -- the
+        I/O-node-side alternative to the paper's client-side prefetching;
+        compared in the ablation benches).  Requires a cache.
+
+        *write_back* switches buffered writes from write-through to
+        write-back: the write returns once the data is in the cache; the
+        disk write happens at flush time (sync daemon, explicit flush, or
+        clean-block eviction pressure)."""
+        if readahead_blocks < 0:
+            raise ValueError("readahead_blocks must be non-negative")
+        if write_back and cache is None:
+            raise ValueError("write-back caching requires a cache")
+        self.env = env
+        self.node = node
+        self.endpoint = endpoint
+        self.ufs = ufs
+        self.cache = cache
+        self.readahead_blocks = readahead_blocks
+        self.write_back = write_back
+        self.monitor = monitor
+        if cache is not None:
+            cache.writeback = self._writeback
+        endpoint.register(ReadRequest, self._handle_read)
+        endpoint.register(WriteRequest, self._handle_write)
+        endpoint.register(ControlRequest, self._handle_control)
+
+    def _writeback(self, key, data):
+        """Generator: persist one dirty cached block to the UFS."""
+        file_id, block = key
+        yield from self.ufs.write_block(file_id, block, data)
+        self._count_extra("writebacks")
+
+    def _block_content(self, file_id: int, offset: int, nbytes: int):
+        """Assemble content preferring cached (possibly dirty) blocks."""
+        from repro.ufs.data import concat_data
+
+        if self.cache is None:
+            return self.ufs.content(file_id, offset, nbytes)
+        bs = self.ufs.block_size
+        pieces = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            block = pos // bs
+            in_block = pos - block * bs
+            take = min(bs - in_block, end - pos)
+            cached = self.cache.peek((file_id, block))
+            if cached is not None:
+                pieces.append(cached.slice(in_block, take))
+            else:
+                pieces.append(self.ufs.content(file_id, pos, take))
+            pos += take
+        return concat_data(pieces)
+
+    # -- read -------------------------------------------------------------
+
+    def _handle_read(self, request: ReadRequest):
+        yield from self.node.busy(self.node.params.server_request_overhead_s)
+        if request.fastpath or self.cache is None:
+            data, cache_hit = (yield from self._read_fastpath(request)), False
+        else:
+            data, cache_hit = yield from self._read_buffered(request)
+        self._count("reads", request.nbytes, request.cause)
+        return ReadReply(
+            file_id=request.file_id,
+            ufs_offset=request.ufs_offset,
+            data=data,
+            cache_hit=cache_hit,
+        )
+
+    def _read_fastpath(self, request: ReadRequest):
+        """Direct disk -> reply transfer with block coalescing."""
+        data = yield from self.ufs.read(
+            request.file_id, request.ufs_offset, request.nbytes, coalesce=True
+        )
+        if self._unaligned(request.ufs_offset, request.nbytes):
+            # Whole blocks came off the disk; copy out just the range.
+            yield from self.node.memcpy(request.nbytes)
+            self._count_extra("partial_block_reads")
+        return data
+
+    def _read_buffered(self, request: ReadRequest):
+        """Per-block reads through the buffer cache."""
+        assert self.cache is not None
+        bs = self.ufs.block_size
+        file_id = request.file_id
+        first = request.ufs_offset // bs
+        last = (request.ufs_offset + max(request.nbytes, 1) - 1) // bs
+        all_hits = True
+        for block in range(first, last + 1):
+            key = (file_id, block)
+            if key not in self.cache:
+                all_hits = False
+
+            def fetch(block=block):
+                return (yield from self.ufs.read_block(file_id, block))
+
+            yield from self.cache.read_block(key, fetch)
+        if self.readahead_blocks > 0:
+            self._start_readahead(file_id, last + 1)
+        # Cache -> reply buffer copy for every byte delivered.
+        yield from self.node.memcpy(request.nbytes)
+        data = self._block_content(file_id, request.ufs_offset, request.nbytes)
+        return data, all_hits
+
+    def _start_readahead(self, file_id: int, first_block: int) -> None:
+        """Asynchronously pull the next blocks of the file into the cache."""
+        assert self.cache is not None
+        inode = self.ufs.inode(file_id)
+        blocks = []
+        for block in range(first_block, first_block + self.readahead_blocks):
+            if block >= inode.nblocks:
+                break
+            if (file_id, block) in self.cache:
+                continue
+            blocks.append(block)
+        if not blocks:
+            return
+
+        def readahead():
+            for block in blocks:
+
+                def fetch(block=block):
+                    return (yield from self.ufs.read_block(file_id, block))
+
+                yield from self.cache.read_block((file_id, block), fetch)
+                self._count_extra("readahead_blocks")
+
+        self.env.process(
+            readahead(), name=f"readahead-{self.node.node_id}-{file_id}"
+        )
+
+    # -- write ------------------------------------------------------------------
+
+    def _handle_write(self, request: WriteRequest):
+        yield from self.node.busy(self.node.params.server_request_overhead_s)
+        nbytes = len(request.data)
+        if request.fastpath or self.cache is None:
+            yield from self.ufs.write(request.file_id, request.ufs_offset, request.data)
+            if self._unaligned(request.ufs_offset, nbytes):
+                yield from self.node.memcpy(nbytes)
+                self._count_extra("partial_block_writes")
+        elif self.write_back:
+            yield from self._write_back_cached(request, nbytes)
+        else:
+            # Write-through: install in cache and persist to the UFS.
+            yield from self.node.memcpy(nbytes)
+            yield from self.ufs.write(request.file_id, request.ufs_offset, request.data)
+            bs = self.ufs.block_size
+            first = request.ufs_offset // bs
+            last = (request.ufs_offset + max(nbytes, 1) - 1) // bs
+            for block in range(first, last + 1):
+                key = (request.file_id, block)
+                if key in self.cache:
+                    start = block * bs
+                    inode = self.ufs.inode(request.file_id)
+                    length = min(bs, inode.size_bytes - start)
+                    self.cache.write_block(
+                        key, self.ufs.content(request.file_id, start, length)
+                    )
+                    # Content now persisted; the cached copy is clean.
+                    self.cache._blocks[key].dirty = False
+        self._count("writes", nbytes, "demand")
+        return WriteReply(
+            file_id=request.file_id, ufs_offset=request.ufs_offset, nbytes=nbytes
+        )
+
+    def _write_back_cached(self, request: WriteRequest, nbytes: int):
+        """Write-back: land the data in the cache only; no disk time.
+
+        The write call pays the copy into the cache; partially covered
+        blocks are merged against the freshest content (cache first).
+        The dirty blocks reach the disk via flush, the sync daemon, or
+        eviction pressure.
+        """
+        from repro.ufs.data import concat_data
+
+        assert self.cache is not None
+        yield from self.node.memcpy(nbytes)
+        # Grow the stripe file's metadata now (block allocation is
+        # bookkeeping); the data itself stays dirty in the cache.
+        end = request.ufs_offset + nbytes
+        inode = self.ufs.inode(request.file_id)
+        if end > inode.size_bytes:
+            self.ufs.extend(request.file_id, end)
+            inode = self.ufs.inode(request.file_id)
+        bs = self.ufs.block_size
+        pos = request.ufs_offset
+        while pos < end:
+            block = pos // bs
+            in_block = pos - block * bs
+            take = min(bs - in_block, end - pos)
+            block_start = block * bs
+            block_len = min(bs, inode.size_bytes - block_start)
+            old = self._block_content(request.file_id, block_start, block_len)
+            chunk = request.data.slice(pos - request.ufs_offset, take)
+            merged = concat_data(
+                [
+                    old.slice(0, in_block),
+                    chunk,
+                    old.slice(
+                        in_block + take, block_len - in_block - take
+                    ),
+                ]
+            )
+            self.cache.write_block((request.file_id, block), merged)
+            pos += take
+        self._count_extra("write_back_writes")
+        return None
+
+    # -- control -------------------------------------------------------------------
+
+    def _handle_control(self, request: ControlRequest):
+        yield from self.node.busy(self.node.params.server_request_overhead_s)
+        op = request.op
+        try:
+            if op == "create":
+                size = int(request.arg or 0)
+                self.ufs.create(request.file_id, size_bytes=size)
+                result = size
+            elif op == "extend":
+                inode = self.ufs.extend(request.file_id, int(request.arg))
+                result = inode.size_bytes
+            elif op == "truncate":
+                if self.cache is not None:
+                    # Drop cached blocks past the new end.
+                    bs = self.ufs.block_size
+                    keep = -(-int(request.arg) // bs)
+                    for key in [
+                        k
+                        for k in list(self.cache._blocks)
+                        if k[0] == request.file_id and k[1] >= keep
+                    ]:
+                        self.cache.invalidate(key)
+                inode = self.ufs.truncate(request.file_id, int(request.arg))
+                result = inode.size_bytes
+            elif op == "stat":
+                result = self.ufs.inode(request.file_id).size_bytes
+            elif op == "unlink":
+                if self.cache is not None:
+                    self.cache.invalidate_file(request.file_id)
+                self.ufs.unlink(request.file_id)
+                result = None
+            elif op == "flush":
+                if self.cache is not None:
+                    yield from self.cache.flush()
+                result = None
+            else:
+                return ControlReply(
+                    op=op, file_id=request.file_id, error=f"unknown op {op!r}"
+                )
+        except Exception as exc:
+            return ControlReply(op=op, file_id=request.file_id, error=str(exc))
+        return ControlReply(op=op, file_id=request.file_id, result=result)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _unaligned(self, offset: int, nbytes: int) -> bool:
+        bs = self.ufs.block_size
+        return offset % bs != 0 or nbytes % bs != 0
+
+    def _count(self, kind: str, nbytes: int, cause: str) -> None:
+        if self.monitor is not None:
+            name = f"pfs_server.{self.node.node_id}"
+            self.monitor.counter(f"{name}.{kind}").add(1)
+            self.monitor.counter(f"{name}.bytes_{kind}").add(nbytes)
+            self.monitor.counter(f"{name}.{kind}.{cause}").add(1)
+
+    def _count_extra(self, what: str) -> None:
+        if self.monitor is not None:
+            self.monitor.counter(f"pfs_server.{self.node.node_id}.{what}").add(1)
+
+    def __repr__(self) -> str:
+        return f"<PFSServer node={self.node.node_id} cache={'on' if self.cache else 'off'}>"
+
+
+# Re-export for client convenience.
+__all__ = ["PFSServer", "concat_data"]

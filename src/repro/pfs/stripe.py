@@ -1,0 +1,196 @@
+"""Stripe attributes and declustering (paper Figure 3).
+
+A PFS file is split into *stripe units* of ``stripe_unit`` bytes dealt
+round-robin across the ``stripe_group`` of I/O nodes: unit *u* lives on
+group member ``u % g`` at position ``(u // g) * stripe_unit`` within
+that member's UFS stripe file.
+
+"If the request size sz is larger than the stripe unit size su, then
+the first of the sz/su requests go to the first I/O node and the second
+of the sz/su requests to the second I/O node and so on."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StripeAttributes:
+    """How a PFS file is laid out across I/O nodes.
+
+    Parameters
+    ----------
+    stripe_unit:
+        Unit of data interleaving in bytes (default 64KB, the paper's
+        file-system block size).
+    stripe_group:
+        Indices of the I/O nodes the file is interleaved across.  The
+        paper's "stripe factor" is ``len(stripe_group)``.
+    rotation:
+        Which group member holds the file's *first* stripe unit.  The
+        PFS rotates this per file so a population of files (e.g. one
+        per compute node) spreads its load instead of all starting on
+        the same I/O node.
+    """
+
+    stripe_unit: int = 64 * 1024
+    stripe_group: Tuple[int, ...] = field(default_factory=tuple)
+    rotation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stripe_unit <= 0:
+            raise ValueError("stripe unit must be positive")
+        if not self.stripe_group:
+            raise ValueError("stripe group must name at least one I/O node")
+        if len(set(self.stripe_group)) != len(self.stripe_group):
+            raise ValueError("stripe group members must be distinct")
+        if not 0 <= self.rotation < len(self.stripe_group):
+            raise ValueError("rotation must be within the stripe group")
+
+    @property
+    def stripe_factor(self) -> int:
+        return len(self.stripe_group)
+
+
+@dataclass(frozen=True)
+class StripePiece:
+    """One contiguous piece of a declustered request.
+
+    Attributes
+    ----------
+    group_index:
+        Position within the stripe group (0 .. stripe_factor - 1).
+    io_node:
+        The I/O node id (``stripe_group[group_index]``).
+    pfs_offset:
+        Offset of this piece within the PFS file.
+    ufs_offset:
+        Offset of this piece within that I/O node's UFS stripe file.
+    length:
+        Piece length in bytes.
+    """
+
+    group_index: int
+    io_node: int
+    pfs_offset: int
+    ufs_offset: int
+    length: int
+
+
+def decluster(
+    attrs: StripeAttributes, offset: int, nbytes: int
+) -> List[StripePiece]:
+    """Split a PFS byte range into per-I/O-node pieces.
+
+    Adjacent stripe units that land on the *same* I/O node contiguously
+    in its UFS file are merged into one piece (this happens whenever the
+    request spans more than ``stripe_factor`` units).
+    """
+    if offset < 0 or nbytes < 0:
+        raise ValueError("offset and size must be non-negative")
+    su = attrs.stripe_unit
+    g = attrs.stripe_factor
+    pieces: List[StripePiece] = []
+    pos = offset
+    end = offset + nbytes
+    while pos < end:
+        unit = pos // su
+        within = pos - unit * su
+        take = min(su - within, end - pos)
+        group_index = (unit + attrs.rotation) % g
+        ufs_offset = (unit // g) * su + within
+        prev = pieces[-1] if pieces else None
+        if (
+            prev is not None
+            and prev.group_index == group_index
+            and prev.ufs_offset + prev.length == ufs_offset
+        ):
+            pieces[-1] = StripePiece(
+                group_index=prev.group_index,
+                io_node=prev.io_node,
+                pfs_offset=prev.pfs_offset,
+                ufs_offset=prev.ufs_offset,
+                length=prev.length + take,
+            )
+        else:
+            pieces.append(
+                StripePiece(
+                    group_index=group_index,
+                    io_node=attrs.stripe_group[group_index],
+                    pfs_offset=pos,
+                    ufs_offset=ufs_offset,
+                    length=take,
+                )
+            )
+        pos += take
+    return pieces
+
+
+def pieces_per_node(pieces: Sequence[StripePiece]) -> dict:
+    """Group pieces by I/O node id (ordering preserved)."""
+    out: dict = {}
+    for piece in pieces:
+        out.setdefault(piece.io_node, []).append(piece)
+    return out
+
+
+@dataclass(frozen=True)
+class CoalescedRequest:
+    """One per-I/O-node request covering several stripe-unit pieces.
+
+    The PFS client gathers the pieces of a declustered request that are
+    *contiguous in an I/O node's UFS stripe file* into a single wire
+    request ("file system block coalescing is done on large read and
+    write operations").  ``pieces`` lists the constituent pieces in
+    ascending UFS order; piece *p*'s data lives at
+    ``p.ufs_offset - self.ufs_offset`` within the request's data.
+    """
+
+    io_node: int
+    ufs_offset: int
+    length: int
+    pieces: Tuple[StripePiece, ...]
+
+
+def coalesce_pieces(pieces: Sequence[StripePiece]) -> List[CoalescedRequest]:
+    """Merge per-node UFS-contiguous pieces into single requests."""
+    out: List[CoalescedRequest] = []
+    for io_node, node_pieces in pieces_per_node(pieces).items():
+        ordered = sorted(node_pieces, key=lambda p: p.ufs_offset)
+        run: List[StripePiece] = [ordered[0]]
+        for piece in ordered[1:]:
+            if run[-1].ufs_offset + run[-1].length == piece.ufs_offset:
+                run.append(piece)
+            else:
+                out.append(_make_request(io_node, run))
+                run = [piece]
+        out.append(_make_request(io_node, run))
+    return out
+
+
+def _make_request(io_node: int, run: List[StripePiece]) -> CoalescedRequest:
+    start = run[0].ufs_offset
+    length = run[-1].ufs_offset + run[-1].length - start
+    return CoalescedRequest(
+        io_node=io_node, ufs_offset=start, length=length, pieces=tuple(run)
+    )
+
+
+def ufs_file_size(attrs: StripeAttributes, pfs_size: int, group_index: int) -> int:
+    """Bytes of a PFS file of *pfs_size* stored on group member *group_index*."""
+    if pfs_size < 0:
+        raise ValueError("file size must be non-negative")
+    su = attrs.stripe_unit
+    g = attrs.stripe_factor
+    full_units, tail = divmod(pfs_size, su)
+    whole_rounds, extra_units = divmod(full_units, g)
+    size = whole_rounds * su
+    # Undo the rotation: position of this member in unit-dealing order.
+    logical_index = (group_index - attrs.rotation) % g
+    if logical_index < extra_units:
+        size += su
+    elif logical_index == extra_units:
+        size += tail
+    return size

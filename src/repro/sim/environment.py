@@ -1,0 +1,170 @@
+"""The simulation environment: clock and event loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+
+from repro.sim.events import (
+    PENDING,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to stop the event loop when the ``until`` event fires."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event._ok:
+            raise cls(event._value)
+        raise event._value
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    The environment owns the simulated clock (:attr:`now`, in seconds) and
+    the pending-event queue.  Time only advances inside :meth:`run`.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between events)."""
+        return self._active_process
+
+    @property
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new :class:`Process` running *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of *events* has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority_urgent: bool = False,
+    ) -> None:
+        """Put *event* on the queue to be processed after *delay*."""
+        priority = PRIORITY_URGENT if priority_urgent else PRIORITY_NORMAL
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event, advancing the clock."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An un-waited-for event failed: crash the simulation so bugs
+            # do not pass silently.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` -- run until the event queue is empty.
+            number -- run until the clock reaches that time.
+            :class:`Event` -- run until that event is processed and return
+            its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed.
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+                stop_event.callbacks.append(StopSimulation.callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before the current time ({self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks = [StopSimulation.callback]
+                self.schedule(stop_event, delay=at - self._now, priority_urgent=True)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if stop_event is not None and stop_event._value is PENDING:
+                raise RuntimeError(
+                    f"no scheduled events left but {stop_event!r} was not triggered"
+                ) from None
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now:.6f} queued={len(self._queue)}>"

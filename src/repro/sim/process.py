@@ -1,0 +1,153 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield``-ed value must
+be an :class:`~repro.sim.events.Event`; the process sleeps until the event
+fires and is resumed with the event's value (or, on failure, the event's
+exception is thrown into the generator).
+
+A process is itself an event: it triggers when the generator finishes
+(value = the generator's return value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import PENDING, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class _InterruptEvent(Event):
+    """Internal urgent event used to deliver an interrupt."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks = [self._deliver]
+        self.env.schedule(self, priority_urgent=True)
+
+    def _deliver(self, event: Event) -> None:
+        process = self.process
+        if process._value is not PENDING:
+            return  # process already finished; drop the interrupt
+        # Unsubscribe the process from whatever it is waiting on and
+        # resume it with the failed interrupt event.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._resume(self)
+
+
+class Process(Event):
+    """An active component executing a generator function."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when
+        #: running or finished).
+        self._target: Optional[Event] = None
+        # Kick off the process via an initialisation event.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks = [self._resume]
+        env.schedule(init, priority_urgent=True)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt this process, throwing :class:`Interrupt` into it."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        _InterruptEvent(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with *event*'s value or exception."""
+        env = self.env
+        env._active_process = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed; throw into the generator.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, None)
+            except StopIteration as stop:
+                # Process finished normally.
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                # Process crashed; fail the process event.
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                # Invalid yield: feed the error back into the generator.
+                event = Event(env)
+                event._ok = False
+                event._value = TypeError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                event._defused = False
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and go to sleep.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: resume immediately with its value.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"

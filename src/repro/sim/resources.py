@@ -1,0 +1,329 @@
+"""Shared resources for simulation processes.
+
+- :class:`Resource` -- a semaphore with *capacity* slots and a FIFO wait
+  queue (e.g. a disk head, a SCSI bus, a file-pointer token).
+- :class:`PriorityResource` -- like :class:`Resource` but the wait queue is
+  ordered by a priority key.
+- :class:`Container` -- holds a continuous quantity (e.g. bytes of memory).
+- :class:`Store` / :class:`FilterStore` -- hold discrete items (e.g. message
+  queues between nodes).
+
+Requests are events; processes ``yield`` them and may use them as context
+managers for automatic release::
+
+    with resource.request() as req:
+        yield req
+        ... hold the resource ...
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.sim.events import PENDING, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Request(Event):
+    """A request to hold one slot of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled request from the wait queue."""
+        if self._value is PENDING:
+            self.resource._cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.resource.release(self)
+
+
+class PriorityRequest(Request):
+    """A resource request with an explicit priority (lower = earlier)."""
+
+    __slots__ = ("priority", "time", "_key")
+
+    def __init__(self, resource: "PriorityResource", priority: float = 0.0) -> None:
+        self.priority = priority
+        self.time = resource.env.now
+        self._key = (priority, resource._next_seq())
+        super().__init__(resource)
+
+
+class Resource:
+    """Semaphore with *capacity* slots and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Release a slot previously granted to *request*."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an unfulfilled or already-released request is a
+            # no-op (e.g. context-manager exit after cancellation).
+            if request._value is PENDING:
+                self._cancel(request)
+            return
+        self._grant_waiters()
+
+    # -- internals -------------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_waiters(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityResource(Resource):
+    """Resource whose wait queue is ordered by request priority."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def request(self, priority: float = 0.0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            assert isinstance(request, PriorityRequest)
+            heapq.heappush(self._heap, (request._key, request))
+
+    def _cancel(self, request: Request) -> None:
+        self._heap = [(k, r) for (k, r) in self._heap if r is not request]
+        heapq.heapify(self._heap)
+
+    def _grant_waiters(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _key, nxt = heapq.heappop(self._heap)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """Holds a continuous quantity between 0 and *capacity*."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if init < 0 or init > capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = init
+        self._put_queue: List[ContainerPut] = []
+        self._get_queue: List[ContainerGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                put = self._put_queue[0]
+                if self._level + put.amount <= self._capacity:
+                    self._put_queue.pop(0)
+                    self._level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._get_queue:
+                get = self._get_queue[0]
+                if self._level >= get.amount:
+                    self._get_queue.pop(0)
+                    self._level -= get.amount
+                    get.succeed()
+                    progressed = True
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class FilterStoreGet(StoreGet):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "FilterStore", filter: Callable[[Any], bool]) -> None:
+        self.filter = filter
+        super().__init__(store)
+
+
+class Store:
+    """FIFO store of discrete items with optional capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            idx = 0
+            while idx < len(self._put_queue):
+                put = self._put_queue[idx]
+                if self._do_put(put):
+                    self._put_queue.pop(idx)
+                    progressed = True
+                else:
+                    idx += 1
+            idx = 0
+            while idx < len(self._get_queue):
+                get = self._get_queue[idx]
+                if self._do_get(get):
+                    self._get_queue.pop(idx)
+                    progressed = True
+                else:
+                    idx += 1
+
+
+class FilterStore(Store):
+    """Store whose ``get`` takes a predicate selecting which item to take."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:  # type: ignore[override]
+        return FilterStoreGet(self, filter)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        assert isinstance(event, FilterStoreGet)
+        for i, item in enumerate(self.items):
+            if event.filter(item):
+                self.items.pop(i)
+                event.succeed(item)
+                return True
+        return False

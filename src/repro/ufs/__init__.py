@@ -1,0 +1,36 @@
+"""Unix File System (UFS) model.
+
+Each I/O node runs one UFS on its RAID array; a PFS file is striped
+across a group of these UFSes ("striping the files across a group of
+regular Unix File Systems (UFS) which are located on distinct storage
+devices").
+
+- :mod:`repro.ufs.data` -- lazy, content-addressed data values so
+  multi-megabyte simulated files never materialise real bytes unless a
+  test asks them to.
+- :mod:`repro.ufs.blockdev` -- block-granular device over a RAID array.
+- :mod:`repro.ufs.allocator` -- extent-based block allocator.
+- :mod:`repro.ufs.inode` -- inodes and block maps.
+- :mod:`repro.ufs.filesystem` -- the file system: create/read/write with
+  block coalescing for Fast Path I/O.
+"""
+
+from repro.ufs.allocator import AllocationError, Extent, ExtentAllocator
+from repro.ufs.blockdev import BlockDevice
+from repro.ufs.data import Data, LiteralData, SyntheticData, concat_data
+from repro.ufs.filesystem import UFS, UFSError
+from repro.ufs.inode import Inode
+
+__all__ = [
+    "AllocationError",
+    "BlockDevice",
+    "Data",
+    "Extent",
+    "ExtentAllocator",
+    "Inode",
+    "LiteralData",
+    "SyntheticData",
+    "UFS",
+    "UFSError",
+    "concat_data",
+]

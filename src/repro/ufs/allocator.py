@@ -1,0 +1,134 @@
+"""Extent-based block allocator for the UFS.
+
+Allocation strategy is first-fit over a sorted free list, preferring a
+single extent when one is large enough.  A freshly created file on an
+empty file system therefore gets (mostly) physically contiguous blocks,
+which is what makes Fast Path block coalescing and the drives'
+sequential-read detection effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+class AllocationError(Exception):
+    """Raised when the device has too few free blocks."""
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A run of physically contiguous blocks."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """One past the last block."""
+        return self.start + self.length
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length <= 0:
+            raise ValueError(f"invalid extent ({self.start}, {self.length})")
+
+
+class ExtentAllocator:
+    """Tracks free block extents on one device."""
+
+    def __init__(self, total_blocks: int) -> None:
+        if total_blocks <= 0:
+            raise ValueError("device needs at least one block")
+        self.total_blocks = total_blocks
+        self._free: List[Extent] = [Extent(0, total_blocks)]
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(e.length for e in self._free)
+
+    @property
+    def free_extents(self) -> List[Extent]:
+        return list(self._free)
+
+    @property
+    def fragmentation(self) -> float:
+        """0.0 when free space is one extent; approaches 1.0 as it shatters."""
+        if not self._free or self.free_blocks == 0:
+            return 0.0
+        return 1.0 - max(e.length for e in self._free) / self.free_blocks
+
+    def allocate(self, nblocks: int) -> List[Extent]:
+        """Allocate *nblocks*, returning the extents granted.
+
+        Prefers the first single free extent that fits; otherwise takes
+        free extents in address order until satisfied.
+        """
+        if nblocks <= 0:
+            raise ValueError("must allocate a positive number of blocks")
+        if nblocks > self.free_blocks:
+            raise AllocationError(
+                f"requested {nblocks} blocks but only {self.free_blocks} free"
+            )
+
+        # First fit: one extent that covers the whole request.
+        for i, extent in enumerate(self._free):
+            if extent.length >= nblocks:
+                granted = Extent(extent.start, nblocks)
+                if extent.length == nblocks:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = Extent(extent.start + nblocks, extent.length - nblocks)
+                return [granted]
+
+        # Fragmented: gather extents in address order.
+        granted: List[Extent] = []
+        remaining = nblocks
+        while remaining > 0:
+            extent = self._free[0]
+            take = min(extent.length, remaining)
+            granted.append(Extent(extent.start, take))
+            if take == extent.length:
+                self._free.pop(0)
+            else:
+                self._free[0] = Extent(extent.start + take, extent.length - take)
+            remaining -= take
+        return granted
+
+    def free(self, extents: List[Extent]) -> None:
+        """Return *extents* to the free list, merging neighbours."""
+        for extent in extents:
+            if extent.end > self.total_blocks:
+                raise ValueError(f"extent {extent} beyond device end")
+            self._insert(extent)
+
+    def _insert(self, extent: Extent) -> None:
+        # Find insertion point keeping the free list address-sorted.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid].start < extent.start:
+                lo = mid + 1
+            else:
+                hi = mid
+        # Overlap checks against neighbours (double-free detection).
+        if lo > 0 and self._free[lo - 1].end > extent.start:
+            raise ValueError(f"freeing {extent} overlaps free space (double free?)")
+        if lo < len(self._free) and extent.end > self._free[lo].start:
+            raise ValueError(f"freeing {extent} overlaps free space (double free?)")
+        self._free.insert(lo, extent)
+        # Merge with the next extent.
+        if lo + 1 < len(self._free) and self._free[lo].end == self._free[lo + 1].start:
+            nxt = self._free.pop(lo + 1)
+            self._free[lo] = Extent(self._free[lo].start, self._free[lo].length + nxt.length)
+        # Merge with the previous extent.
+        if lo > 0 and self._free[lo - 1].end == self._free[lo].start:
+            current = self._free.pop(lo)
+            prev = self._free[lo - 1]
+            self._free[lo - 1] = Extent(prev.start, prev.length + current.length)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExtentAllocator {self.free_blocks}/{self.total_blocks} free in "
+            f"{len(self._free)} extents>"
+        )

@@ -1,0 +1,288 @@
+"""The UFS: files, block allocation, reads/writes with coalescing.
+
+One UFS instance runs per I/O node.  Reads and writes are generators
+that spend simulated time on the node's block device; the *content*
+returned is assembled from written blocks (literal bytes) and unwritten
+blocks (synthetic deterministic bytes), so round-trips are exact without
+materialising gigabytes.
+
+Fast Path coalescing: a multi-block read/write issues one disk request
+per *physically contiguous run* of blocks rather than one per block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.monitor import Monitor
+from repro.ufs.allocator import ExtentAllocator
+from repro.ufs.blockdev import BlockDevice
+from repro.ufs.data import Data, LiteralData, SyntheticData, concat_data
+from repro.ufs.inode import Inode
+
+
+class UFSError(Exception):
+    """File-system level errors (missing file, bad range, ...)."""
+
+
+class UFS:
+    """A Unix File System on one block device."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        fs_id: int = 0,
+        name: str = "ufs",
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.device = device
+        self.fs_id = fs_id
+        self.name = name
+        self.monitor = monitor
+        self.block_size = device.block_size
+        self.allocator = ExtentAllocator(device.total_blocks)
+        self._inodes: Dict[int, Inode] = {}
+        #: Written content: (file_id, logical_block) -> block bytes.
+        self._written: Dict[tuple, LiteralData] = {}
+
+    # -- namespace ---------------------------------------------------------
+
+    def exists(self, file_id: int) -> bool:
+        return file_id in self._inodes
+
+    def inode(self, file_id: int) -> Inode:
+        try:
+            return self._inodes[file_id]
+        except KeyError:
+            raise UFSError(f"no such file {file_id} on {self.name}") from None
+
+    def create(self, file_id: int, size_bytes: int = 0) -> Inode:
+        """Create a file, allocating blocks to cover *size_bytes*."""
+        if file_id in self._inodes:
+            raise UFSError(f"file {file_id} already exists on {self.name}")
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        inode = Inode(file_id=file_id)
+        self._inodes[file_id] = inode
+        if size_bytes > 0:
+            self._grow(inode, size_bytes)
+        return inode
+
+    def extend(self, file_id: int, new_size: int) -> Inode:
+        """Grow a file to at least *new_size* bytes."""
+        inode = self.inode(file_id)
+        if new_size > inode.size_bytes:
+            self._grow(inode, new_size)
+        return inode
+
+    def truncate(self, file_id: int, new_size: int) -> Inode:
+        """Shrink (or grow) a file to exactly *new_size* bytes.
+
+        Shrinking frees whole blocks past the new end and discards their
+        written content; growing allocates like :meth:`extend`.
+        """
+        if new_size < 0:
+            raise ValueError("size must be non-negative")
+        inode = self.inode(file_id)
+        if new_size >= inode.size_bytes:
+            return self.extend(file_id, new_size)
+        keep_blocks = -(-new_size // self.block_size) if new_size else 0
+        if keep_blocks < inode.nblocks:
+            # Free the physical extents of the dropped tail.
+            dropped = inode.physical_runs(
+                keep_blocks, inode.nblocks - keep_blocks
+            )
+            from repro.ufs.allocator import Extent
+
+            self.allocator.free(
+                [Extent(phys, length) for _log, phys, length in dropped]
+            )
+            del inode.block_map[keep_blocks:]
+            for key in [
+                k
+                for k in self._written
+                if k[0] == file_id and k[1] >= keep_blocks
+            ]:
+                del self._written[key]
+        inode.size_bytes = new_size
+        return inode
+
+    def unlink(self, file_id: int) -> None:
+        inode = self.inode(file_id)
+        self.allocator.free(inode.extents())
+        del self._inodes[file_id]
+        for key in [k for k in self._written if k[0] == file_id]:
+            del self._written[key]
+
+    def _grow(self, inode: Inode, new_size: int) -> None:
+        needed_blocks = -(-new_size // self.block_size)  # ceil div
+        extra = needed_blocks - inode.nblocks
+        if extra > 0:
+            inode.append_extents(self.allocator.allocate(extra))
+        inode.size_bytes = max(inode.size_bytes, new_size)
+
+    # -- content assembly (no simulated time) -------------------------------
+
+    def _synthetic_key(self, file_id: int) -> int:
+        return self.fs_id * 1_000_003 + file_id
+
+    def content(self, file_id: int, offset: int, nbytes: int) -> Data:
+        """Assemble the content of a byte range (no disk time)."""
+        inode = self.inode(file_id)
+        if offset < 0 or nbytes < 0 or offset + nbytes > inode.size_bytes:
+            raise UFSError(
+                f"range [{offset}, {offset + nbytes}) outside file {file_id} "
+                f"of {inode.size_bytes} bytes"
+            )
+        if nbytes == 0:
+            return LiteralData(b"")
+        bs = self.block_size
+        key = self._synthetic_key(file_id)
+        pieces: List[Data] = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            block = pos // bs
+            in_block = pos - block * bs
+            take = min(bs - in_block, end - pos)
+            written = self._written.get((file_id, block))
+            if written is not None:
+                pieces.append(written.slice(in_block, take))
+            else:
+                pieces.append(SyntheticData(key, pos, take))
+            pos += take
+        return concat_data(pieces)
+
+    # -- timed operations ------------------------------------------------------
+
+    def read(self, file_id: int, offset: int, nbytes: int, coalesce: bool = True):
+        """Generator: read a byte range, spending disk time; returns Data.
+
+        Whole file-system blocks covering the range are transferred from
+        disk (partial-block requests still move full blocks -- the source
+        of the paper's partial-block overhead); content for exactly the
+        requested range is returned.
+        """
+        inode = self.inode(file_id)
+        if offset < 0 or nbytes < 0 or offset + nbytes > inode.size_bytes:
+            raise UFSError(
+                f"read [{offset}, {offset + nbytes}) outside file {file_id} "
+                f"of {inode.size_bytes} bytes"
+            )
+        if nbytes == 0:
+            return LiteralData(b"")
+        bs = self.block_size
+        first_block = offset // bs
+        last_block = (offset + nbytes - 1) // bs
+        nblocks = last_block - first_block + 1
+
+        for _logical, physical, run_len in self._runs(inode, first_block, nblocks, coalesce):
+            yield from self.device.read_extent(physical, run_len)
+
+        if self.monitor is not None:
+            self.monitor.counter(f"{self.name}.reads").add(1)
+            self.monitor.counter(f"{self.name}.bytes_read").add(nbytes)
+        return self.content(file_id, offset, nbytes)
+
+    def write(self, file_id: int, offset: int, data: Data, coalesce: bool = True):
+        """Generator: write *data* at *offset*, growing the file as needed.
+
+        Partially covered edge blocks require a read-modify-write: the
+        block is read from disk, merged, and written back.
+        """
+        nbytes = len(data)
+        if offset < 0:
+            raise UFSError("negative offset")
+        inode = self.inode(file_id)
+        if nbytes == 0:
+            return 0
+        if offset + nbytes > inode.size_bytes:
+            self._grow(inode, offset + nbytes)
+        bs = self.block_size
+        first_block = offset // bs
+        last_block = (offset + nbytes - 1) // bs
+        nblocks = last_block - first_block + 1
+
+        # Read-modify-write for partially covered edge blocks.
+        rmw_blocks = []
+        if offset % bs != 0:
+            rmw_blocks.append(first_block)
+        if (offset + nbytes) % bs != 0:
+            rmw_blocks.append(last_block)
+        for block in dict.fromkeys(rmw_blocks):
+            physical = inode.physical_block(block)
+            yield from self.device.read_extent(physical, 1)
+
+        # Merge content into the written-block store.
+        self._merge_written(inode, offset, data)
+
+        for _logical, physical, run_len in self._runs(inode, first_block, nblocks, coalesce):
+            yield from self.device.write_extent(physical, run_len)
+
+        if self.monitor is not None:
+            self.monitor.counter(f"{self.name}.writes").add(1)
+            self.monitor.counter(f"{self.name}.bytes_written").add(nbytes)
+        return nbytes
+
+    def read_block(self, file_id: int, block_index: int):
+        """Generator: read exactly one file-system block (cache fill path)."""
+        inode = self.inode(file_id)
+        physical = inode.physical_block(block_index)
+        yield from self.device.read_extent(physical, 1)
+        start = block_index * self.block_size
+        length = min(self.block_size, inode.size_bytes - start)
+        return self.content(file_id, start, length)
+
+    def write_block(self, file_id: int, block_index: int, data: Data):
+        """Generator: write exactly one file-system block."""
+        if len(data) > self.block_size:
+            raise UFSError("block write larger than block size")
+        inode = self.inode(file_id)
+        start = block_index * self.block_size
+        if start + len(data) > inode.size_bytes:
+            self._grow(inode, start + len(data))
+        physical = inode.physical_block(block_index)
+        self._merge_written(inode, start, data)
+        yield from self.device.write_extent(physical, 1)
+        return len(data)
+
+    # -- internals ------------------------------------------------------------
+
+    def _runs(self, inode: Inode, first_block: int, nblocks: int, coalesce: bool):
+        runs = inode.physical_runs(first_block, nblocks)
+        if coalesce:
+            return runs
+        # Uncoalesced: one request per block.
+        split = []
+        for logical, physical, run_len in runs:
+            for k in range(run_len):
+                split.append((logical + k, physical + k, 1))
+        return split
+
+    def _merge_written(self, inode: Inode, offset: int, data: Data) -> None:
+        bs = self.block_size
+        pos = offset
+        end = offset + len(data)
+        while pos < end:
+            block = pos // bs
+            in_block = pos - block * bs
+            take = min(bs - in_block, end - pos)
+            key = (inode.file_id, block)
+            existing = self._written.get(key)
+            if existing is None:
+                # Materialise the block's prior content so the merge is exact.
+                block_start = block * bs
+                block_len = min(bs, inode.size_bytes - block_start)
+                existing = LiteralData(
+                    self.content(inode.file_id, block_start, block_len).to_bytes()
+                )
+            buf = bytearray(existing.to_bytes())
+            piece = data.slice(pos - offset, take).to_bytes()
+            if in_block + take > len(buf):
+                buf.extend(b"\x00" * (in_block + take - len(buf)))
+            buf[in_block : in_block + take] = piece
+            self._written[key] = LiteralData(bytes(buf))
+            pos += take
+
+    def __repr__(self) -> str:
+        return f"<UFS {self.name} files={len(self._inodes)}>"

@@ -1,0 +1,78 @@
+"""Inodes and block maps.
+
+An inode records a file's size and the *physical* block backing each
+*logical* block.  :meth:`Inode.physical_runs` turns a logical range into
+maximal physically contiguous runs -- the unit of Fast Path coalescing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.ufs.allocator import Extent
+
+
+@dataclass
+class Inode:
+    """On-"disk" metadata for one UFS file."""
+
+    file_id: int
+    size_bytes: int = 0
+    #: logical block index -> physical block index.
+    block_map: List[int] = field(default_factory=list)
+    #: Blocks whose content has been written: logical block -> True.
+    written: Dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.block_map)
+
+    def append_extents(self, extents: List[Extent]) -> None:
+        """Grow the block map with newly allocated extents."""
+        for extent in extents:
+            self.block_map.extend(range(extent.start, extent.end))
+
+    def physical_block(self, logical: int) -> int:
+        if logical < 0 or logical >= len(self.block_map):
+            raise IndexError(
+                f"logical block {logical} out of range (file has "
+                f"{len(self.block_map)} blocks)"
+            )
+        return self.block_map[logical]
+
+    def physical_runs(self, start_logical: int, nblocks: int) -> List[Tuple[int, int, int]]:
+        """Split a logical range into physically contiguous runs.
+
+        Returns a list of ``(logical_start, physical_start, run_length)``
+        triples covering ``[start_logical, start_logical + nblocks)``.
+        """
+        if nblocks <= 0:
+            raise ValueError("need at least one block")
+        if start_logical < 0 or start_logical + nblocks > len(self.block_map):
+            raise IndexError(
+                f"range [{start_logical}, {start_logical + nblocks}) outside "
+                f"file of {len(self.block_map)} blocks"
+            )
+        runs: List[Tuple[int, int, int]] = []
+        run_logical = start_logical
+        run_physical = self.block_map[start_logical]
+        run_len = 1
+        for logical in range(start_logical + 1, start_logical + nblocks):
+            physical = self.block_map[logical]
+            if physical == run_physical + run_len:
+                run_len += 1
+            else:
+                runs.append((run_logical, run_physical, run_len))
+                run_logical, run_physical, run_len = logical, physical, 1
+        runs.append((run_logical, run_physical, run_len))
+        return runs
+
+    def extents(self) -> List[Extent]:
+        """All physical extents of the file (for freeing on unlink)."""
+        if not self.block_map:
+            return []
+        out: List[Extent] = []
+        for _logical, physical, length in self.physical_runs(0, len(self.block_map)):
+            out.append(Extent(physical, length))
+        return out

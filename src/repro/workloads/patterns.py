@@ -1,0 +1,117 @@
+"""Offset-sequence generators for M_ASYNC workloads.
+
+The shared-pointer modes compute their own offsets; M_ASYNC readers
+walk the file explicitly via lseek, following one of these patterns.
+All patterns are deterministic given their parameters (random uses a
+seeded LCG so runs are reproducible without global RNG state).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class AccessPattern:
+    """Yields (offset, nbytes) pairs."""
+
+    def offsets(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+
+class SequentialPattern(AccessPattern):
+    """Contiguous forward reads of *request_size* from *start*."""
+
+    def __init__(
+        self,
+        request_size: int,
+        start: int = 0,
+        count: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        if request_size <= 0:
+            raise ValueError("request size must be positive")
+        self.request_size = request_size
+        self.start = start
+        self.count = count
+        self.limit = limit
+
+    def offsets(self) -> Iterator[tuple]:
+        pos = self.start
+        k = 0
+        while self.count is None or k < self.count:
+            if self.limit is not None and pos >= self.limit:
+                return
+            nbytes = self.request_size
+            if self.limit is not None:
+                nbytes = min(nbytes, self.limit - pos)
+            yield pos, nbytes
+            pos += nbytes
+            k += 1
+
+
+class StridedPattern(AccessPattern):
+    """Reads of *request_size* every *stride* bytes (stride >= size)."""
+
+    def __init__(
+        self,
+        request_size: int,
+        stride: int,
+        start: int = 0,
+        count: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        if request_size <= 0:
+            raise ValueError("request size must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.request_size = request_size
+        self.stride = stride
+        self.start = start
+        self.count = count
+        self.limit = limit
+
+    def offsets(self) -> Iterator[tuple]:
+        pos = self.start
+        k = 0
+        while self.count is None or k < self.count:
+            if self.limit is not None and pos + self.request_size > self.limit:
+                return
+            yield pos, self.request_size
+            pos += self.stride
+            k += 1
+
+
+class RandomPattern(AccessPattern):
+    """Uniform random block-aligned reads (seeded, reproducible)."""
+
+    _LCG_A = 6364136223846793005
+    _LCG_C = 1442695040888963407
+    _LCG_M = 2**64
+
+    def __init__(
+        self,
+        request_size: int,
+        file_size: int,
+        count: int,
+        seed: int = 1,
+        align: Optional[int] = None,
+    ) -> None:
+        if request_size <= 0:
+            raise ValueError("request size must be positive")
+        if file_size < request_size:
+            raise ValueError("file smaller than one request")
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.request_size = request_size
+        self.file_size = file_size
+        self.count = count
+        self.seed = seed
+        self.align = align or request_size
+
+    def offsets(self) -> Iterator[tuple]:
+        state = self.seed or 1
+        slots = (self.file_size - self.request_size) // self.align + 1
+        for _ in range(self.count):
+            state = (state * self._LCG_A + self._LCG_C) % self._LCG_M
+            slot = (state >> 16) % slots
+            yield slot * self.align, self.request_size

@@ -1,0 +1,137 @@
+"""I/O trace recording and replay.
+
+Trace-driven runs let a measured access stream (or one generated once)
+be replayed through *both* the prefetching and non-prefetching
+configurations -- the reproduction band for this paper calls for
+trace-driven simulation, and this is the machinery for it.
+
+A trace is a list of :class:`TraceEvent` rows; the recorder wraps reads
+on a live handle, the replayer re-issues them (optionally honouring the
+recorded inter-arrival gaps as compute time).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pfs.client import PFSFileHandle
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded I/O call."""
+
+    rank: int
+    op: str  # "read" | "lseek"
+    offset: int  # pointer position when issued (read) or target (lseek)
+    nbytes: int
+    issued_at: float
+    duration: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        return cls(**json.loads(line))
+
+
+class TraceRecorder:
+    """Records the read stream of one handle."""
+
+    def __init__(self, handle: "PFSFileHandle") -> None:
+        self.handle = handle
+        self.events: List[TraceEvent] = []
+
+    def read(self, nbytes: int):
+        """Generator: perform and record a read."""
+        handle = self.handle
+        env = handle.env
+        offset_before = self._current_offset(nbytes)
+        start = env.now
+        data = yield from handle.read(nbytes)
+        self.events.append(
+            TraceEvent(
+                rank=handle.rank,
+                op="read",
+                offset=offset_before,
+                nbytes=len(data),
+                issued_at=start,
+                duration=env.now - start,
+            )
+        )
+        return data
+
+    def lseek(self, offset: int):
+        """Generator: perform and record a seek."""
+        handle = self.handle
+        start = handle.env.now
+        yield from handle.lseek(offset)
+        self.events.append(
+            TraceEvent(
+                rank=handle.rank,
+                op="lseek",
+                offset=offset,
+                nbytes=0,
+                issued_at=start,
+            )
+        )
+        return offset
+
+    def _current_offset(self, nbytes: int) -> int:
+        predicted = self.handle.next_read_offset(nbytes)
+        return predicted if predicted is not None else -1
+
+    def dump(self) -> List[str]:
+        """Serialise to JSON lines."""
+        return [event.to_json() for event in self.events]
+
+
+class TraceReplayer:
+    """Re-issues a recorded stream through a (fresh) handle."""
+
+    def __init__(
+        self,
+        handle: "PFSFileHandle",
+        events: Iterable[TraceEvent],
+        honour_gaps: bool = False,
+        compute_delay: Optional[float] = None,
+    ) -> None:
+        self.handle = handle
+        self.events = [e for e in events if e.rank == handle.rank]
+        #: Reproduce recorded inter-arrival gaps as computation.
+        self.honour_gaps = honour_gaps
+        #: Fixed computation between calls (overrides honour_gaps).
+        self.compute_delay = compute_delay
+
+    def replay(self):
+        """Generator: run the trace to completion."""
+        handle = self.handle
+        previous_issue: Optional[float] = None
+        previous_duration = 0.0
+        for event in self.events:
+            delay = 0.0
+            if self.compute_delay is not None:
+                delay = self.compute_delay if previous_issue is not None else 0.0
+            elif self.honour_gaps and previous_issue is not None:
+                recorded_gap = event.issued_at - previous_issue - previous_duration
+                delay = max(0.0, recorded_gap)
+            if delay > 0:
+                yield from handle.node.compute(delay)
+            if event.op == "read":
+                yield from handle.read(event.nbytes)
+            elif event.op == "lseek":
+                yield from handle.lseek(event.offset)
+            else:
+                raise ValueError(f"unknown trace op {event.op!r}")
+            previous_issue = event.issued_at
+            previous_duration = event.duration
+        return len(self.events)
+
+
+def load_trace(lines: Iterable[str]) -> List[TraceEvent]:
+    """Parse JSON-lines trace text."""
+    return [TraceEvent.from_json(line) for line in lines if line.strip()]

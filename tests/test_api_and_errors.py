@@ -1,0 +1,248 @@
+"""API-surface checks and error-path coverage across layers."""
+
+import pytest
+
+from repro.config import MachineConfig, PFSConfig
+from repro.machine import Machine
+from repro.pfs import IOMode
+from repro.pfs.client import PFSClientError
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core
+        import repro.hardware
+        import repro.paragonos
+        import repro.pfs
+        import repro.sim
+        import repro.ufs
+        import repro.workloads
+
+        for module in (
+            repro.sim,
+            repro.hardware,
+            repro.paragonos,
+            repro.ufs,
+            repro.pfs,
+            repro.core,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__,
+                    name,
+                )
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestDataZeros:
+    def test_zeros_content(self):
+        from repro.ufs.data import zeros
+
+        z = zeros(16)
+        assert z.to_bytes() == b"\x00" * 16
+        assert len(zeros(0)) == 0
+
+
+class TestClientErrorPaths:
+    def make(self):
+        machine = Machine(MachineConfig(n_compute=2, n_io=2))
+        mount = machine.mount("/pfs")
+        machine.create_file(mount, "data", 1 * MB)
+        return machine, mount
+
+    def open_one(self, machine, mount, mode=IOMode.M_ASYNC):
+        box = {}
+
+        def opener():
+            box["h"] = yield from machine.clients[0].open(
+                mount, "data", mode, rank=0, nprocs=1
+            )
+
+        machine.spawn(opener())
+        machine.run()
+        return box["h"]
+
+    def test_negative_read_rejected(self):
+        machine, mount = self.make()
+        handle = self.open_one(machine, mount)
+
+        def proc():
+            yield from handle.read(-1)
+
+        machine.spawn(proc())
+        with pytest.raises(PFSClientError):
+            machine.run()
+
+    def test_write_after_close_rejected(self):
+        from repro.ufs.data import LiteralData
+
+        machine, mount = self.make()
+        handle = self.open_one(machine, mount)
+
+        def proc():
+            yield from handle.close()
+            yield from handle.write(LiteralData(b"x"))
+
+        machine.spawn(proc())
+        with pytest.raises(PFSClientError):
+            machine.run()
+
+    def test_lseek_in_sync_mode_rejected(self):
+        machine, mount = self.make()
+        handle = self.open_one(machine, mount, mode=IOMode.M_SYNC)
+
+        def proc():
+            yield from handle.lseek(100)
+
+        machine.spawn(proc())
+        with pytest.raises(PFSClientError):
+            machine.run()
+
+    def test_read_entirely_past_eof_is_empty(self):
+        machine, mount = self.make()
+        handle = self.open_one(machine, mount)
+
+        def proc():
+            yield from handle.lseek(10 * MB)
+            data = yield from handle.read(64 * KB)
+            return len(data)
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert p.value == 0
+
+    def test_zero_byte_read_is_free_of_transfers(self):
+        machine, mount = self.make()
+        handle = self.open_one(machine, mount)
+        before = machine.monitor.counter_value("raid0.reads")
+
+        def proc():
+            data = yield from handle.read(0)
+            return len(data)
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert p.value == 0
+        assert machine.monitor.counter_value("raid0.reads") == before
+
+    def test_negative_truncate_rejected(self):
+        machine, mount = self.make()
+
+        def proc():
+            yield from machine.clients[0].truncate(mount, "data", -5)
+
+        machine.spawn(proc())
+        with pytest.raises(PFSClientError):
+            machine.run()
+
+
+class TestServerControlErrors:
+    def test_unknown_control_op_reported(self):
+        from repro.paragonos.messages import ControlRequest
+
+        machine = Machine(MachineConfig(n_compute=1, n_io=1))
+        machine.mount("/pfs", PFSConfig(stripe_factor=1))
+
+        def proc():
+            reply = yield from machine.clients[0]._control(
+                0, ControlRequest(op="defrag", file_id=1)
+            )
+            return reply.error
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert "unknown op" in p.value
+
+    def test_stat_of_missing_stripe_file_reports_error(self):
+        from repro.paragonos.messages import ControlRequest
+
+        machine = Machine(MachineConfig(n_compute=1, n_io=1))
+        machine.mount("/pfs", PFSConfig(stripe_factor=1))
+
+        def proc():
+            reply = yield from machine.clients[0]._control(
+                0, ControlRequest(op="stat", file_id=4242)
+            )
+            return reply.error
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert p.value is not None
+
+
+class TestSensitivitySmoke:
+    def test_tiny_sweep_and_checker(self):
+        from repro.experiments.sensitivity import (
+            check_sensitivity_shape,
+            run_sensitivity,
+        )
+
+        table = run_sensitivity(io_scales=(1.0, 2.0), rounds=6)
+        assert len(table.rows) == 2
+        assert check_sensitivity_shape(table) is None
+
+    def test_checker_flags_regressions(self):
+        from repro.experiments.common import ExperimentTable
+        from repro.experiments.sensitivity import check_sensitivity_shape
+
+        table = ExperimentTable(
+            title="t",
+            columns=[
+                "io_scale",
+                "bw_iobound_mbps",
+                "iobound_prefetch_ratio",
+                "bw_balanced_prefetch_mbps",
+                "balanced_speedup",
+            ],
+        )
+        table.add_row(1.0, 10.0, 0.98, 50.0, 5.0)
+        table.add_row(2.0, 8.0, 0.98, 50.0, 5.0)  # bandwidth FELL
+        assert check_sensitivity_shape(table) is not None
+
+
+class TestMSyncRandomSizesProperty:
+    def test_random_size_rounds_partition_exactly(self):
+        """Three M_SYNC rounds with per-rank random sizes: rank-ordered,
+        gap-free, overlap-free layout."""
+        machine = Machine(MachineConfig(n_compute=4, n_io=4))
+        mount = machine.mount("/pfs")
+        pfs_file = machine.create_file(mount, "data", 8 * MB)
+        sizes = {
+            0: [10 * KB, 64 * KB, 3 * KB],
+            1: [1 * KB, 1 * KB, 100 * KB],
+            2: [55 * KB, 2 * KB, 7 * KB],
+            3: [64 * KB, 64 * KB, 64 * KB],
+        }
+        spans = []
+
+        def runner(rank):
+            handle = yield from machine.clients[rank].open(
+                mount, "data", IOMode.M_SYNC, rank=rank, nprocs=4
+            )
+            for round_index, nbytes in enumerate(sizes[rank]):
+                t0_offset = None
+                del t0_offset
+                data = yield from handle.read(nbytes)
+                spans.append((round_index, rank, len(data)))
+
+        for rank in range(4):
+            machine.spawn(runner(rank))
+        machine.run()
+        # All reads full-length; total equals the shared pointer.
+        total = sum(length for _r, _k, length in spans)
+        assert total == sum(sum(v) for v in sizes.values())
+        assert pfs_file.shared_offset == total

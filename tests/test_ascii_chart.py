@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderer used by figure artifacts."""
+
+import pytest
+
+from repro.experiments.ascii_chart import plot_series, plot_table
+from repro.experiments.common import ExperimentTable
+
+
+class TestPlotSeries:
+    def test_basic_render_contains_markers_and_legend(self):
+        text = plot_series(
+            [0, 1, 2],
+            {"up": [0.0, 5.0, 10.0], "flat": [3.0, 3.0, 3.0]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o=up" in text and "x=flat" in text
+        assert "o" in text and "x" in text
+
+    def test_higher_values_render_higher(self):
+        text = plot_series([0, 1], {"s": [0.0, 10.0]})
+        lines = [line for line in text.splitlines() if "|" in line]
+        first_marker_row = next(i for i, l in enumerate(lines) if "o" in l)
+        last_marker_row = max(i for i, l in enumerate(lines) if "o" in l)
+        # The y=10 point is on an earlier (higher) row than the y=0 point.
+        assert first_marker_row < last_marker_row
+
+    def test_axis_labels(self):
+        text = plot_series(
+            [0, 1], {"s": [1.0, 2.0]}, x_label="delay", y_label="MB/s"
+        )
+        assert "x: delay" in text
+        assert "y: MB/s" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series([0, 1], {"s": [1.0]})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series([], {"s": []})
+        with pytest.raises(ValueError):
+            plot_series([0], {})
+
+    def test_constant_zero_series(self):
+        # Degenerate range must not divide by zero.
+        text = plot_series([0, 1], {"s": [0.0, 0.0]})
+        assert "o" in text
+
+    def test_single_point(self):
+        text = plot_series([5], {"s": [2.5]})
+        assert "o" in text
+
+
+class TestPlotTable:
+    def test_plots_numeric_columns_only(self):
+        table = ExperimentTable(title="t", columns=["x", "bw", "name"])
+        table.add_row(0, 1.0, "a")
+        table.add_row(1, 2.0, "b")
+        text = plot_table(table, "x")
+        assert "o=bw" in text
+        assert "name" not in text.split("legend:")[1]
+
+    def test_uses_table_title_by_default(self):
+        table = ExperimentTable(title="My Figure", columns=["x", "y"])
+        table.add_row(0, 1.0)
+        table.add_row(1, 2.0)
+        assert "My Figure" in plot_table(table, "x")
+
+    def test_real_figure45_panel_plots(self):
+        from repro.experiments.figure45 import run_figure45
+
+        panels = run_figure45(
+            request_sizes_kb=(64,), delays_s=(0.0, 0.05), max_rounds=4
+        )
+        text = plot_table(panels[64], "delay_s")
+        assert "bw_prefetch_mbps" in text

@@ -1,0 +1,92 @@
+"""Calibration lock: headline reproduction numbers must not drift.
+
+The simulation is deterministic, so these small, fast runs pin the
+calibrated behaviour with tight tolerances.  If a model change shifts
+them, either the change is a bug or EXPERIMENTS.md (and these numbers)
+must be deliberately re-baselined.
+"""
+
+import pytest
+
+from repro.experiments.common import KB, run_collective, scaled_file_size
+from repro.pfs import IOMode
+
+
+class TestHeadlineNumbers:
+    def test_io_bound_64kb_baseline(self):
+        report = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 8, 16),
+            prefetch=False,
+        )
+        # EXPERIMENTS.md Table 1 row 1: 8.94 MB/s.
+        assert report.collective_bandwidth_mbps == pytest.approx(8.94, rel=0.05)
+
+    def test_io_bound_prefetch_is_a_wash(self):
+        base = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 8, 16),
+            prefetch=False,
+        )
+        pf = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 8, 16),
+            prefetch=True,
+        )
+        ratio = pf.collective_bandwidth_mbps / base.collective_bandwidth_mbps
+        assert 0.90 <= ratio <= 1.05
+
+    def test_balanced_64kb_speedup_band(self):
+        base = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 8, 16),
+            compute_delay=0.1,
+            prefetch=False,
+        )
+        pf = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 8, 16),
+            compute_delay=0.1,
+            prefetch=True,
+        )
+        speedup = pf.collective_bandwidth_mbps / base.collective_bandwidth_mbps
+        # EXPERIMENTS.md Figure 4 panel A at 0.1s: ~8.5x.
+        assert 6.0 <= speedup <= 11.0
+
+    def test_m_unix_to_m_record_gap_at_64kb(self):
+        unix = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 8, 16),
+            iomode=IOMode.M_UNIX,
+            rounds=16,
+        )
+        record = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 8, 16),
+            iomode=IOMode.M_RECORD,
+            rounds=16,
+        )
+        gap = record.collective_bandwidth_mbps / unix.collective_bandwidth_mbps
+        # EXPERIMENTS.md Figure 2 at 64KB: 8.94 / 1.05 ~= 8.5x.
+        assert 6.0 <= gap <= 11.0
+
+    def test_determinism_exact_repeat(self):
+        """Two identical runs produce bit-identical bandwidth."""
+        a = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 4, 8),
+            n_compute=4,
+            n_io=4,
+            compute_delay=0.05,
+            prefetch=True,
+        )
+        b = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, 4, 8),
+            n_compute=4,
+            n_io=4,
+            compute_delay=0.05,
+            prefetch=True,
+        )
+        assert a.collective_bandwidth_mbps == b.collective_bandwidth_mbps
+        assert a.read_time_s == b.read_time_s

@@ -1,0 +1,116 @@
+"""Tests for the parameter-sweep campaign tool."""
+
+import pytest
+
+from repro.experiments.campaign import Campaign
+
+
+class TestCampaignMechanics:
+    def test_points_are_full_cross_product(self):
+        campaign = Campaign(
+            axes={"a": [1, 2], "b": ["x", "y", "z"]},
+            run=lambda p: {"m": 0},
+        )
+        points = campaign.points
+        assert len(points) == 6
+        assert {"a": 2, "b": "y"} in points
+
+    def test_run_all_merges_metrics(self):
+        campaign = Campaign(
+            axes={"a": [1, 2]},
+            run=lambda p: {"double": p["a"] * 2},
+        )
+        rows = campaign.run_all()
+        assert rows == [{"a": 1, "double": 2}, {"a": 2, "double": 4}]
+
+    def test_progress_callback(self):
+        seen = []
+        campaign = Campaign(axes={"a": [1, 2]}, run=lambda p: {"m": 0})
+        campaign.run_all(progress=seen.append)
+        assert len(seen) == 2
+
+    def test_metric_axis_collision_rejected(self):
+        campaign = Campaign(axes={"a": [1]}, run=lambda p: {"a": 9})
+        with pytest.raises(ValueError):
+            campaign.run_all()
+
+    def test_non_dict_metrics_rejected(self):
+        campaign = Campaign(axes={"a": [1]}, run=lambda p: 42)
+        with pytest.raises(TypeError):
+            campaign.run_all()
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign(axes={}, run=lambda p: {})
+        with pytest.raises(ValueError):
+            Campaign(axes={"a": []}, run=lambda p: {})
+
+    def test_csv_output(self):
+        campaign = Campaign(
+            axes={"a": [1, 2]}, run=lambda p: {"bw": p["a"] * 1.5}
+        )
+        campaign.run_all()
+        csv = campaign.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "a,bw"
+        assert lines[1] == "1,1.5000"
+        assert lines[2] == "2,3.0000"
+
+    def test_csv_quotes_commas(self):
+        campaign = Campaign(
+            axes={"name": ["x,y"]}, run=lambda p: {"m": 1}
+        )
+        campaign.run_all()
+        assert '"x,y"' in campaign.to_csv()
+
+    def test_to_table(self):
+        campaign = Campaign(axes={"a": [1]}, run=lambda p: {"m": 2.0})
+        campaign.run_all()
+        table = campaign.to_table(title="t")
+        assert table.columns == ["a", "m"]
+        assert table.rows == [[1, 2.0]]
+
+    def test_best(self):
+        campaign = Campaign(
+            axes={"a": [1, 2, 3]}, run=lambda p: {"score": -abs(p["a"] - 2)}
+        )
+        campaign.run_all()
+        assert campaign.best("score")["a"] == 2
+        assert campaign.best("score", maximize=False)["a"] in (1, 3)
+
+    def test_best_before_run_rejected(self):
+        campaign = Campaign(axes={"a": [1]}, run=lambda p: {"m": 1})
+        with pytest.raises(ValueError):
+            campaign.best("m")
+
+
+class TestCampaignOnSimulator:
+    def test_small_real_sweep(self):
+        from repro.experiments.common import (
+            KB,
+            run_collective,
+            scaled_file_size,
+        )
+
+        campaign = Campaign(
+            name="prefetch-grid",
+            axes={"request_kb": [64], "delay_s": [0.0, 0.1], "prefetch": [False, True]},
+            run=lambda p: {
+                "bw": run_collective(
+                    request_size=p["request_kb"] * KB,
+                    file_size=scaled_file_size(p["request_kb"] * KB, 4, 4),
+                    compute_delay=p["delay_s"],
+                    prefetch=p["prefetch"],
+                    n_compute=4,
+                    n_io=4,
+                    rounds=4,
+                ).collective_bandwidth_mbps
+            },
+        )
+        rows = campaign.run_all()
+        assert len(rows) == 4
+        by_key = {(r["delay_s"], r["prefetch"]): r["bw"] for r in rows}
+        # With delay, prefetching wins; the best grid point agrees.
+        assert by_key[(0.1, True)] > by_key[(0.1, False)]
+        best = campaign.best("bw")
+        assert best["prefetch"] is True and best["delay_s"] == 0.1

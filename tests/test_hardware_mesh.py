@@ -1,0 +1,172 @@
+"""Unit tests for the 2D mesh interconnect model."""
+
+import pytest
+
+from repro.hardware import Mesh, MeshMessage, MeshParams
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def mesh(env):
+    return Mesh(env, width=4, height=4)
+
+
+class TestTopology:
+    def test_bad_dimensions(self, env):
+        with pytest.raises(ValueError):
+            Mesh(env, 0, 4)
+        with pytest.raises(ValueError):
+            Mesh(env, 4, -1)
+
+    def test_contains(self, mesh):
+        assert mesh.contains((0, 0))
+        assert mesh.contains((3, 3))
+        assert not mesh.contains((4, 0))
+        assert not mesh.contains((0, -1))
+
+    def test_route_is_xy_ordered(self, mesh):
+        links = mesh.route((0, 0), (2, 2))
+        # X moves first, then Y.
+        assert links == [
+            ((0, 0), (1, 0)),
+            ((1, 0), (2, 0)),
+            ((2, 0), (2, 1)),
+            ((2, 1), (2, 2)),
+        ]
+
+    def test_route_negative_directions(self, mesh):
+        links = mesh.route((3, 3), (1, 2))
+        assert links == [
+            ((3, 3), (2, 3)),
+            ((2, 3), (1, 3)),
+            ((1, 3), (1, 2)),
+        ]
+
+    def test_route_to_self_is_empty(self, mesh):
+        assert mesh.route((1, 1), (1, 1)) == []
+
+    def test_route_length_equals_hops(self, mesh):
+        for src in [(0, 0), (2, 1), (3, 3)]:
+            for dst in [(0, 0), (1, 3), (3, 0)]:
+                assert len(mesh.route(src, dst)) == mesh.hops(src, dst)
+
+    def test_route_outside_raises(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.route((0, 0), (9, 9))
+        with pytest.raises(ValueError):
+            mesh.route((-1, 0), (1, 1))
+
+
+class TestTransmission:
+    def test_uncontended_latency(self, env):
+        params = MeshParams(link_bandwidth_bps=100.0, sw_overhead_s=1.0, per_hop_s=0.5)
+        mesh = Mesh(env, 4, 1, params=params)
+        msg = MeshMessage(src=(0, 0), dst=(2, 0), size_bytes=200)
+
+        def proc(env):
+            yield from mesh.send(msg)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        # 1.0 sw + 2 hops * 0.5 + 200/100 = 4.0
+        assert p.value == pytest.approx(4.0)
+        assert msg.delivered_at == pytest.approx(4.0)
+
+    def test_transfer_time_estimate_matches(self, env):
+        params = MeshParams(link_bandwidth_bps=100.0, sw_overhead_s=1.0, per_hop_s=0.5)
+        mesh = Mesh(env, 4, 1, params=params)
+
+        def proc(env):
+            yield from mesh.send(MeshMessage((0, 0), (2, 0), 200))
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == pytest.approx(mesh.transfer_time((0, 0), (2, 0), 200))
+
+    def test_zero_size_message(self, env, mesh):
+        def proc(env):
+            yield from mesh.send(MeshMessage((0, 0), (1, 0), 0))
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value > 0  # still pays software overhead
+
+    def test_negative_size_rejected(self, env, mesh):
+        def proc(env):
+            yield from mesh.send(MeshMessage((0, 0), (1, 0), -1))
+
+        env.process(proc(env))
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_link_contention_serialises(self, env):
+        # Two messages over the same single link: the second waits.
+        params = MeshParams(link_bandwidth_bps=100.0, sw_overhead_s=0.0, per_hop_s=0.0)
+        mesh = Mesh(env, 2, 1, params=params)
+        done = []
+
+        def proc(env, tag):
+            yield from mesh.send(MeshMessage((0, 0), (1, 0), 100))
+            done.append((tag, env.now))
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert done[0] == ("a", pytest.approx(1.0))
+        assert done[1] == ("b", pytest.approx(2.0))
+
+    def test_disjoint_paths_run_concurrently(self, env):
+        params = MeshParams(link_bandwidth_bps=100.0, sw_overhead_s=0.0, per_hop_s=0.0)
+        mesh = Mesh(env, 2, 2, params=params)
+        done = []
+
+        def proc(env, src, dst, tag):
+            yield from mesh.send(MeshMessage(src, dst, 100))
+            done.append((tag, env.now))
+
+        env.process(proc(env, (0, 0), (1, 0), "row0"))
+        env.process(proc(env, (0, 1), (1, 1), "row1"))
+        env.run()
+        times = dict(done)
+        assert times["row0"] == pytest.approx(1.0)
+        assert times["row1"] == pytest.approx(1.0)
+
+    def test_many_crossing_messages_all_deliver(self, env):
+        mesh = Mesh(env, 4, 4)
+        delivered = []
+
+        def proc(env, src, dst, size):
+            msg = yield from mesh.send(MeshMessage(src, dst, size))
+            delivered.append(msg)
+
+        coords = [(x, y) for x in range(4) for y in range(4)]
+        n = 0
+        for i, src in enumerate(coords):
+            dst = coords[(i * 7 + 3) % len(coords)]
+            env.process(proc(env, src, dst, 64 * 1024))
+            n += 1
+        env.run()
+        assert len(delivered) == n
+        assert all(m.delivered_at >= m.enqueued_at for m in delivered)
+
+    def test_monitor_records_traffic(self, env):
+        from repro.sim import Monitor
+
+        mon = Monitor(env)
+        mesh = Mesh(env, 2, 1, monitor=mon)
+
+        def proc(env):
+            yield from mesh.send(MeshMessage((0, 0), (1, 0), 1000))
+
+        env.process(proc(env))
+        env.run()
+        assert mon.counter_value("mesh.messages") == 1
+        assert mon.counter_value("mesh.bytes") == 1000

@@ -1,0 +1,184 @@
+"""Unit tests for the node and memory models."""
+
+import pytest
+
+from repro.hardware import MemoryRegion, Node, NodeKind, NodeParams, OutOfMemoryError
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+MB = 1024 * 1024
+
+
+class TestMemoryRegion:
+    def test_basic_allocation(self):
+        mem = MemoryRegion(100)
+        mem.allocate(30, "bufs")
+        assert mem.used_bytes == 30
+        assert mem.free_bytes == 70
+        assert mem.used_by("bufs") == 30
+        mem.free(30, "bufs")
+        assert mem.used_bytes == 0
+
+    def test_overflow_raises(self):
+        mem = MemoryRegion(100)
+        mem.allocate(80)
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate(30)
+        # Failed allocation does not change accounting.
+        assert mem.used_bytes == 80
+
+    def test_over_free_raises(self):
+        mem = MemoryRegion(100)
+        mem.allocate(10, "a")
+        with pytest.raises(ValueError):
+            mem.free(20, "a")
+        with pytest.raises(ValueError):
+            mem.free(5, "b")
+
+    def test_peak_tracking(self):
+        mem = MemoryRegion(100)
+        mem.allocate(60)
+        mem.free(50)
+        mem.allocate(20)
+        assert mem.peak_bytes == 60
+        assert mem.used_bytes == 30
+
+    def test_can_allocate(self):
+        mem = MemoryRegion(100)
+        mem.allocate(90)
+        assert mem.can_allocate(10)
+        assert not mem.can_allocate(11)
+
+    def test_negative_sizes_rejected(self):
+        mem = MemoryRegion(100)
+        with pytest.raises(ValueError):
+            mem.allocate(-1)
+        with pytest.raises(ValueError):
+            mem.free(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(0)
+
+
+class TestNode:
+    def test_construction(self, env):
+        node = Node(env, 3, NodeKind.COMPUTE, (1, 2))
+        assert node.node_id == 3
+        assert node.kind is NodeKind.COMPUTE
+        assert node.position == (1, 2)
+        assert node.memory.capacity_bytes == NodeParams().memory_bytes
+
+    def test_memcpy_time(self, env):
+        params = NodeParams(memcpy_bps=10 * MB)
+        node = Node(env, 0, NodeKind.COMPUTE, (0, 0), params=params)
+
+        def proc(env):
+            yield from node.memcpy(5 * MB)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == pytest.approx(0.5)
+
+    def test_memcpy_negative_rejected(self, env):
+        node = Node(env, 0, NodeKind.COMPUTE, (0, 0))
+
+        def proc(env):
+            yield from node.memcpy(-1)
+
+        env.process(proc(env))
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_cpu_serialises_work(self, env):
+        params = NodeParams(memcpy_bps=1 * MB)
+        node = Node(env, 0, NodeKind.COMPUTE, (0, 0), params=params)
+        done = []
+
+        def proc(env, tag):
+            yield from node.memcpy(1 * MB)
+            done.append((tag, env.now))
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+    def test_compute_occupies_cpu(self, env):
+        node = Node(env, 0, NodeKind.COMPUTE, (0, 0))
+
+        def computer(env):
+            yield from node.compute(2.0)
+
+        def copier(env):
+            yield env.timeout(0.1)
+            yield from node.memcpy(0)
+            return env.now
+
+        env.process(computer(env))
+        p = env.process(copier(env))
+        env.run()
+        # The copy cannot start until the computation releases the CPU.
+        assert p.value == pytest.approx(2.0)
+
+    def test_smp_node_runs_compute_in_parallel(self, env):
+        params = NodeParams(cpu_count=3)
+        node = Node(env, 0, NodeKind.COMPUTE, (0, 0), params=params)
+        done = []
+
+        def computer(env, tag):
+            yield from node.compute(1.0)
+            done.append((tag, env.now))
+
+        for tag in range(3):
+            env.process(computer(env, tag))
+        env.run()
+        # Three processors: all three 1-second computations overlap.
+        assert all(t == pytest.approx(1.0) for _tag, t in done)
+
+    def test_uniprocessor_serialises_compute(self, env):
+        node = Node(env, 0, NodeKind.COMPUTE, (0, 0))
+
+        def computer(env):
+            yield from node.compute(1.0)
+
+        env.process(computer(env))
+        env.process(computer(env))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+    def test_receive_does_not_contend_with_compute(self, env):
+        node = Node(env, 0, NodeKind.COMPUTE, (0, 0))
+        done = {}
+
+        def computer(env):
+            yield from node.compute(1.0)
+            done["compute"] = env.now
+
+        def receiver(env):
+            yield from node.receive(int(node.params.receive_bps))  # 1 second
+            done["receive"] = env.now
+
+        env.process(computer(env))
+        env.process(receiver(env))
+        env.run()
+        # The message co-processor works during the computation.
+        assert done["compute"] == pytest.approx(1.0)
+        assert done["receive"] == pytest.approx(1.0)
+
+    def test_busy_zero_seconds(self, env):
+        node = Node(env, 0, NodeKind.IO, (0, 0))
+
+        def proc(env):
+            yield from node.busy(0.0)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == pytest.approx(0.0)

@@ -1,0 +1,272 @@
+"""Unit tests for the coordination service (token / barrier / global)."""
+
+import pytest
+
+from repro.config import MachineConfig, PFSConfig
+from repro.machine import Machine
+from repro.pfs.coordinator import (
+    GlobalArrive,
+    SyncArrive,
+    TokenAcquire,
+    TokenRelease,
+)
+
+KB = 1024
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig(n_compute=4, n_io=2))
+
+
+@pytest.fixture
+def pfs_file(machine):
+    mount = machine.mount("/pfs", PFSConfig())
+    f = machine.create_file(mount, "data", 1024 * KB)
+    f.nprocs = 4
+    return f
+
+
+def coordinate(machine, rank, request):
+    """Issue one coordination RPC from compute node *rank*."""
+    client = machine.clients[rank]
+    return client.endpoint.call(client.coordinator_endpoint, request)
+
+
+class TestToken:
+    def test_acquire_returns_current_offset(self, machine, pfs_file):
+        pfs_file.shared_offset = 4096
+
+        def proc():
+            grant = yield from coordinate(
+                machine, 0, TokenAcquire(file_id=pfs_file.file_id, rank=0)
+            )
+            return grant.offset
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert p.value == 4096
+
+    def test_release_updates_offset(self, machine, pfs_file):
+        def proc():
+            yield from coordinate(
+                machine, 0, TokenAcquire(file_id=pfs_file.file_id, rank=0)
+            )
+            yield from coordinate(
+                machine,
+                0,
+                TokenRelease(file_id=pfs_file.file_id, rank=0, new_offset=999),
+            )
+
+        machine.spawn(proc())
+        machine.run()
+        assert pfs_file.shared_offset == 999
+
+    def test_token_is_exclusive_and_fifo(self, machine, pfs_file):
+        order = []
+
+        def proc(rank, hold):
+            yield machine.env.timeout(rank * 0.001)  # deterministic arrival
+            yield from coordinate(
+                machine, rank, TokenAcquire(file_id=pfs_file.file_id, rank=rank)
+            )
+            order.append(("acq", rank, machine.env.now))
+            yield machine.env.timeout(hold)
+            yield from coordinate(
+                machine,
+                rank,
+                TokenRelease(
+                    file_id=pfs_file.file_id,
+                    rank=rank,
+                    new_offset=pfs_file.shared_offset,
+                ),
+            )
+            order.append(("rel", rank, machine.env.now))
+
+        for rank in range(3):
+            machine.spawn(proc(rank, hold=0.05))
+        machine.run()
+        kinds = [(k, r) for (k, r, _t) in order]
+        assert kinds == [
+            ("acq", 0), ("rel", 0),
+            ("acq", 1), ("rel", 1),
+            ("acq", 2), ("rel", 2),
+        ]
+
+    def test_wrong_rank_release_fails(self, machine, pfs_file):
+        from repro.paragonos.rpc import RPCError
+
+        def proc():
+            yield from coordinate(
+                machine, 0, TokenAcquire(file_id=pfs_file.file_id, rank=0)
+            )
+            try:
+                yield from coordinate(
+                    machine,
+                    1,
+                    TokenRelease(file_id=pfs_file.file_id, rank=1, new_offset=0),
+                )
+            except RPCError:
+                return "rejected"
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert p.value == "rejected"
+
+    def test_migration_penalty_on_holder_change(self, machine, pfs_file):
+        from repro.pfs.coordinator import TOKEN_MIGRATION_S
+
+        times = {}
+
+        def acquire_release(rank):
+            t0 = machine.env.now
+            yield from coordinate(
+                machine, rank, TokenAcquire(file_id=pfs_file.file_id, rank=rank)
+            )
+            times[rank] = machine.env.now - t0
+            yield from coordinate(
+                machine,
+                rank,
+                TokenRelease(
+                    file_id=pfs_file.file_id,
+                    rank=rank,
+                    new_offset=pfs_file.shared_offset,
+                ),
+            )
+
+        # Rank 0 twice (the second re-acquire has no migration), then
+        # rank 1 (whose acquire pays the migration penalty).
+        def sequence():
+            yield from acquire_release(0)
+            yield from acquire_release(0)
+            same_holder = times[0]
+            yield from acquire_release(1)
+            return same_holder, times[1]
+
+        p = machine.spawn(sequence())
+        machine.run()
+        same_holder, different_holder = p.value
+        assert different_holder > same_holder + TOKEN_MIGRATION_S * 0.9
+
+
+class TestSyncBarrier:
+    def test_offsets_assigned_in_rank_order(self, machine, pfs_file):
+        results = {}
+
+        def proc(rank, nbytes):
+            go = yield from coordinate(
+                machine,
+                rank,
+                SyncArrive(
+                    file_id=pfs_file.file_id, call_index=0, rank=rank, nbytes=nbytes
+                ),
+            )
+            results[rank] = go.offset
+
+        sizes = {0: 100, 1: 200, 2: 300, 3: 400}
+        for rank in range(4):
+            machine.spawn(proc(rank, sizes[rank]))
+        machine.run()
+        assert results == {0: 0, 1: 100, 2: 300, 3: 600}
+        assert pfs_file.shared_offset == 1000
+
+    def test_double_arrival_rejected(self, machine, pfs_file):
+        from repro.paragonos.rpc import RPCError
+
+        pfs_file.nprocs = 2
+
+        def first():
+            yield from coordinate(
+                machine,
+                0,
+                SyncArrive(file_id=pfs_file.file_id, call_index=0, rank=0, nbytes=1),
+            )
+
+        def duplicate():
+            yield machine.env.timeout(0.01)
+            try:
+                yield from coordinate(
+                    machine,
+                    0,
+                    SyncArrive(
+                        file_id=pfs_file.file_id, call_index=0, rank=0, nbytes=1
+                    ),
+                )
+            except RPCError:
+                return "rejected"
+
+        def completer():
+            yield machine.env.timeout(0.02)
+            yield from coordinate(
+                machine,
+                1,
+                SyncArrive(file_id=pfs_file.file_id, call_index=0, rank=1, nbytes=1),
+            )
+
+        machine.spawn(first())
+        p = machine.spawn(duplicate())
+        machine.spawn(completer())
+        machine.run()
+        assert p.value == "rejected"
+
+    def test_successive_calls_independent(self, machine, pfs_file):
+        pfs_file.nprocs = 2
+        offsets = []
+
+        def proc(rank):
+            for call_index in range(2):
+                go = yield from coordinate(
+                    machine,
+                    rank,
+                    SyncArrive(
+                        file_id=pfs_file.file_id,
+                        call_index=call_index,
+                        rank=rank,
+                        nbytes=10,
+                    ),
+                )
+                offsets.append((call_index, rank, go.offset))
+
+        for rank in range(2):
+            machine.spawn(proc(rank))
+        machine.run()
+        got = {(c, r): o for c, r, o in offsets}
+        assert got == {(0, 0): 0, (0, 1): 10, (1, 0): 20, (1, 1): 30}
+
+
+class TestGlobal:
+    def test_single_leader_and_shared_offset(self, machine, pfs_file):
+        results = []
+
+        def proc(rank):
+            yield machine.env.timeout(rank * 0.001)
+            go = yield from coordinate(
+                machine,
+                rank,
+                GlobalArrive(
+                    file_id=pfs_file.file_id, call_index=0, rank=rank, nbytes=500
+                ),
+            )
+            results.append((rank, go.leader, go.offset))
+
+        for rank in range(4):
+            machine.spawn(proc(rank))
+        machine.run()
+        leaders = [r for r, is_leader, _o in results if is_leader]
+        assert len(leaders) == 1
+        assert all(o == 0 for _r, _l, o in results)
+        # Pointer advanced exactly once.
+        assert pfs_file.shared_offset == 500
+
+    def test_unregistered_file_fails(self, machine):
+        from repro.paragonos.rpc import RPCError
+
+        def proc():
+            try:
+                yield from coordinate(machine, 0, TokenAcquire(file_id=9999, rank=0))
+            except RPCError:
+                return "no such file"
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert p.value == "no such file"

@@ -1,0 +1,229 @@
+"""Unit and property tests for stripe declustering (paper Figure 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs.stripe import (
+    StripeAttributes,
+    decluster,
+    pieces_per_node,
+    ufs_file_size,
+)
+
+KB = 1024
+
+
+def attrs(su=64 * KB, factor=8):
+    return StripeAttributes(stripe_unit=su, stripe_group=tuple(range(factor)))
+
+
+class TestStripeAttributes:
+    def test_defaults(self):
+        a = attrs()
+        assert a.stripe_unit == 64 * KB
+        assert a.stripe_factor == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            StripeAttributes(stripe_unit=0, stripe_group=(0,))
+        with pytest.raises(ValueError):
+            StripeAttributes(stripe_unit=64, stripe_group=())
+        with pytest.raises(ValueError):
+            StripeAttributes(stripe_unit=64, stripe_group=(1, 1))
+
+
+class TestDecluster:
+    def test_single_unit_request(self):
+        pieces = decluster(attrs(), 0, 64 * KB)
+        assert len(pieces) == 1
+        assert pieces[0].io_node == 0
+        assert pieces[0].ufs_offset == 0
+        assert pieces[0].length == 64 * KB
+
+    def test_round_robin_over_nodes(self):
+        # Paper Figure 3: sz/su sub-requests go to consecutive I/O nodes.
+        pieces = decluster(attrs(), 0, 4 * 64 * KB)
+        assert [p.io_node for p in pieces] == [0, 1, 2, 3]
+        assert all(p.ufs_offset == 0 for p in pieces)
+
+    def test_second_round_advances_ufs_offset(self):
+        pieces = decluster(attrs(factor=2), 0, 4 * 64 * KB)
+        # Units 0,1,2,3 -> nodes 0,1,0,1; node 0 units at UFS 0 and 64K.
+        per_node = pieces_per_node(pieces)
+        assert [p.ufs_offset for p in per_node[0]] == [0, 64 * KB]
+        assert [p.ufs_offset for p in per_node[1]] == [0, 64 * KB]
+
+    def test_wraparound_merges_contiguous_units(self):
+        # A request of 2 units on a 1-node group is one contiguous piece.
+        pieces = decluster(attrs(factor=1), 0, 2 * 64 * KB)
+        assert len(pieces) == 1
+        assert pieces[0].length == 2 * 64 * KB
+
+    def test_unaligned_offset(self):
+        pieces = decluster(attrs(), 10, 100)
+        assert len(pieces) == 1
+        assert pieces[0].ufs_offset == 10
+        assert pieces[0].length == 100
+
+    def test_request_spanning_unit_boundary(self):
+        su = 64 * KB
+        pieces = decluster(attrs(), su - 10, 20)
+        assert len(pieces) == 2
+        assert pieces[0].io_node == 0 and pieces[0].length == 10
+        assert pieces[1].io_node == 1 and pieces[1].length == 10
+        assert pieces[1].ufs_offset == 0
+
+    def test_offset_determines_first_node(self):
+        su = 64 * KB
+        pieces = decluster(attrs(), 3 * su, su)
+        assert pieces[0].io_node == 3
+
+    def test_zero_length(self):
+        assert decluster(attrs(), 0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            decluster(attrs(), -1, 10)
+        with pytest.raises(ValueError):
+            decluster(attrs(), 0, -10)
+
+    def test_paper_figure3_64k_requests(self):
+        # "request sizes of 64KB": each compute node's 64KB request goes
+        # to exactly one I/O node.
+        a = attrs(su=64 * KB, factor=8)
+        for node_rank in range(8):
+            pieces = decluster(a, node_rank * 64 * KB, 64 * KB)
+            assert len(pieces) == 1
+            assert pieces[0].io_node == node_rank
+
+    def test_paper_figure3_128k_requests(self):
+        # "request sizes of 128KB": two units across two I/O nodes.
+        a = attrs(su=64 * KB, factor=8)
+        pieces = decluster(a, 0, 128 * KB)
+        assert [p.io_node for p in pieces] == [0, 1]
+
+
+@st.composite
+def stripe_cases(draw):
+    su = draw(st.sampled_from([1 * KB, 4 * KB, 16 * KB, 64 * KB, 1024 * KB]))
+    factor = draw(st.integers(min_value=1, max_value=16))
+    offset = draw(st.integers(min_value=0, max_value=16 * 1024 * KB))
+    nbytes = draw(st.integers(min_value=1, max_value=8 * 1024 * KB))
+    return su, factor, offset, nbytes
+
+
+class TestDeclusterProperties:
+    @given(stripe_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_pieces_partition_the_range(self, case):
+        su, factor, offset, nbytes = case
+        a = attrs(su=su, factor=factor)
+        pieces = decluster(a, offset, nbytes)
+        assert sum(p.length for p in pieces) == nbytes
+        # Pieces tile the PFS range in order with no gaps or overlaps.
+        pos = offset
+        for p in pieces:
+            assert p.pfs_offset == pos
+            pos += p.length
+        assert pos == offset + nbytes
+
+    @given(stripe_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_mapping_is_consistent_pointwise(self, case):
+        su, factor, offset, nbytes = case
+        a = attrs(su=su, factor=factor)
+        pieces = decluster(a, offset, nbytes)
+        for p in pieces:
+            # First byte of each piece maps per the unit arithmetic.
+            unit = p.pfs_offset // su
+            assert p.io_node == unit % factor
+            assert p.ufs_offset == (unit // factor) * su + (p.pfs_offset % su)
+
+    @given(stripe_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_pieces_never_cross_units_on_different_nodes(self, case):
+        su, factor, offset, nbytes = case
+        a = attrs(su=su, factor=factor)
+        for p in decluster(a, offset, nbytes):
+            # Every byte of the piece lives on the same I/O node.
+            last_unit = (p.pfs_offset + p.length - 1) // su
+            first_unit = p.pfs_offset // su
+            for unit in range(first_unit, last_unit + 1):
+                assert unit % factor == p.io_node % factor
+
+    @given(stripe_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_per_node_pieces_do_not_overlap_in_ufs(self, case):
+        su, factor, offset, nbytes = case
+        a = attrs(su=su, factor=factor)
+        per_node = pieces_per_node(decluster(a, offset, nbytes))
+        for pieces in per_node.values():
+            spans = sorted((p.ufs_offset, p.ufs_offset + p.length) for p in pieces)
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert e1 <= s2
+
+    @given(stripe_cases())
+    @settings(max_examples=150, deadline=None)
+    def test_coalesced_requests_cover_pieces_exactly(self, case):
+        from repro.pfs.stripe import coalesce_pieces
+
+        su, factor, offset, nbytes = case
+        a = attrs(su=su, factor=factor)
+        pieces = decluster(a, offset, nbytes)
+        requests = coalesce_pieces(pieces)
+        # Every piece appears in exactly one request, inside its range.
+        seen = 0
+        for creq in requests:
+            covered = 0
+            for piece in creq.pieces:
+                assert piece.io_node == creq.io_node
+                start = piece.ufs_offset - creq.ufs_offset
+                assert 0 <= start
+                assert start + piece.length <= creq.length
+                covered += piece.length
+                seen += 1
+            # A request's pieces tile it exactly (no padding fetched).
+            assert covered == creq.length
+        assert seen == len(pieces)
+        assert sum(c.length for c in requests) == nbytes
+
+    @given(stripe_cases())
+    @settings(max_examples=150, deadline=None)
+    def test_coalesced_requests_disjoint_per_node(self, case):
+        from repro.pfs.stripe import coalesce_pieces
+
+        su, factor, offset, nbytes = case
+        a = attrs(su=su, factor=factor)
+        requests = coalesce_pieces(decluster(a, offset, nbytes))
+        per_node = {}
+        for creq in requests:
+            per_node.setdefault(creq.io_node, []).append(
+                (creq.ufs_offset, creq.ufs_offset + creq.length)
+            )
+        for spans in per_node.values():
+            spans.sort()
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                # Disjoint AND actually maximal (no adjacent mergeables).
+                assert e1 < s2
+
+    @given(
+        st.sampled_from([1 * KB, 64 * KB, 1024 * KB]),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=64 * 1024 * KB),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ufs_file_sizes_sum_to_pfs_size(self, su, factor, size):
+        a = attrs(su=su, factor=factor)
+        total = sum(ufs_file_size(a, size, g) for g in range(factor))
+        assert total == size
+
+    @given(stripe_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_pieces_fit_in_their_stripe_files(self, case):
+        su, factor, offset, nbytes = case
+        a = attrs(su=su, factor=factor)
+        file_size = offset + nbytes  # minimal file containing the request
+        for p in decluster(a, offset, nbytes):
+            limit = ufs_file_size(a, file_size, p.group_index)
+            assert p.ufs_offset + p.length <= limit

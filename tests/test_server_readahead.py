@@ -1,0 +1,220 @@
+"""Tests for server-side readahead and the async write / lseek extensions."""
+
+import pytest
+
+from repro.config import MachineConfig, PFSConfig
+from repro.machine import Machine
+from repro.pfs import IOMode
+from repro.pfs.client import PFSClientError
+from repro.ufs.data import LiteralData
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_machine(readahead=0, cache_blocks=64):
+    return Machine(
+        MachineConfig(
+            n_compute=2,
+            n_io=2,
+            server_readahead_blocks=readahead,
+            cache_blocks=cache_blocks,
+        )
+    )
+
+
+def open_handle(machine, mount, name="data", mode=IOMode.M_ASYNC):
+    box = {}
+
+    def opener():
+        box["h"] = yield from machine.clients[0].open(
+            mount, name, mode, rank=0, nprocs=1
+        )
+
+    machine.spawn(opener())
+    machine.run()
+    return box["h"]
+
+
+class TestServerReadahead:
+    def test_readahead_fills_cache(self):
+        machine = make_machine(readahead=2)
+        mount = machine.mount("/pfs", PFSConfig(buffered=True, stripe_factor=1))
+        pfs_file = machine.create_file(mount, "data", 1 * MB)
+        handle = open_handle(machine, mount)
+
+        def proc():
+            yield from handle.read(64 * KB)  # block 0
+            yield machine.env.timeout(0.5)  # let readahead land
+
+        machine.spawn(proc())
+        machine.run()
+        cache = machine.caches[0]
+        # Blocks 1 and 2 of the stripe file were read ahead.
+        assert (pfs_file.file_id, 1) in cache
+        assert (pfs_file.file_id, 2) in cache
+
+    def test_sequential_reads_hit_readahead(self):
+        machine = make_machine(readahead=2)
+        mount = machine.mount("/pfs", PFSConfig(buffered=True, stripe_factor=1))
+        machine.create_file(mount, "data", 1 * MB)
+        handle = open_handle(machine, mount)
+
+        def proc():
+            for _ in range(6):
+                yield from handle.node.compute(0.1)
+                yield from handle.read(64 * KB)
+
+        machine.spawn(proc())
+        machine.run()
+        hits = machine.monitor.counter_value("bcache0.hits")
+        assert hits >= 4  # later blocks were already cached
+
+    def test_readahead_faster_than_plain_buffered(self):
+        def run(readahead):
+            machine = make_machine(readahead=readahead)
+            mount = machine.mount(
+                "/pfs", PFSConfig(buffered=True, stripe_factor=1)
+            )
+            machine.create_file(mount, "data", 1 * MB)
+            handle = open_handle(machine, mount)
+            times = []
+
+            def proc():
+                for _ in range(8):
+                    yield from handle.node.compute(0.1)
+                    t0 = machine.env.now
+                    yield from handle.read(64 * KB)
+                    times.append(machine.env.now - t0)
+
+            machine.spawn(proc())
+            machine.run()
+            return sum(times)
+
+        assert run(readahead=4) < 0.7 * run(readahead=0)
+
+    def test_no_readahead_on_fastpath_mount(self):
+        machine = make_machine(readahead=2)
+        mount = machine.mount("/pfs", PFSConfig(buffered=False, stripe_factor=1))
+        pfs_file = machine.create_file(mount, "data", 1 * MB)
+        handle = open_handle(machine, mount)
+
+        def proc():
+            yield from handle.read(64 * KB)
+            yield machine.env.timeout(0.5)
+
+        machine.spawn(proc())
+        machine.run()
+        assert (pfs_file.file_id, 1) not in machine.caches[0]
+
+    def test_readahead_stops_at_eof(self):
+        machine = make_machine(readahead=8)
+        mount = machine.mount("/pfs", PFSConfig(buffered=True, stripe_factor=1))
+        pfs_file = machine.create_file(mount, "data", 128 * KB)  # 2 blocks
+        handle = open_handle(machine, mount)
+
+        def proc():
+            yield from handle.read(64 * KB)
+            yield machine.env.timeout(0.5)
+
+        machine.spawn(proc())
+        machine.run()
+        cache = machine.caches[0]
+        assert (pfs_file.file_id, 1) in cache
+        assert (pfs_file.file_id, 2) not in cache  # past EOF
+
+    def test_negative_readahead_rejected(self):
+        from repro.hardware import Mesh, Node, NodeKind
+        from repro.hardware.raid import RAID3Array
+        from repro.hardware.scsi import SCSIBus
+        from repro.paragonos.rpc import RPCEndpoint
+        from repro.pfs.server import PFSServer
+        from repro.sim import Environment
+        from repro.ufs import UFS, BlockDevice
+
+        env = Environment()
+        node = Node(env, 0, NodeKind.IO, (0, 0))
+        mesh = Mesh(env, 1, 1)
+        ufs = UFS(BlockDevice(RAID3Array(env, SCSIBus(env)), 64 * KB))
+        with pytest.raises(ValueError):
+            PFSServer(
+                env,
+                node,
+                RPCEndpoint(env, node, mesh),
+                ufs,
+                readahead_blocks=-1,
+            )
+
+
+class TestIWrite:
+    def test_async_write_roundtrip(self):
+        machine = make_machine()
+        mount = machine.mount("/pfs", PFSConfig(stripe_factor=2))
+        machine.create_file(mount, "data", 0)
+        handle = open_handle(machine, mount)
+        payload = bytes(range(256)) * 256  # 64 KB
+
+        def proc():
+            request = yield from handle.iwrite(LiteralData(payload))
+            yield from handle.node.compute(0.05)  # overlap with the write
+            nbytes = yield request.event
+            yield from handle.lseek(0)
+            data = yield from handle.read(len(payload))
+            return nbytes, data.to_bytes()
+
+        p = machine.spawn(proc())
+        machine.run()
+        nbytes, got = p.value
+        assert nbytes == len(payload)
+        assert got == payload
+
+
+class TestLseekWhence:
+    def setup_handle(self):
+        machine = make_machine()
+        mount = machine.mount("/pfs", PFSConfig(stripe_factor=2))
+        machine.create_file(mount, "data", 1 * MB)
+        return machine, open_handle(machine, mount)
+
+    def test_seek_cur(self):
+        machine, handle = self.setup_handle()
+
+        def proc():
+            yield from handle.lseek(100)
+            yield from handle.lseek(50, whence="cur")
+            return handle.private_offset
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert p.value == 150
+
+    def test_seek_end(self):
+        machine, handle = self.setup_handle()
+
+        def proc():
+            yield from handle.lseek(-64 * KB, whence="end")
+            return handle.private_offset
+
+        p = machine.spawn(proc())
+        machine.run()
+        assert p.value == 1 * MB - 64 * KB
+
+    def test_bad_whence(self):
+        machine, handle = self.setup_handle()
+
+        def proc():
+            yield from handle.lseek(0, whence="nowhere")
+
+        machine.spawn(proc())
+        with pytest.raises(PFSClientError):
+            machine.run()
+
+    def test_negative_result_rejected(self):
+        machine, handle = self.setup_handle()
+
+        def proc():
+            yield from handle.lseek(-10, whence="cur")
+
+        machine.spawn(proc())
+        with pytest.raises(PFSClientError):
+            machine.run()

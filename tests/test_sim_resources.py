@@ -1,0 +1,359 @@
+"""Unit tests for simulation resources, containers and stores."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Environment,
+    FilterStore,
+    PriorityResource,
+    Resource,
+    Store,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_bad_capacity(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self, env):
+        res = Resource(env, capacity=2)
+
+        def proc(env, res):
+            with res.request() as req:
+                yield req
+                return env.now
+
+        p1 = env.process(proc(env, res))
+        p2 = env.process(proc(env, res))
+        env.run()
+        assert p1.value == 0.0 and p2.value == 0.0
+
+    def test_mutual_exclusion(self, env):
+        res = Resource(env, capacity=1)
+        holds = []
+
+        def proc(env, res, tag):
+            with res.request() as req:
+                yield req
+                holds.append((tag, "acquire", env.now))
+                yield env.timeout(1.0)
+                holds.append((tag, "release", env.now))
+
+        env.process(proc(env, res, "a"))
+        env.process(proc(env, res, "b"))
+        env.run()
+        assert holds == [
+            ("a", "acquire", 0.0),
+            ("a", "release", 1.0),
+            ("b", "acquire", 1.0),
+            ("b", "release", 2.0),
+        ]
+
+    def test_fifo_ordering(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def proc(env, res, tag, arrive):
+            yield env.timeout(arrive)
+            with res.request() as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(10.0)
+
+        for i, tag in enumerate(["first", "second", "third"]):
+            env.process(proc(env, res, tag, i * 0.1))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_count_and_capacity(self, env):
+        res = Resource(env, capacity=3)
+
+        def proc(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        for _ in range(5):
+            env.process(proc(env, res))
+        env.run(until=0.5)
+        assert res.capacity == 3
+        assert res.count == 3
+        assert len(res.queue) == 2
+        env.run()
+        assert res.count == 0
+
+    def test_context_manager_releases_on_exception(self, env):
+        res = Resource(env, capacity=1)
+
+        def crasher(env, res):
+            with res.request() as req:
+                yield req
+                raise RuntimeError("boom")
+
+        def waiter(env, res):
+            yield env.timeout(0.1)
+            with res.request() as req:
+                yield req
+                return "got it"
+
+        c = env.process(crasher(env, res))
+        w = env.process(waiter(env, res))
+        with pytest.raises(RuntimeError):
+            env.run()
+        env.run()  # continue after the crash
+        assert w.value == "got it"
+        assert not c.ok
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def impatient(env, res):
+            req = res.request()
+            result = yield req | env.timeout(1.0)
+            if req not in result:
+                req.cancel()
+                return "gave up"
+            res.release(req)
+            return "acquired"
+
+        env.process(holder(env, res))
+        p = env.process(impatient(env, res))
+        env.run()
+        assert p.value == "gave up"
+        assert not res.queue
+
+    def test_release_unacquired_is_noop(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def leaver(env, res):
+            req = res.request()  # queued behind holder
+            yield env.timeout(1.0)
+            res.release(req)  # still pending -> treated as cancel
+            return "left"
+
+        env.process(holder(env, res))
+        p = env.process(leaver(env, res))
+        env.run()
+        assert p.value == "left"
+        assert not res.queue
+
+
+class TestPriorityResource:
+    def test_priority_order(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def proc(env, res, tag, prio, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(10.0)
+
+        env.process(proc(env, res, "holder", 0, 0.0))
+        env.process(proc(env, res, "low", 5, 0.1))
+        env.process(proc(env, res, "high", 1, 0.2))
+        env.run()
+        assert order == ["holder", "high", "low"]
+
+    def test_equal_priority_is_fifo(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def proc(env, res, tag, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=1) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(10.0)
+
+        for i, tag in enumerate(["a", "b", "c"]):
+            env.process(proc(env, res, tag, i * 0.01))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestContainer:
+    def test_level_tracking(self, env):
+        box = Container(env, capacity=100, init=10)
+
+        def proc(env, box):
+            yield box.put(40)
+            assert box.level == 50
+            yield box.get(25)
+            assert box.level == 25
+            return box.level
+
+        p = env.process(proc(env, box))
+        env.run()
+        assert p.value == 25
+
+    def test_get_blocks_until_available(self, env):
+        box = Container(env, capacity=100, init=0)
+
+        def getter(env, box):
+            yield box.get(10)
+            return env.now
+
+        def putter(env, box):
+            yield env.timeout(3.0)
+            yield box.put(10)
+
+        g = env.process(getter(env, box))
+        env.process(putter(env, box))
+        env.run()
+        assert g.value == pytest.approx(3.0)
+
+    def test_put_blocks_at_capacity(self, env):
+        box = Container(env, capacity=10, init=10)
+
+        def putter(env, box):
+            yield box.put(5)
+            return env.now
+
+        def getter(env, box):
+            yield env.timeout(2.0)
+            yield box.get(5)
+
+        p = env.process(putter(env, box))
+        env.process(getter(env, box))
+        env.run()
+        assert p.value == pytest.approx(2.0)
+
+    def test_invalid_args(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=10)
+        box = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            box.put(0)
+        with pytest.raises(ValueError):
+            box.get(-1)
+
+
+class TestStore:
+    def test_fifo_items(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer(env, store):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_on_empty(self, env):
+        store = Store(env)
+
+        def consumer(env, store):
+            item = yield store.get()
+            return (item, env.now)
+
+        def producer(env, store):
+            yield env.timeout(4.0)
+            yield store.put("late")
+
+        c = env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert c.value == ("late", 4.0)
+
+    def test_put_blocks_at_capacity(self, env):
+        store = Store(env, capacity=1)
+
+        def producer(env, store):
+            yield store.put("a")
+            yield store.put("b")
+            return env.now
+
+        def consumer(env, store):
+            yield env.timeout(2.0)
+            yield store.get()
+
+        p = env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert p.value == pytest.approx(2.0)
+
+    def test_multiple_consumers_fifo(self, env):
+        store = Store(env)
+        got = {}
+
+        def consumer(env, store, tag):
+            item = yield store.get()
+            got[tag] = item
+
+        def producer(env, store):
+            yield env.timeout(1.0)
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(consumer(env, store, "c1"))
+        env.process(consumer(env, store, "c2"))
+        env.process(producer(env, store))
+        env.run()
+        assert got == {"c1": "x", "c2": "y"}
+
+
+class TestFilterStore:
+    def test_filter_selects_matching_item(self, env):
+        store = FilterStore(env)
+
+        def producer(env, store):
+            yield store.put({"id": 1})
+            yield store.put({"id": 2})
+            yield store.put({"id": 3})
+
+        def consumer(env, store):
+            item = yield store.get(lambda it: it["id"] == 2)
+            return item
+
+        env.process(producer(env, store))
+        c = env.process(consumer(env, store))
+        env.run()
+        assert c.value == {"id": 2}
+        assert [it["id"] for it in store.items] == [1, 3]
+
+    def test_filter_waits_for_match(self, env):
+        store = FilterStore(env)
+
+        def consumer(env, store):
+            item = yield store.get(lambda it: it == "wanted")
+            return (item, env.now)
+
+        def producer(env, store):
+            yield store.put("other")
+            yield env.timeout(5.0)
+            yield store.put("wanted")
+
+        c = env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert c.value == ("wanted", 5.0)
+        assert store.items == ["other"]

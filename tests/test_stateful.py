@@ -1,0 +1,117 @@
+"""Stateful (rule-based) hypothesis tests for long-lived structures."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.hardware.memory import MemoryRegion, OutOfMemoryError
+from repro.ufs.allocator import AllocationError, ExtentAllocator
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Random alloc/free interleavings never corrupt the free list."""
+
+    @initialize(total=st.integers(min_value=1, max_value=128))
+    def setup(self, total):
+        self.total = total
+        self.allocator = ExtentAllocator(total)
+        self.held = []
+
+    @rule(n=st.integers(min_value=1, max_value=32))
+    def allocate(self, n):
+        try:
+            extents = self.allocator.allocate(n)
+        except AllocationError:
+            assert n > self.allocator.free_blocks
+            return
+        assert sum(e.length for e in extents) == n
+        self.held.append(extents)
+
+    @precondition(lambda self: self.held)
+    @rule(index=st.integers(min_value=0, max_value=10_000))
+    def free(self, index):
+        extents = self.held.pop(index % len(self.held))
+        self.allocator.free(extents)
+
+    @invariant()
+    def blocks_conserved(self):
+        allocated = sum(e.length for ex in self.held for e in ex)
+        assert self.allocator.free_blocks + allocated == self.total
+
+    @invariant()
+    def free_list_sorted_disjoint(self):
+        extents = self.allocator.free_extents
+        for a, b in zip(extents, extents[1:]):
+            assert a.end < b.start  # disjoint AND unmerged neighbours
+
+    @invariant()
+    def no_overlap_between_held_and_free(self):
+        spans = sorted(
+            [(e.start, e.end) for ex in self.held for e in ex]
+            + [(f.start, f.end) for f in self.allocator.free_extents]
+        )
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+class MemoryRegionMachine(RuleBasedStateMachine):
+    """Allocation-class accounting stays exact under random traffic."""
+
+    classes = ("prefetch", "cache", "anon")
+
+    @initialize(capacity=st.integers(min_value=1, max_value=10_000))
+    def setup(self, capacity):
+        self.capacity = capacity
+        self.memory = MemoryRegion(capacity)
+        self.model = {name: 0 for name in self.classes}
+
+    @rule(
+        nbytes=st.integers(min_value=0, max_value=4_000),
+        cls=st.sampled_from(classes),
+    )
+    def allocate(self, nbytes, cls):
+        try:
+            self.memory.allocate(nbytes, cls)
+        except OutOfMemoryError:
+            assert sum(self.model.values()) + nbytes > self.capacity
+            return
+        self.model[cls] += nbytes
+
+    @rule(
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        cls=st.sampled_from(classes),
+    )
+    def free_some(self, fraction, cls):
+        amount = int(self.model[cls] * fraction)
+        self.memory.free(amount, cls)
+        self.model[cls] -= amount
+
+    @rule(cls=st.sampled_from(classes))
+    def overfree_rejected(self, cls):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self.memory.free(self.model[cls] + 1, cls)
+
+    @invariant()
+    def accounting_matches_model(self):
+        assert self.memory.used_bytes == sum(self.model.values())
+        for cls in self.classes:
+            assert self.memory.used_by(cls) == self.model[cls]
+        assert 0 <= self.memory.used_bytes <= self.capacity
+
+
+TestAllocatorMachine = AllocatorMachine.TestCase
+TestAllocatorMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestMemoryRegionMachine = MemoryRegionMachine.TestCase
+TestMemoryRegionMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,364 @@
+"""Unit tests for the UFS layer: data values, allocator, inodes, filesystem."""
+
+import pytest
+
+from repro.hardware import DiskParams, RAID3Array, RAIDParams, SCSIBus, SCSIParams
+from repro.sim import Environment, Monitor
+from repro.ufs import (
+    UFS,
+    AllocationError,
+    BlockDevice,
+    Extent,
+    ExtentAllocator,
+    LiteralData,
+    SyntheticData,
+    UFSError,
+    concat_data,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_ufs(env, block_size=64 * KB, monitor=None):
+    bus = SCSIBus(env, params=SCSIParams(bandwidth_bps=3.5 * MB, arbitration_s=0.0))
+    raid = RAID3Array(
+        env,
+        bus,
+        disk_params=DiskParams(media_rate_bps=1 * MB, controller_overhead_s=0.0),
+        raid_params=RAIDParams(data_disks=4, controller_overhead_s=0.0),
+    )
+    device = BlockDevice(raid, block_size)
+    return UFS(device, fs_id=1, monitor=monitor)
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run()
+    return p.value
+
+
+class TestData:
+    def test_literal_roundtrip(self):
+        d = LiteralData(b"hello world")
+        assert len(d) == 11
+        assert d.to_bytes() == b"hello world"
+        assert d.slice(6, 5).to_bytes() == b"world"
+
+    def test_synthetic_deterministic(self):
+        a = SyntheticData(7, 100, 50)
+        b = SyntheticData(7, 100, 50)
+        assert a.to_bytes() == b.to_bytes()
+        assert a == b
+
+    def test_synthetic_differs_across_keys_and_offsets(self):
+        base = SyntheticData(7, 0, 64).to_bytes()
+        assert SyntheticData(8, 0, 64).to_bytes() != base
+        assert SyntheticData(7, 1, 64).to_bytes() != base
+
+    def test_synthetic_slice_matches_bytes_slice(self):
+        d = SyntheticData(3, 1000, 256)
+        raw = d.to_bytes()
+        s = d.slice(10, 100)
+        assert s.to_bytes() == raw[10:110]
+
+    def test_concat_and_slice_across_parts(self):
+        d = concat_data([LiteralData(b"abc"), LiteralData(b"defgh")])
+        assert len(d) == 8
+        assert d.to_bytes() == b"abcdefgh"
+        assert d.slice(2, 4).to_bytes() == b"cdef"
+
+    def test_concat_collapses_empty(self):
+        d = concat_data([LiteralData(b""), LiteralData(b"x")])
+        assert isinstance(d, LiteralData)
+        assert d.to_bytes() == b"x"
+
+    def test_slice_bounds_checked(self):
+        d = LiteralData(b"abc")
+        with pytest.raises(ValueError):
+            d.slice(1, 5)
+        with pytest.raises(ValueError):
+            d.slice(-1, 1)
+
+    def test_equality_cross_type(self):
+        s = SyntheticData(5, 0, 16)
+        lit = LiteralData(s.to_bytes())
+        assert s == lit
+        assert lit == s
+
+
+class TestExtentAllocator:
+    def test_simple_allocation_contiguous(self):
+        alloc = ExtentAllocator(100)
+        got = alloc.allocate(10)
+        assert got == [Extent(0, 10)]
+        assert alloc.free_blocks == 90
+
+    def test_exhaustion_raises(self):
+        alloc = ExtentAllocator(10)
+        alloc.allocate(10)
+        with pytest.raises(AllocationError):
+            alloc.allocate(1)
+
+    def test_free_and_merge(self):
+        alloc = ExtentAllocator(100)
+        a = alloc.allocate(10)
+        b = alloc.allocate(10)
+        alloc.free(a)
+        alloc.free(b)
+        assert alloc.free_blocks == 100
+        assert alloc.free_extents == [Extent(0, 100)]
+        assert alloc.fragmentation == 0.0
+
+    def test_fragmented_allocation_spans_extents(self):
+        alloc = ExtentAllocator(30)
+        a = alloc.allocate(10)
+        b = alloc.allocate(10)
+        c = alloc.allocate(10)
+        alloc.free(a)
+        alloc.free(c)
+        got = alloc.allocate(15)  # must span the two free extents
+        assert len(got) == 2
+        assert sum(e.length for e in got) == 15
+        del b
+
+    def test_double_free_detected(self):
+        alloc = ExtentAllocator(100)
+        a = alloc.allocate(10)
+        alloc.free(a)
+        with pytest.raises(ValueError):
+            alloc.free(a)
+
+    def test_fragmentation_metric(self):
+        alloc = ExtentAllocator(30)
+        a = alloc.allocate(10)
+        _b = alloc.allocate(10)
+        alloc.free(a)
+        # Free space: [0,10) and [20,30): two equal extents.
+        assert alloc.fragmentation == pytest.approx(0.5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ExtentAllocator(0)
+        alloc = ExtentAllocator(10)
+        with pytest.raises(ValueError):
+            alloc.allocate(0)
+        with pytest.raises(ValueError):
+            Extent(-1, 5)
+        with pytest.raises(ValueError):
+            Extent(0, 0)
+
+
+class TestInode:
+    def test_physical_runs_contiguous(self, env):
+        ufs = make_ufs(env)
+        inode = ufs.create(1, size_bytes=10 * 64 * KB)
+        runs = inode.physical_runs(0, 10)
+        assert len(runs) == 1
+        assert runs[0][2] == 10
+
+    def test_physical_runs_split_on_fragmentation(self):
+        from repro.ufs import Inode
+
+        inode = Inode(file_id=1)
+        # Blocks 0-3 map to 10-13, block 4 jumps to 20, 5-6 continue.
+        inode.block_map = [10, 11, 12, 13, 20, 21, 22]
+        runs = inode.physical_runs(0, 7)
+        assert runs == [(0, 10, 4), (4, 20, 3)]
+        # A sub-range entirely within the first run stays one run.
+        assert inode.physical_runs(1, 3) == [(1, 11, 3)]
+
+    def test_block_map_bounds(self, env):
+        ufs = make_ufs(env)
+        inode = ufs.create(1, size_bytes=64 * KB)
+        with pytest.raises(IndexError):
+            inode.physical_block(5)
+        with pytest.raises(IndexError):
+            inode.physical_runs(0, 5)
+
+
+class TestUFS:
+    def test_create_and_stat(self, env):
+        ufs = make_ufs(env)
+        inode = ufs.create(1, size_bytes=100 * KB)
+        assert ufs.exists(1)
+        assert inode.size_bytes == 100 * KB
+        assert inode.nblocks == 2  # ceil(100K / 64K)
+
+    def test_create_duplicate_raises(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1)
+        with pytest.raises(UFSError):
+            ufs.create(1)
+
+    def test_missing_file_raises(self, env):
+        ufs = make_ufs(env)
+        with pytest.raises(UFSError):
+            ufs.inode(42)
+
+    def test_read_returns_consistent_content(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=1 * MB)
+        d1 = run(env, ufs.read(1, 0, 128 * KB))
+        d2 = ufs.content(1, 0, 128 * KB)
+        assert d1 == d2
+
+    def test_read_out_of_range(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=64 * KB)
+
+        def proc():
+            yield from ufs.read(1, 0, 128 * KB)
+
+        env.process(proc())
+        with pytest.raises(UFSError):
+            env.run()
+
+    def test_write_read_roundtrip(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=0)
+        payload = bytes(range(256)) * 1024  # 256 KB
+        run(env, ufs.write(1, 0, LiteralData(payload)))
+        got = run(env, ufs.read(1, 0, len(payload)))
+        assert got.to_bytes() == payload
+
+    def test_unaligned_write_preserves_neighbours(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=192 * KB)
+        before = ufs.content(1, 0, 192 * KB).to_bytes()
+        # Overwrite 10 bytes in the middle of block 1.
+        run(env, ufs.write(1, 64 * KB + 100, LiteralData(b"XXXXXXXXXX")))
+        after = ufs.content(1, 0, 192 * KB).to_bytes()
+        expected = (
+            before[: 64 * KB + 100] + b"XXXXXXXXXX" + before[64 * KB + 110 :]
+        )
+        assert after == expected
+
+    def test_write_extends_file(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=0)
+        run(env, ufs.write(1, 100 * KB, LiteralData(b"tail")))
+        assert ufs.inode(1).size_bytes == 100 * KB + 4
+
+    def test_coalesced_read_is_faster_than_uncoalesced(self, env):
+        mon = Monitor(env)
+        ufs = make_ufs(env, monitor=mon)
+        ufs.create(1, size_bytes=2 * MB)
+
+        def timed(coalesce):
+            def gen():
+                t0 = env.now
+                yield from ufs.read(1, 0, 1 * MB, coalesce=coalesce)
+                return env.now - t0
+
+            return gen
+
+        t_coalesced = run(env, timed(True)())
+        t_split = run(env, timed(False)())
+        assert t_coalesced < t_split
+
+    def test_coalesced_read_issues_one_disk_request(self, env):
+        mon = Monitor(env)
+        bus = SCSIBus(env)
+        raid = RAID3Array(env, bus, name="r0", monitor=mon)
+        ufs = UFS(BlockDevice(raid, 64 * KB), fs_id=0)
+        ufs.create(1, size_bytes=1 * MB)
+        run(env, ufs.read(1, 0, 1 * MB))
+        assert mon.counter_value("r0.reads") == 1
+
+    def test_partial_block_read_moves_full_block(self, env):
+        mon = Monitor(env)
+        bus = SCSIBus(env)
+        raid = RAID3Array(env, bus, name="r0", monitor=mon)
+        ufs = UFS(BlockDevice(raid, 64 * KB), fs_id=0)
+        ufs.create(1, size_bytes=1 * MB)
+        got = run(env, ufs.read(1, 10, 100))  # tiny unaligned read
+        assert len(got) == 100
+        assert mon.counter_value("r0.bytes_read") == 64 * KB
+
+    def test_truncate_shrink_frees_and_preserves_prefix(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=512 * KB)
+        payload = b"q" * (64 * KB)
+        run(env, ufs.write(1, 0, LiteralData(payload)))
+        free_before = ufs.allocator.free_blocks
+        ufs.truncate(1, 128 * KB)
+        assert ufs.inode(1).size_bytes == 128 * KB
+        assert ufs.allocator.free_blocks == free_before + 6
+        assert ufs.content(1, 0, 64 * KB).to_bytes() == payload
+
+    def test_truncate_to_zero(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=256 * KB)
+        ufs.truncate(1, 0)
+        assert ufs.inode(1).size_bytes == 0
+        assert ufs.inode(1).nblocks == 0
+
+    def test_truncate_drops_written_tail_content(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=256 * KB)
+        run(env, ufs.write(1, 128 * KB, LiteralData(b"T" * (64 * KB))))
+        ufs.truncate(1, 64 * KB)
+        ufs.extend(1, 256 * KB)
+        # Regrown region reads as fresh (synthetic) content, not "T"s.
+        regrown = ufs.content(1, 128 * KB, 64 * KB).to_bytes()
+        assert regrown != b"T" * (64 * KB)
+
+    def test_truncate_grow_equals_extend(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=64 * KB)
+        ufs.truncate(1, 256 * KB)
+        assert ufs.inode(1).size_bytes == 256 * KB
+        assert ufs.inode(1).nblocks == 4
+
+    def test_truncate_negative_rejected(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=64 * KB)
+        with pytest.raises(ValueError):
+            ufs.truncate(1, -1)
+
+    def test_unlink_frees_blocks(self, env):
+        ufs = make_ufs(env)
+        total = ufs.allocator.free_blocks
+        ufs.create(1, size_bytes=1 * MB)
+        assert ufs.allocator.free_blocks < total
+        ufs.unlink(1)
+        assert ufs.allocator.free_blocks == total
+        assert not ufs.exists(1)
+
+    def test_read_block_returns_block_content(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=1 * MB)
+        d = run(env, ufs.read_block(1, 3))
+        assert d == ufs.content(1, 3 * 64 * KB, 64 * KB)
+
+    def test_zero_byte_read(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=64 * KB)
+        d = run(env, ufs.read(1, 0, 0))
+        assert len(d) == 0
+
+    def test_sequential_reads_faster_than_random(self, env):
+        ufs = make_ufs(env)
+        ufs.create(1, size_bytes=8 * MB)
+
+        def sequential():
+            t0 = env.now
+            for i in range(8):
+                yield from ufs.read(1, i * 64 * KB, 64 * KB)
+            return env.now - t0
+
+        def random_order():
+            t0 = env.now
+            for i in [7, 2, 5, 0, 3, 6, 1, 4]:
+                yield from ufs.read(1, (64 + i) * 64 * KB, 64 * KB)
+            return env.now - t0
+
+        t_seq = run(env, sequential())
+        t_rand = run(env, random_order())
+        assert t_seq < t_rand
