@@ -10,7 +10,21 @@ import os
 
 import pytest
 
+from repro.experiments.common import build_machine
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def paper_machine():
+    """Machine + mount with the paper's defaults (8C/8IO, 64KB stripe),
+    via the same :func:`repro.experiments.common.build_machine` used by
+    the experiments -- keeping bench and experiment setups identical."""
+
+    def make(**kwargs):
+        return build_machine(**kwargs)
+
+    return make
 
 
 @pytest.fixture

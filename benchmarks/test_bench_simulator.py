@@ -6,8 +6,6 @@ with real timing rounds -- useful for catching performance regressions
 in the simulation engine.
 """
 
-from repro.config import MachineConfig, PFSConfig
-from repro.machine import Machine
 from repro.pfs import IOMode
 from repro.sim import Environment, Resource
 
@@ -57,12 +55,11 @@ def test_bench_kernel_resource_contention(benchmark):
     assert benchmark(run) == 20
 
 
-def test_bench_full_stack_collective_read(benchmark):
+def test_bench_full_stack_collective_read(benchmark, paper_machine):
     """End-to-end: an 8x8 machine reading 8MB collectively (per call)."""
 
     def run():
-        machine = Machine(MachineConfig())
-        mount = machine.mount("/pfs", PFSConfig())
+        machine, mount = paper_machine()
         machine.create_file(mount, "data", 8 * MB)
         handles = [None] * 8
 

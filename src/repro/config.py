@@ -39,6 +39,10 @@ class MachineConfig:
     write_back: bool = False
     #: Sync-daemon flush interval (only started when write_back is on).
     sync_interval_s: float = 30.0
+    #: Record request-scoped spans on ``machine.obs.tracer``.  Off by
+    #: default; tracing never schedules events, so enabling it does not
+    #: change simulated time (results stay bit-identical).
+    trace: bool = False
     #: Hardware constants.
     hardware: HardwareParams = field(default_factory=HardwareParams)
 

@@ -33,7 +33,8 @@ from repro.core.prefetch_buffer import (
     PrefetchBufferList,
 )
 from repro.core.stats import PrefetchStats
-from repro.sim.monitor import Monitor
+from repro.obs.trace import TraceContext
+from repro.obs.monitor import Monitor
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pfs.client import PFSFileHandle
@@ -99,13 +100,15 @@ class Prefetcher:
 
     # -- the demand path ----------------------------------------------------
 
-    def serve_read(self, handle: "PFSFileHandle", offset: int, nbytes: int):
+    def serve_read(self, handle: "PFSFileHandle", offset: int, nbytes: int,
+                   ctx: Optional[TraceContext] = None):
         """Generator: serve a demand read through the prefetch cache.
 
         Hit: copy from the ready buffer.  Partial hit: wait for the
         in-flight request, then copy.  Miss: normal Fast Path read.
         Afterwards, issue the next prefetch per policy and return.
         """
+        tracer = handle.client.tracer
         blist = self.buffer_list
         buffer = blist.find_covering(offset, nbytes)
         arrival = handle.env.now
@@ -113,21 +116,27 @@ class Prefetcher:
         if buffer is None:
             self.stats.misses += 1
             self._count("misses")
-            data = yield from handle.transfer_read(offset, nbytes, cause="demand")
+            data = yield from handle.transfer_read(offset, nbytes, cause="demand",
+                                                   ctx=ctx)
         else:
             was_in_flight = buffer.state is BufferState.IN_FLIGHT
             if was_in_flight:
                 # Partial hit: wait out the remainder of the prefetch.
+                wait_span = tracer.begin(
+                    "prefetch_wait", ctx=ctx,
+                    node_id=handle.node.node_id, bytes=nbytes,
+                )
                 wait_start = handle.env.now
                 yield buffer.complete
                 self.stats.partial_wait_time += handle.env.now - wait_start
+                tracer.end(wait_span)
             if buffer.state is not BufferState.READY:
                 # The prefetch failed while we waited: fall back to a
                 # normal demand read.
                 self.stats.failed_fallbacks += 1
                 self._count("failed_fallbacks")
                 data = yield from handle.transfer_read(
-                    offset, nbytes, cause="demand"
+                    offset, nbytes, cause="demand", ctx=ctx
                 )
             else:
                 if was_in_flight:
@@ -139,7 +148,13 @@ class Prefetcher:
                 assert buffer.data is not None
                 data = buffer.data.slice(offset - buffer.offset, nbytes)
                 # The hit pays a prefetch-buffer -> user-buffer copy.
+                copy_span = tracer.begin(
+                    "prefetch_hit_copy", ctx=ctx,
+                    node_id=handle.node.node_id, bytes=nbytes,
+                    partial=was_in_flight,
+                )
                 yield from handle.node.memcpy(nbytes)
+                tracer.end(copy_span)
                 self._account_overlap(handle, buffer, arrival)
                 blist.consume(buffer)
                 self.stats.bytes_served += nbytes
@@ -149,12 +164,14 @@ class Prefetcher:
 
         # "A read prefetch request is issued from the client-side ... for
         # every read request that is issued by the user."
-        yield from self._issue_prefetches(handle, offset, nbytes)
+        yield from self._issue_prefetches(handle, offset, nbytes, ctx)
         return data
 
     # -- prefetch issue -------------------------------------------------------
 
-    def _issue_prefetches(self, handle: "PFSFileHandle", offset: int, nbytes: int):
+    def _issue_prefetches(self, handle: "PFSFileHandle", offset: int, nbytes: int,
+                          ctx: Optional[TraceContext] = None):
+        tracer = handle.client.tracer
         blist = self.buffer_list
         for start, length in self.policy.plan(handle, offset, nbytes, self):
             if length <= 0:
@@ -168,16 +185,27 @@ class Prefetcher:
                 self.stats.skipped_oom += 1
                 self._count("skipped_oom")
                 continue
+            # The prefetch_issue span covers the synchronous issue cost
+            # paid inside the triggering read call (buffer allocation +
+            # ART setup/post); the async transfer's spans parent under it,
+            # which is what links prefetch-caused disk accesses back to
+            # the user read that triggered them.
+            issue_span = tracer.begin(
+                "prefetch_issue", ctx=ctx, node_id=handle.node.node_id,
+                offset=start, bytes=length,
+            )
+            issue_ctx = issue_span.ctx
             # Allocating the buffer costs compute-node CPU.
             yield from handle.node.busy(handle.node.params.buffer_alloc_overhead_s)
             self.stats.issued += 1
             self.stats.bytes_prefetched += length
             self._count("issued")
 
-            def operation(buffer=buffer, start=start, length=length):
+            def operation(buffer=buffer, start=start, length=length,
+                          issue_ctx=issue_ctx):
                 try:
                     data = yield from handle.transfer_read(
-                        start, length, cause="prefetch"
+                        start, length, cause="prefetch", ctx=issue_ctx
                     )
                 except Exception:
                     # A failed prefetch must never fail the application:
@@ -201,11 +229,18 @@ class Prefetcher:
                 # staged and copied into the prefetch buffer.  (The third
                 # copy -- prefetch buffer to user buffer -- is paid on
                 # the hit.)
+                land_span = tracer.begin(
+                    "prefetch_land", ctx=issue_ctx,
+                    node_id=handle.node.node_id, bytes=length,
+                )
                 yield from handle.node.landing_copy(length)
+                tracer.end(land_span)
                 buffer.mark_ready(handle.env, data)
                 return None
 
-            yield from handle.client.art.submit(operation, tag="prefetch")
+            yield from handle.client.art.submit(operation, tag="prefetch",
+                                                ctx=issue_ctx)
+            tracer.end(issue_span)
         return None
 
     # -- accounting -------------------------------------------------------------

@@ -40,6 +40,9 @@ class ExperimentTable:
     columns: List[str]
     rows: List[List] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Pre-rendered extra sections (e.g. per-layer latency breakdowns)
+    #: appended verbatim after the notes.
+    sections: List[str] = field(default_factory=list)
 
     def add_row(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -71,7 +74,19 @@ class ExperimentTable:
             lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
         for note in self.notes:
             lines.append(f"note: {note}")
+        for section in self.sections:
+            lines.append("")
+            lines.append(section)
         return "\n".join(lines)
+
+    def attach_breakdown(
+        self, breakdown: Dict[str, float], title: str = "Per-layer breakdown"
+    ) -> None:
+        """Attach a traced run's per-layer latency breakdown as an extra
+        rendered section (see :func:`repro.obs.render_breakdown`)."""
+        from repro.obs import render_breakdown
+
+        self.sections.append(render_breakdown(breakdown, title=title))
 
 
 def build_machine(
@@ -82,10 +97,11 @@ def build_machine(
     buffered: bool = False,
     cache_blocks: int = 128,
     hardware=None,
+    trace: bool = False,
 ):
     """Machine + mount with the paper's defaults (8C/8IO, 64KB blocks)."""
     config_kwargs = dict(
-        n_compute=n_compute, n_io=n_io, cache_blocks=cache_blocks
+        n_compute=n_compute, n_io=n_io, cache_blocks=cache_blocks, trace=trace
     )
     if hardware is not None:
         config_kwargs["hardware"] = hardware
@@ -129,8 +145,16 @@ def run_collective(
     buffered: bool = False,
     async_partition: bool = True,
     hardware=None,
+    trace: bool = False,
 ) -> BandwidthReport:
-    """One fresh-machine collective read run; returns the report."""
+    """One fresh-machine collective read run; returns the report.
+
+    With ``trace=True`` the machine records request spans and the report
+    comes back with its :attr:`~repro.metrics.BandwidthReport.breakdown`
+    populated (per-layer critical-path seconds summed over all read
+    calls).  Tracing never schedules simulation events, so the measured
+    numbers are identical either way.
+    """
     machine, mount = build_machine(
         n_compute=n_compute,
         n_io=n_io,
@@ -138,6 +162,7 @@ def run_collective(
         stripe_factor=stripe_factor,
         buffered=buffered,
         hardware=hardware,
+        trace=trace,
     )
     machine.create_file(mount, "data", file_size)
     workload = CollectiveReadWorkload(
@@ -151,7 +176,10 @@ def run_collective(
         prefetcher_factory=prefetcher_factory(prefetch, policy_factory),
         async_partition=async_partition,
     )
-    return workload.run().report
+    report = workload.run().report
+    if trace:
+        report.breakdown = machine.obs.breakdown()
+    return report
 
 
 def run_separate_files(

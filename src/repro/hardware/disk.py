@@ -23,8 +23,9 @@ import zlib
 from typing import Optional
 
 from repro.hardware.params import DiskParams
+from repro.obs.trace import TraceContext, get_tracer
 from repro.sim import Environment, PriorityResource, Resource
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 
 
 class DiskError(Exception):
@@ -60,6 +61,7 @@ class Disk:
         self.name = name
         self.params = params or DiskParams()
         self.monitor = monitor
+        self.tracer = get_tracer(monitor)
         self.elevator = elevator
         self.jitter = jitter
         if elevator:
@@ -117,8 +119,13 @@ class Disk:
                 f"{self.params.capacity_bytes}"
             )
 
-    def _access(self, lba: int, nbytes: int, kind: str):
+    def _access(self, lba: int, nbytes: int, kind: str,
+                ctx: Optional[TraceContext] = None):
         self._validate(lba, nbytes)
+        span = self.tracer.begin(
+            "disk_service", ctx=ctx, device=self.name, op=kind,
+            lba=lba, bytes=nbytes,
+        )
         if self.elevator:
             assert isinstance(self._arm, PriorityResource)
             req = self._arm.request(priority=abs(lba - self._head_lba))
@@ -146,6 +153,7 @@ class Disk:
                     self._cached_end = lba + nbytes
         finally:
             self._arm.release(req)
+        self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.{kind}s").add(1)
             self.monitor.counter(f"{self.name}.bytes_{kind}").add(nbytes)
@@ -156,13 +164,13 @@ class Disk:
             self.monitor.series(f"{self.name}.latency").record(self.env.now - queued_at)
         return nbytes
 
-    def read(self, lba: int, nbytes: int):
+    def read(self, lba: int, nbytes: int, ctx: Optional[TraceContext] = None):
         """Generator: read *nbytes* starting at *lba*."""
-        return (yield from self._access(lba, nbytes, "read"))
+        return (yield from self._access(lba, nbytes, "read", ctx=ctx))
 
-    def write(self, lba: int, nbytes: int):
+    def write(self, lba: int, nbytes: int, ctx: Optional[TraceContext] = None):
         """Generator: write *nbytes* starting at *lba*."""
-        return (yield from self._access(lba, nbytes, "write"))
+        return (yield from self._access(lba, nbytes, "write", ctx=ctx))
 
     @property
     def queue_depth(self) -> int:

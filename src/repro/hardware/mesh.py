@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.hardware.params import MeshParams
+from repro.obs.trace import get_tracer
 from repro.sim import Environment, Resource
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 
 Coord = Tuple[int, int]
 Link = Tuple[Coord, Coord]
@@ -36,6 +37,8 @@ class MeshMessage:
     payload: Any = None
     enqueued_at: float = 0.0
     delivered_at: float = field(default=0.0)
+    #: Trace context of the causing span (None when untraced).
+    ctx: Any = None
 
 
 class Mesh:
@@ -56,6 +59,7 @@ class Mesh:
         self.height = height
         self.params = params or MeshParams()
         self.monitor = monitor
+        self.tracer = get_tracer(monitor)
         self._links: Dict[Link, Resource] = {}
 
     # -- topology ---------------------------------------------------------
@@ -115,6 +119,13 @@ class Mesh:
         if message.size_bytes < 0:
             raise ValueError("message size must be non-negative")
         p = self.params
+        span = self.tracer.begin(
+            "mesh_xfer",
+            ctx=message.ctx,
+            bytes=message.size_bytes,
+            src=message.src,
+            dst=message.dst,
+        )
 
         # Software send overhead (charged regardless of distance).
         yield env.timeout(p.sw_overhead_s)
@@ -137,6 +148,7 @@ class Mesh:
                 self._link(link).release(req)
 
         message.delivered_at = env.now
+        self.tracer.end(span)
         if self.monitor is not None:
             self.monitor.counter("mesh.messages").add(1)
             self.monitor.counter("mesh.bytes").add(message.size_bytes)

@@ -21,8 +21,9 @@ from typing import Optional
 
 from repro.hardware.params import DiskParams, RAIDParams
 from repro.hardware.scsi import SCSIBus
+from repro.obs.trace import TraceContext, get_tracer
 from repro.sim import Environment
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 
 
 class RAIDError(Exception):
@@ -61,6 +62,7 @@ class RAID3Array:
         self.disk_params = disk_params or DiskParams()
         self.raid_params = raid_params or RAIDParams()
         self.monitor = monitor
+        self.tracer = get_tracer(monitor)
         self.elevator = elevator
         if self.raid_params.data_disks <= 0:
             raise ValueError("a RAID-3 array needs at least one data disk")
@@ -172,11 +174,19 @@ class RAID3Array:
         self._busy = True
         grant.succeed()
 
-    def _access(self, lba: int, nbytes: int, kind: str):
+    def _access(self, lba: int, nbytes: int, kind: str,
+                ctx: Optional[TraceContext] = None):
         self._validate(lba, nbytes)
         queued_at = self.env.now
         sequential = False
         cache_hit = False
+        # The disk_service span covers queueing + positioning + transfer:
+        # the full time the request spent at the storage layer.
+        span = self.tracer.begin(
+            "disk_service", ctx=ctx, device=self.name, op=kind,
+            lba=lba, bytes=nbytes,
+        )
+        span_ctx = span.ctx if span.ctx is not None else ctx
         grant = self.env.event()
         self._pending.append((lba, grant))
         self._grant_next()
@@ -195,7 +205,7 @@ class RAID3Array:
             cache_hit = kind == "read" and self.cached(lba, nbytes)
             if cache_hit:
                 # Served from the drive buffer: bus transfer only.
-                yield from self.bus.transfer(nbytes)
+                yield from self.bus.transfer(nbytes, ctx=span_ctx)
             else:
                 sequential = self._last_end_lba == lba
                 positioning = self.positioning_time(lba, sequential)
@@ -203,7 +213,7 @@ class RAID3Array:
                     yield self.env.timeout(positioning)
                 # Stream through the bus while the spindles feed it.
                 yield from self.bus.transfer(
-                    nbytes, stream_rate_bps=self.media_rate_bps
+                    nbytes, stream_rate_bps=self.media_rate_bps, ctx=span_ctx
                 )
                 self._head_lba = lba + nbytes
                 self._last_end_lba = lba + nbytes
@@ -216,6 +226,7 @@ class RAID3Array:
                 self.busy_s += self.env.now - started_at
             self._busy = False
             self._grant_next()
+        self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.{kind}s").add(1)
             self.monitor.counter(f"{self.name}.bytes_{kind}").add(nbytes)
@@ -226,13 +237,13 @@ class RAID3Array:
             self.monitor.series(f"{self.name}.latency").record(self.env.now - queued_at)
         return nbytes
 
-    def read(self, lba: int, nbytes: int):
+    def read(self, lba: int, nbytes: int, ctx: Optional[TraceContext] = None):
         """Generator: read *nbytes* at logical *lba*; all data spindles engage."""
-        return (yield from self._access(lba, nbytes, "read"))
+        return (yield from self._access(lba, nbytes, "read", ctx=ctx))
 
-    def write(self, lba: int, nbytes: int):
+    def write(self, lba: int, nbytes: int, ctx: Optional[TraceContext] = None):
         """Generator: write *nbytes*; parity spindle streams concurrently."""
-        return (yield from self._access(lba, nbytes, "write"))
+        return (yield from self._access(lba, nbytes, "write", ctx=ctx))
 
     def inject_failures(self, count: int = 1) -> None:
         """Fault injection: make the next *count* accesses fail with

@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.hardware.params import SCSIParams
+from repro.obs.trace import TraceContext, get_tracer
 from repro.sim import Environment, Resource
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 
 
 class SCSIBus:
@@ -32,6 +33,7 @@ class SCSIBus:
         self.name = name
         self.params = params or SCSIParams()
         self.monitor = monitor
+        self.tracer = get_tracer(monitor)
         self._bus = Resource(env, capacity=1)
         #: Accumulated time the bus spent transferring (utilisation).
         self.busy_s = 0.0
@@ -40,7 +42,12 @@ class SCSIBus:
         """Uncontended time to move *nbytes* across the bus."""
         return self.params.arbitration_s + nbytes / self.params.bandwidth_bps
 
-    def transfer(self, nbytes: int, stream_rate_bps: Optional[float] = None):
+    def transfer(
+        self,
+        nbytes: int,
+        stream_rate_bps: Optional[float] = None,
+        ctx: Optional[TraceContext] = None,
+    ):
         """Generator: hold the bus while *nbytes* stream across it.
 
         If *stream_rate_bps* is given (the media rate of the device
@@ -53,11 +60,13 @@ class SCSIBus:
         rate = self.params.bandwidth_bps
         if stream_rate_bps is not None:
             rate = min(rate, stream_rate_bps)
+        span = self.tracer.begin("scsi_xfer", ctx=ctx, bus=self.name, bytes=nbytes)
         with self._bus.request() as req:
             yield req
             duration = self.params.arbitration_s + nbytes / rate
             yield self.env.timeout(duration)
             self.busy_s += duration
+        self.tracer.end(span)
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.transfers").add(1)
             self.monitor.counter(f"{self.name}.bytes").add(nbytes)

@@ -29,7 +29,8 @@ from repro.pfs.file import PFSFile
 from repro.pfs.mount import PFSMount
 from repro.pfs.server import PFSServer
 from repro.pfs.stripe import StripeAttributes, ufs_file_size
-from repro.sim import Environment, Monitor
+from repro.obs import Observability
+from repro.sim import Environment
 from repro.ufs import UFS, BlockDevice
 
 
@@ -40,7 +41,10 @@ class Machine:
         self.config = config or MachineConfig()
         cfg = self.config
         self.env = Environment()
-        self.monitor = Monitor(self.env)
+        #: Unified observability handle: stats registry + request tracer.
+        self.obs = Observability(self.env, trace=cfg.trace)
+        #: Back-compat alias -- satisfies the full Monitor interface.
+        self.monitor = self.obs
 
         width = max(cfg.n_compute, cfg.n_io, 1)
         self.mesh = Mesh(self.env, width, 3, params=cfg.hardware.mesh, monitor=self.monitor)

@@ -42,6 +42,10 @@ class BandwidthReport:
     calls_by_rank: Dict[int, int] = field(default_factory=dict)
     #: Merged prefetch statistics, when prefetching was active.
     prefetch: Optional["PrefetchStats"] = None
+    #: Per-layer latency breakdown (span kind -> exclusive seconds on the
+    #: critical path), attached when the run was traced.  Excluded from
+    #: equality: tracing must not change what a run *measures*.
+    breakdown: Optional[Dict[str, float]] = field(default=None, compare=False)
 
     @property
     def read_time_s(self) -> float:

@@ -1,0 +1,58 @@
+"""Unified observability subsystem: stats, tracing, exporters.
+
+One package replaces the three historically disjoint instrumentation
+APIs (``repro.sim.monitor`` stats, ``repro.core.stats`` prefetch
+counters, ad-hoc per-component accounting):
+
+- :mod:`repro.obs.monitor` -- counters / time-weighted / series stats;
+- :mod:`repro.obs.trace` -- request-scoped typed spans with causal links
+  across every layer of the simulated stack;
+- :mod:`repro.obs.stats` -- prefetcher outcome statistics;
+- :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON, per-layer
+  latency breakdowns, critical-path reports;
+- :mod:`repro.obs.observability` -- the :class:`Observability` facade a
+  :class:`~repro.machine.Machine` exposes as ``machine.obs``.
+
+``repro.sim.monitor`` and ``repro.core.stats`` remain as import shims.
+"""
+
+from repro.obs.export import (
+    breakdown_of,
+    chrome_trace_events,
+    chrome_trace_json,
+    critical_path_report,
+    latency_breakdown,
+    render_breakdown,
+)
+from repro.obs.monitor import CounterStat, Monitor, SeriesStat, TimeWeightedStat
+from repro.obs.observability import Observability
+from repro.obs.stats import PrefetchStats
+from repro.obs.trace import (
+    NOOP_SPAN,
+    NULL_TRACER,
+    Span,
+    TraceContext,
+    Tracer,
+    get_tracer,
+)
+
+__all__ = [
+    "CounterStat",
+    "Monitor",
+    "NOOP_SPAN",
+    "NULL_TRACER",
+    "Observability",
+    "PrefetchStats",
+    "SeriesStat",
+    "Span",
+    "TimeWeightedStat",
+    "TraceContext",
+    "Tracer",
+    "breakdown_of",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "critical_path_report",
+    "get_tracer",
+    "latency_breakdown",
+    "render_breakdown",
+]

@@ -1,0 +1,249 @@
+"""Trace exporters: Chrome trace JSON, latency breakdowns, critical path.
+
+Three consumers of a :class:`~repro.obs.trace.Tracer`'s spans:
+
+- :func:`chrome_trace_events` / :func:`chrome_trace_json` -- the Chrome
+  ``trace_event`` format (load the JSON in Perfetto or
+  ``chrome://tracing``); one "process" track per simulated node.
+- :func:`latency_breakdown` -- partitions each root span's duration
+  exactly over the span kinds on its critical path, answering "where
+  did the read-call time go, layer by layer".  The per-kind seconds of
+  one root sum to that root's duration by construction.
+- :func:`critical_path_report` -- the same partition restricted to the
+  slowest rank, rendered as a "what bounded the slowest rank" digest.
+
+The partition is *critical-path attribution*: a span's interval is
+split at its children's boundaries; uncovered sub-intervals count as
+the span's own kind, and sub-intervals covered by concurrent children
+are charged to the child finishing last (the one actually gating
+progress), recursively.  Unlike naive per-kind duration sums, this
+never double-counts concurrent work, so the layer seconds add up to
+the wall time being explained.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import Span, Tracer
+
+#: Stable display order for well-known span kinds (unknown kinds sort last).
+KIND_ORDER = (
+    "client_call",
+    "coordinate",
+    "prefetch_wait",
+    "prefetch_hit_copy",
+    "prefetch_issue",
+    "art_setup",
+    "art_io",
+    "stripe_piece",
+    "rpc_call",
+    "mesh_xfer",
+    "server_io",
+    "disk_service",
+    "scsi_xfer",
+    "prefetch_land",
+)
+
+
+# -- Chrome trace_event ----------------------------------------------------
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """Spans as Chrome ``trace_event`` dicts (complete "X" events).
+
+    Timestamps are microseconds of simulated time.  ``pid`` is the
+    simulated node (one track per node, named via process_name metadata
+    events); ``tid`` is the trace (request) ID, so one request's spans
+    line up on one row within its node.
+    """
+    events: List[dict] = []
+    nodes = sorted(
+        {s.node_id for s in tracer.spans if s.node_id is not None}
+    )
+    for node_id in nodes:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": node_id,
+                "tid": 0,
+                "args": {"name": f"node {node_id}"},
+            }
+        )
+    for span in tracer.spans:
+        if span.end is None:
+            continue
+        args = {"trace_id": span.trace_id, "span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.attrs:
+            args.update(span.attrs)
+        events.append(
+            {
+                "name": span.kind,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (span.end - span.start) * 1e6,
+                "pid": span.node_id if span.node_id is not None else -1,
+                "tid": span.trace_id,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace_json(tracer: Tracer, indent: Optional[int] = None) -> str:
+    """The Chrome trace as a JSON string (``traceEvents`` envelope)."""
+    return json.dumps(
+        {"traceEvents": chrome_trace_events(tracer), "displayTimeUnit": "ms"},
+        indent=indent,
+    )
+
+
+# -- critical-path breakdown ------------------------------------------------
+
+
+def _children_index(spans: Iterable[Span]) -> Dict[int, List[Span]]:
+    index: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None and span.end is not None:
+            index.setdefault(span.parent_id, []).append(span)
+    return index
+
+
+def _attribute(
+    span: Span,
+    lo: float,
+    hi: float,
+    children: Dict[int, List[Span]],
+    acc: Dict[str, float],
+) -> None:
+    """Charge the interval [lo, hi] of *span* to kinds, recursively.
+
+    Sub-intervals not covered by any child count as ``span.kind``;
+    covered sub-intervals are charged to the covering child that ends
+    last (critical-path semantics for concurrent children).
+    """
+    if hi <= lo:
+        return
+    kids = [
+        c
+        for c in children.get(span.span_id, ())
+        if c.end > lo and c.start < hi
+    ]
+    if not kids:
+        acc[span.kind] = acc.get(span.kind, 0.0) + (hi - lo)
+        return
+    # Elementary boundaries from the clipped child intervals.
+    bounds = {lo, hi}
+    for c in kids:
+        bounds.add(max(lo, c.start))
+        bounds.add(min(hi, c.end))
+    cuts = sorted(bounds)
+    for a, b in zip(cuts, cuts[1:]):
+        if b <= a:
+            continue
+        covering = [c for c in kids if c.start <= a and c.end >= b]
+        if not covering:
+            acc[span.kind] = acc.get(span.kind, 0.0) + (b - a)
+            continue
+        winner = max(covering, key=lambda c: (c.end, c.span_id))
+        _attribute(winner, a, b, children, acc)
+
+
+def breakdown_of(span: Span, tracer: Tracer) -> Dict[str, float]:
+    """Critical-path partition of one (finished) span's duration."""
+    acc: Dict[str, float] = {}
+    if span.end is not None:
+        _attribute(span, span.start, span.end, _children_index(tracer.spans), acc)
+    return acc
+
+
+def latency_breakdown(
+    tracer: Tracer,
+    root_kind: str = "client_call",
+    rank: Optional[int] = None,
+) -> Dict[str, float]:
+    """Per-kind seconds summed over every *root_kind* root span.
+
+    With *rank* given, only roots whose ``rank`` attribute matches are
+    included.  The values sum (exactly, up to float addition) to the
+    total duration of the included roots -- for ``client_call`` roots of
+    one rank, that is the rank's total read-call time.
+    """
+    children = _children_index(tracer.spans)
+    acc: Dict[str, float] = {}
+    for root in tracer.roots(root_kind):
+        if root.end is None:
+            continue
+        if rank is not None and (root.attrs or {}).get("rank") != rank:
+            continue
+        _attribute(root, root.start, root.end, children, acc)
+    return acc
+
+
+def _kind_sort_key(kind: str) -> Tuple[int, str]:
+    try:
+        return (KIND_ORDER.index(kind), kind)
+    except ValueError:
+        return (len(KIND_ORDER), kind)
+
+
+def render_breakdown(
+    breakdown: Dict[str, float], title: str = "Per-layer latency breakdown"
+) -> str:
+    """Fixed-width text table of a breakdown dict."""
+    total = sum(breakdown.values())
+    lines = [title, "-" * len(title)]
+    width = max((len(k) for k in breakdown), default=5)
+    for kind in sorted(breakdown, key=_kind_sort_key):
+        seconds = breakdown[kind]
+        pct = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(f"{kind.rjust(width)}  {seconds:10.4f}s  {pct:5.1f}%")
+    lines.append(f"{'total'.rjust(width)}  {total:10.4f}s  100.0%")
+    return "\n".join(lines)
+
+
+def critical_path_report(tracer: Tracer) -> str:
+    """What bounded the slowest rank's read-call time.
+
+    Finds the rank whose ``client_call`` spans total the most simulated
+    time (the rank that sets the paper's collective bandwidth), renders
+    its per-layer breakdown, and names the single slowest call and the
+    layer that dominated it.
+    """
+    totals: Dict[object, float] = {}
+    for root in tracer.roots("client_call"):
+        if root.end is None:
+            continue
+        rank = (root.attrs or {}).get("rank")
+        totals[rank] = totals.get(rank, 0.0) + root.duration
+    if not totals:
+        return "critical path: no finished client_call spans recorded"
+    slowest_rank = max(totals, key=lambda r: (totals[r], str(r)))
+    breakdown = latency_breakdown(tracer, rank=slowest_rank)
+    dominant = max(breakdown, key=breakdown.get)
+    calls = [
+        r
+        for r in tracer.roots("client_call")
+        if r.end is not None and (r.attrs or {}).get("rank") == slowest_rank
+    ]
+    slowest_call = max(calls, key=lambda s: s.duration)
+    call_breakdown = breakdown_of(slowest_call, tracer)
+    call_dominant = max(call_breakdown, key=call_breakdown.get)
+    lines = [
+        f"critical path: rank {slowest_rank} bounds the collective "
+        f"(read-call time {totals[slowest_rank]:.4f}s over {len(calls)} calls)",
+        f"dominant layer: {dominant} "
+        f"({breakdown[dominant]:.4f}s, "
+        f"{100.0 * breakdown[dominant] / totals[slowest_rank]:.1f}% of read-call time)",
+        f"slowest call: {slowest_call.duration:.4f}s at t={slowest_call.start:.4f}s, "
+        f"bounded by {call_dominant} "
+        f"({call_breakdown[call_dominant]:.4f}s)",
+        "",
+        render_breakdown(breakdown, title=f"Breakdown of rank {slowest_rank}"),
+    ]
+    return "\n".join(lines)

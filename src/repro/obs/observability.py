@@ -1,0 +1,90 @@
+"""The single observability handle a :class:`~repro.machine.Machine` owns.
+
+:class:`Observability` bundles the statistics registry
+(:class:`~repro.obs.monitor.Monitor`) and the request tracer
+(:class:`~repro.obs.trace.Tracer`) behind one object that satisfies the
+Monitor interface.  Components throughout the stack keep their existing
+``monitor=`` constructor argument; when handed an ``Observability`` they
+get counters *and* (via :func:`~repro.obs.trace.get_tracer`) the tracer,
+with no wiring changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.obs.export import (
+    chrome_trace_json,
+    critical_path_report,
+    latency_breakdown,
+    render_breakdown,
+)
+from repro.obs.monitor import CounterStat, Monitor, SeriesStat, TimeWeightedStat
+from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Observability:
+    """Counters, series, time-weighted stats, and a tracer -- one handle.
+
+    Drop-in for :class:`~repro.obs.monitor.Monitor` wherever a
+    ``monitor=`` argument is expected (duck-typed: it delegates the full
+    Monitor API), plus:
+
+    - :attr:`tracer` -- the request tracer (disabled unless
+      ``trace=True``);
+    - export conveniences (:meth:`chrome_trace`, :meth:`breakdown`,
+      :meth:`breakdown_table`, :meth:`critical_path`).
+    """
+
+    def __init__(self, env: "Environment", trace: bool = False) -> None:
+        self.env = env
+        self.monitor = Monitor(env)
+        self.tracer = Tracer(env, enabled=trace)
+
+    # -- Monitor interface (delegation) -----------------------------------
+
+    def counter(self, name: str) -> CounterStat:
+        return self.monitor.counter(name)
+
+    def time_weighted(self, name: str, initial: float = 0.0) -> TimeWeightedStat:
+        return self.monitor.time_weighted(name, initial)
+
+    def series(self, name: str) -> SeriesStat:
+        return self.monitor.series(name)
+
+    def counter_value(self, name: str) -> float:
+        return self.monitor.counter_value(name)
+
+    def snapshot(self) -> Dict[str, float]:
+        return self.monitor.snapshot()
+
+    # -- trace exports ------------------------------------------------------
+
+    def chrome_trace(self, indent: Optional[int] = None) -> str:
+        """Chrome ``trace_event`` JSON for the recorded spans."""
+        return chrome_trace_json(self.tracer, indent=indent)
+
+    def breakdown(self, rank: Optional[int] = None) -> Dict[str, float]:
+        """Per-layer critical-path seconds (all ranks, or one rank)."""
+        return latency_breakdown(self.tracer, rank=rank)
+
+    def breakdown_table(self, rank: Optional[int] = None) -> str:
+        title = (
+            "Per-layer latency breakdown"
+            if rank is None
+            else f"Per-layer latency breakdown (rank {rank})"
+        )
+        return render_breakdown(self.breakdown(rank=rank), title=title)
+
+    def critical_path(self) -> str:
+        """Report on what bounded the slowest rank's read-call time."""
+        return critical_path_report(self.tracer)
+
+    def spans(self, kind: Optional[str] = None) -> List:
+        return self.tracer.by_kind(kind) if kind else list(self.tracer.spans)
+
+    def __repr__(self) -> str:
+        return f"<Observability tracer={self.tracer!r}>"

@@ -24,8 +24,9 @@ import itertools
 from typing import Callable, Generator, List, Optional
 
 from repro.hardware.node import Node
+from repro.obs.trace import TraceContext, get_tracer
 from repro.sim import Environment, Store
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 
 _request_ids = itertools.count(1)
 
@@ -43,9 +44,16 @@ class AsyncRequest:
         "completed_at",
         "result",
         "cancelled",
+        "ctx",
     )
 
-    def __init__(self, env: Environment, operation: Callable[[], Generator], tag: str) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        operation: Callable[[], Generator],
+        tag: str,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         self.request_id = next(_request_ids)
         self.operation = operation
         self.tag = tag
@@ -56,6 +64,8 @@ class AsyncRequest:
         self.completed_at: Optional[float] = None
         self.result = None
         self.cancelled = False
+        #: Trace context of the submitting span (None when untraced).
+        self.ctx = ctx
 
     @property
     def done(self) -> bool:
@@ -86,6 +96,7 @@ class AsyncRequestManager:
         self.node = node
         self.max_threads = max_threads
         self.monitor = monitor
+        self.tracer = get_tracer(monitor)
         #: The active list: FIFO queue of pending AsyncRequests.
         self._active_list: Store = Store(env)
         self._outstanding: List[AsyncRequest] = []
@@ -99,7 +110,12 @@ class AsyncRequestManager:
         """Requests submitted but not yet completed."""
         return [r for r in self._outstanding if not r.done]
 
-    def submit(self, operation: Callable[[], Generator], tag: str = "async"):
+    def submit(
+        self,
+        operation: Callable[[], Generator],
+        tag: str = "async",
+        ctx: Optional[TraceContext] = None,
+    ):
         """Generator: set up an async request and enqueue it.
 
         Charges the setup/posting overhead on the node CPU (the paper's
@@ -107,10 +123,15 @@ class AsyncRequestManager:
         :class:`AsyncRequest`; the caller waits on ``request.event`` for
         completion (or never does -- prefetches are fire-and-forget).
         """
-        request = AsyncRequest(self.env, operation, tag)
+        request = AsyncRequest(self.env, operation, tag, ctx=ctx)
+        span = self.tracer.begin(
+            "art_setup", ctx=ctx, node_id=self.node.node_id, tag=tag,
+            request_id=request.request_id,
+        )
         yield from self.node.busy(self.node.params.async_setup_overhead_s)
         self._outstanding.append(request)
         yield self._active_list.put(request)
+        self.tracer.end(span)
         if self.monitor is not None:
             self.monitor.counter(f"art.submitted.{tag}").add(1)
         return request
@@ -135,15 +156,22 @@ class AsyncRequestManager:
                 self._outstanding.remove(request)
                 continue
             request.started_at = self.env.now
+            span = self.tracer.begin(
+                "art_io", ctx=request.ctx, node_id=self.node.node_id,
+                tag=request.tag, request_id=request.request_id,
+                worker=worker_index,
+            )
             try:
                 result = yield from request.operation()
             except Exception as exc:
                 request.completed_at = self.env.now
+                self.tracer.end(span, failed=True)
                 self._outstanding.remove(request)
                 request.event.fail(exc)
                 continue
             request.result = result
             request.completed_at = self.env.now
+            self.tracer.end(span)
             self._outstanding.remove(request)
             request.event.succeed(result)
             if self.monitor is not None:

@@ -18,7 +18,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Generator, Optional, Tuple
 
 from repro.sim import Environment, Event
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 
 BlockKey = Tuple[int, int]  # (file_id, block_index)
 

@@ -27,6 +27,9 @@ class RPCMessage:
     """Base class for all RPC payloads."""
 
     msg_id: int = field(default_factory=next_message_id, init=False)
+    #: Trace context of the causing span (set post-construction by the
+    #: sender; init=False keeps subclass field ordering legal).
+    ctx: Optional[Any] = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def wire_bytes(self) -> int:

@@ -15,9 +15,10 @@ from typing import Callable, Dict, Generator, Optional, Type
 
 from repro.hardware.mesh import Mesh, MeshMessage
 from repro.hardware.node import Node
+from repro.obs.trace import get_tracer
 from repro.paragonos.messages import RPCMessage
 from repro.sim import Environment, Store
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 
 
 class RPCError(Exception):
@@ -49,6 +50,7 @@ class RPCEndpoint:
         self.node = node
         self.mesh = mesh
         self.monitor = monitor
+        self.tracer = get_tracer(monitor)
         self._inbox: Store = Store(env)
         self._handlers: Dict[Type[RPCMessage], Callable[..., Generator]] = {}
         self._dispatcher = env.process(
@@ -69,6 +71,16 @@ class RPCEndpoint:
 
     def call(self, target: "RPCEndpoint", request: RPCMessage):
         """Generator: send *request* to *target*, wait for and return the reply."""
+        span = self.tracer.begin(
+            "rpc_call",
+            ctx=request.ctx,
+            node_id=self.node.node_id,
+            msg=type(request).__name__,
+            target=target.node.node_id,
+        )
+        if span.ctx is not None:
+            # Downstream work (server handler, disk) parents under the call.
+            request.ctx = span.ctx
         reply_event = self.env.event()
         envelope = _Envelope(request, reply_event, self)
         yield from self.mesh.send(
@@ -77,10 +89,12 @@ class RPCEndpoint:
                 dst=target.node.position,
                 size_bytes=request.wire_bytes,
                 payload=envelope,
+                ctx=request.ctx,
             )
         )
         yield target._inbox.put(envelope)
         reply = yield reply_event
+        self.tracer.end(span)
         if self.monitor is not None:
             self.monitor.counter("rpc.calls").add(1)
         return reply
@@ -118,6 +132,7 @@ class RPCEndpoint:
                 dst=envelope.source.node.position,
                 size_bytes=reply.wire_bytes if reply is not None else 0,
                 payload=reply,
+                ctx=request.ctx,
             )
         )
         envelope.reply_event.succeed(reply)

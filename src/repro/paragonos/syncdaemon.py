@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.paragonos.buffercache import BufferCache
 from repro.sim import Environment
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 
 
 class SyncDaemon:

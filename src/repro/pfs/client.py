@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.hardware.mesh import Mesh, MeshMessage
 from repro.hardware.node import Node
+from repro.obs.trace import TraceContext, get_tracer
 from repro.paragonos.art import AsyncRequestManager
 from repro.paragonos.messages import (
     ControlRequest,
@@ -38,7 +39,7 @@ from repro.pfs.modes import IOMode
 from repro.pfs.mount import PFSMount
 from repro.pfs.stripe import coalesce_pieces, decluster
 from repro.sim import Environment
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 from repro.ufs.data import Data, LiteralData, concat_data
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -152,25 +153,32 @@ class PFSFileHandle:
         if nbytes < 0:
             raise PFSClientError("negative read size")
         start = self.env.now
+        # Root span of the trace: one request ID per user read call.
+        span = self.client.tracer.begin(
+            "client_call", node_id=self.node.node_id, op="read",
+            rank=self.rank, nbytes=nbytes, mode=self.iomode.name,
+        )
+        ctx = span.ctx
         yield from self.node.busy(self.node.params.client_call_overhead_s)
 
         mode = self.iomode
         if mode is IOMode.M_UNIX:
-            data = yield from self._read_m_unix(nbytes)
+            data = yield from self._read_m_unix(nbytes, ctx)
         elif mode is IOMode.M_LOG:
-            data = yield from self._read_m_log(nbytes)
+            data = yield from self._read_m_log(nbytes, ctx)
         elif mode is IOMode.M_SYNC:
-            data = yield from self._read_m_sync(nbytes)
+            data = yield from self._read_m_sync(nbytes, ctx)
         elif mode is IOMode.M_RECORD:
-            data = yield from self._read_m_record(nbytes)
+            data = yield from self._read_m_record(nbytes, ctx)
         elif mode is IOMode.M_GLOBAL:
-            data = yield from self._read_m_global(nbytes)
+            data = yield from self._read_m_global(nbytes, ctx)
         elif mode is IOMode.M_ASYNC:
-            data = yield from self._read_m_async(nbytes)
+            data = yield from self._read_m_async(nbytes, ctx)
         else:  # pragma: no cover - exhaustive over IOMode
             raise PFSClientError(f"unsupported mode {mode}")
 
         duration = self.env.now - start
+        self.client.tracer.end(span, bytes_returned=len(data))
         self.stats.record_read(len(data), duration)
         self.client._record_read(len(data), duration)
         return data
@@ -178,62 +186,65 @@ class PFSFileHandle:
     def _clamp(self, offset: int, nbytes: int) -> int:
         return max(0, min(nbytes, self.file.size_bytes - offset))
 
-    def _read_m_unix(self, nbytes: int):
+    def _read_m_unix(self, nbytes: int, ctx: Optional[TraceContext] = None):
         # Atomic: hold the pointer token for the entire operation.
         grant = yield from self.client._coordinate(
-            TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+            TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
         )
         offset = grant.offset
         n = self._clamp(offset, nbytes)
-        data = yield from self._demand_read(offset, n)
+        data = yield from self._demand_read(offset, n, ctx)
         # Atomicity: completion bookkeeping happens inside the hold.
         yield from self.node.busy(self.node.params.client_call_overhead_s)
         yield from self.client._coordinate(
             TokenRelease(
                 file_id=self.file.file_id, rank=self.rank, new_offset=offset + n
-            )
+            ),
+            ctx=ctx,
         )
         return data
 
-    def _read_m_log(self, nbytes: int):
+    def _read_m_log(self, nbytes: int, ctx: Optional[TraceContext] = None):
         # Arrival-order data placement: the pointer token is held until
         # the transfer lands (the Paragon implementation serialised
         # M_LOG operations almost as heavily as M_UNIX; only the final
         # client-side completion overlaps with the next grant).
         grant = yield from self.client._coordinate(
-            TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+            TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
         )
         offset = grant.offset
         n = self._clamp(offset, nbytes)
-        data = yield from self._demand_read(offset, n)
+        data = yield from self._demand_read(offset, n, ctx)
         yield from self.client._coordinate(
             TokenRelease(
                 file_id=self.file.file_id, rank=self.rank, new_offset=offset + n
-            )
+            ),
+            ctx=ctx,
         )
         return data
 
-    def _read_m_sync(self, nbytes: int):
+    def _read_m_sync(self, nbytes: int, ctx: Optional[TraceContext] = None):
         go = yield from self.client._coordinate(
             SyncArrive(
                 file_id=self.file.file_id,
                 call_index=self.call_index,
                 rank=self.rank,
                 nbytes=nbytes,
-            )
+            ),
+            ctx=ctx,
         )
         self.call_index += 1
         n = self._clamp(go.offset, nbytes)
-        return (yield from self._demand_read(go.offset, n))
+        return (yield from self._demand_read(go.offset, n, ctx))
 
-    def _read_m_record(self, nbytes: int):
+    def _read_m_record(self, nbytes: int, ctx: Optional[TraceContext] = None):
         offset = self.record_base + self.rank * nbytes
         self.record_base += self.nprocs * nbytes
         self.call_index += 1
         n = self._clamp(offset, nbytes)
-        return (yield from self._demand_read(offset, n))
+        return (yield from self._demand_read(offset, n, ctx))
 
-    def _read_m_global(self, nbytes: int):
+    def _read_m_global(self, nbytes: int, ctx: Optional[TraceContext] = None):
         call_index = self.call_index
         self.call_index += 1
         go = yield from self.client._coordinate(
@@ -242,12 +253,13 @@ class PFSFileHandle:
                 call_index=call_index,
                 rank=self.rank,
                 nbytes=nbytes,
-            )
+            ),
+            ctx=ctx,
         )
         n = self._clamp(go.offset, nbytes)
         state = self._global_state(call_index)
         if go.leader:
-            data = yield from self._demand_read(go.offset, n)
+            data = yield from self._demand_read(go.offset, n, ctx)
             state["data"] = data
             state["leader_node"] = self.node
             state["event"].succeed()
@@ -261,6 +273,7 @@ class PFSFileHandle:
                     src=leader_node.position,
                     dst=self.node.position,
                     size_bytes=n,
+                    ctx=ctx,
                 )
             )
             data = state["data"]
@@ -269,13 +282,13 @@ class PFSFileHandle:
             self.file.__dict__.setdefault("_client_global", {}).pop(call_index, None)
         return data
 
-    def _read_m_async(self, nbytes: int):
+    def _read_m_async(self, nbytes: int, ctx: Optional[TraceContext] = None):
         offset = self.private_offset
         n = self._clamp(offset, nbytes)
         # Advance before serving so the prefetcher's "next read" question
         # (next_read_offset) sees the post-read position.
         self.private_offset = offset + n
-        return (yield from self._demand_read(offset, n))
+        return (yield from self._demand_read(offset, n, ctx))
 
     def _global_state(self, call_index: int) -> dict:
         registry = self.file.__dict__.setdefault("_client_global", {})
@@ -289,19 +302,23 @@ class PFSFileHandle:
             }
         return state
 
-    def _demand_read(self, offset: int, nbytes: int):
+    def _demand_read(self, offset: int, nbytes: int,
+                     ctx: Optional[TraceContext] = None):
         """Serve a demand read, through the prefetcher when present."""
         if nbytes == 0:
             return LiteralData(b"")
         if self.prefetcher is not None:
-            return (yield from self.prefetcher.serve_read(self, offset, nbytes))
-        return (yield from self.transfer_read(offset, nbytes))
+            return (yield from self.prefetcher.serve_read(self, offset, nbytes,
+                                                          ctx=ctx))
+        return (yield from self.transfer_read(offset, nbytes, ctx=ctx))
 
-    def transfer_read(self, offset: int, nbytes: int, cause: str = "demand"):
+    def transfer_read(self, offset: int, nbytes: int, cause: str = "demand",
+                      ctx: Optional[TraceContext] = None):
         """Generator: declustered fetch of [offset, offset+nbytes) from the
         I/O nodes; no pointer coordination, no prefetching."""
         return (
-            yield from self.client.transfer_read(self.file, offset, nbytes, cause)
+            yield from self.client.transfer_read(self.file, offset, nbytes, cause,
+                                                 ctx=ctx)
         )
 
     # -- write -----------------------------------------------------------------------
@@ -310,26 +327,32 @@ class PFSFileHandle:
         """Generator: write *data* under the file's I/O mode."""
         self._check_open()
         start = self.env.now
+        span = self.client.tracer.begin(
+            "client_call", node_id=self.node.node_id, op="write",
+            rank=self.rank, nbytes=len(data), mode=self.iomode.name,
+        )
+        ctx = span.ctx
         yield from self.node.busy(self.node.params.client_call_overhead_s)
         nbytes = len(data)
         mode = self.iomode
 
         if mode is IOMode.M_UNIX:
             grant = yield from self.client._coordinate(
-                TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+                TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
             )
             offset = grant.offset
-            yield from self.client.transfer_write(self.file, offset, data)
+            yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
             yield from self.client._coordinate(
                 TokenRelease(
                     file_id=self.file.file_id,
                     rank=self.rank,
                     new_offset=offset + nbytes,
-                )
+                ),
+                ctx=ctx,
             )
         elif mode is IOMode.M_LOG:
             grant = yield from self.client._coordinate(
-                TokenAcquire(file_id=self.file.file_id, rank=self.rank)
+                TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
             )
             offset = grant.offset
             yield from self.client._coordinate(
@@ -337,9 +360,10 @@ class PFSFileHandle:
                     file_id=self.file.file_id,
                     rank=self.rank,
                     new_offset=offset + nbytes,
-                )
+                ),
+                ctx=ctx,
             )
-            yield from self.client.transfer_write(self.file, offset, data)
+            yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
         elif mode is IOMode.M_SYNC:
             go = yield from self.client._coordinate(
                 SyncArrive(
@@ -347,15 +371,16 @@ class PFSFileHandle:
                     call_index=self.call_index,
                     rank=self.rank,
                     nbytes=nbytes,
-                )
+                ),
+                ctx=ctx,
             )
             self.call_index += 1
-            yield from self.client.transfer_write(self.file, go.offset, data)
+            yield from self.client.transfer_write(self.file, go.offset, data, ctx=ctx)
         elif mode is IOMode.M_RECORD:
             offset = self.record_base + self.rank * nbytes
             self.record_base += self.nprocs * nbytes
             self.call_index += 1
-            yield from self.client.transfer_write(self.file, offset, data)
+            yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
         elif mode is IOMode.M_GLOBAL:
             call_index = self.call_index
             self.call_index += 1
@@ -365,19 +390,22 @@ class PFSFileHandle:
                     call_index=call_index,
                     rank=self.rank,
                     nbytes=nbytes,
-                )
+                ),
+                ctx=ctx,
             )
             if go.leader:
-                yield from self.client.transfer_write(self.file, go.offset, data)
+                yield from self.client.transfer_write(self.file, go.offset, data,
+                                                      ctx=ctx)
         elif mode is IOMode.M_ASYNC:
             offset = self.private_offset
-            yield from self.client.transfer_write(self.file, offset, data)
+            yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
             self.private_offset = offset + nbytes
         else:  # pragma: no cover
             raise PFSClientError(f"unsupported mode {mode}")
 
         # Writes may grow the file.
         duration = self.env.now - start
+        self.client.tracer.end(span)
         self.stats.record_write(nbytes, duration)
         return nbytes
 
@@ -510,6 +538,7 @@ class PFSClient:
         self.coordinator_endpoint = coordinator_endpoint
         self.art = art or AsyncRequestManager(env, node)
         self.monitor = monitor
+        self.tracer = get_tracer(monitor)
 
     # -- namespace ------------------------------------------------------------
 
@@ -541,7 +570,8 @@ class PFSClient:
 
     # -- transfers --------------------------------------------------------------
 
-    def transfer_read(self, pfs_file: PFSFile, offset: int, nbytes: int, cause: str):
+    def transfer_read(self, pfs_file: PFSFile, offset: int, nbytes: int, cause: str,
+                      ctx: Optional[TraceContext] = None):
         """Generator: declustered read returning assembled Data.
 
         Pieces contiguous in one I/O node's stripe file are coalesced
@@ -554,21 +584,30 @@ class PFSClient:
 
         def fetch(creq):
             def gen():
+                # One stripe_piece span per coalesced per-I/O-node request;
+                # concurrent pieces are concurrent child spans.
+                piece_span = self.tracer.begin(
+                    "stripe_piece", ctx=ctx, node_id=self.node.node_id,
+                    io_node=creq.io_node, bytes=creq.length, cause=cause,
+                )
+                request = ReadRequest(
+                    file_id=pfs_file.file_id,
+                    ufs_offset=creq.ufs_offset,
+                    nbytes=creq.length,
+                    fastpath=fastpath,
+                    cause=cause,
+                )
+                if piece_span.ctx is not None:
+                    request.ctx = piece_span.ctx
                 reply = yield from self.endpoint.call(
-                    self._io_endpoint(creq.io_node),
-                    ReadRequest(
-                        file_id=pfs_file.file_id,
-                        ufs_offset=creq.ufs_offset,
-                        nbytes=creq.length,
-                        fastpath=fastpath,
-                        cause=cause,
-                    ),
+                    self._io_endpoint(creq.io_node), request
                 )
                 # Land the reply into the destination buffer through the
                 # message co-processor.  This per-call data path (a few
                 # MB/s) is what bounds single-request latency on the
                 # real machine (paper Table 2's 0.4s for 1024KB).
                 yield from self.node.receive(creq.length)
+                self.tracer.end(piece_span)
                 return reply
 
             return gen
@@ -599,7 +638,8 @@ class PFSClient:
             self.monitor.counter(f"pfs_client.{cause}_bytes").add(len(data))
         return data
 
-    def transfer_write(self, pfs_file: PFSFile, offset: int, data: Data):
+    def transfer_write(self, pfs_file: PFSFile, offset: int, data: Data,
+                       ctx: Optional[TraceContext] = None):
         """Generator: declustered write of *data* at *offset*."""
         nbytes = len(data)
         if nbytes == 0:
@@ -609,6 +649,10 @@ class PFSClient:
 
         def put(creq):
             def gen():
+                piece_span = self.tracer.begin(
+                    "stripe_piece", ctx=ctx, node_id=self.node.node_id,
+                    io_node=creq.io_node, bytes=creq.length, cause="write",
+                )
                 # Gather the UFS-contiguous run from the PFS-ordered data.
                 chunk = concat_data(
                     [
@@ -616,15 +660,18 @@ class PFSClient:
                         for piece in creq.pieces
                     ]
                 )
-                yield from self.endpoint.call(
-                    self._io_endpoint(creq.io_node),
-                    WriteRequest(
-                        file_id=pfs_file.file_id,
-                        ufs_offset=creq.ufs_offset,
-                        data=chunk,
-                        fastpath=fastpath,
-                    ),
+                request = WriteRequest(
+                    file_id=pfs_file.file_id,
+                    ufs_offset=creq.ufs_offset,
+                    data=chunk,
+                    fastpath=fastpath,
                 )
+                if piece_span.ctx is not None:
+                    request.ctx = piece_span.ctx
+                yield from self.endpoint.call(
+                    self._io_endpoint(creq.io_node), request
+                )
+                self.tracer.end(piece_span)
 
             return gen
 
@@ -726,9 +773,17 @@ class PFSClient:
         except KeyError:
             raise PFSClientError(f"no PFS server on I/O node {io_node}") from None
 
-    def _coordinate(self, request):
+    def _coordinate(self, request, ctx: Optional[TraceContext] = None):
         """Generator: RPC to the coordination service."""
-        return (yield from self.endpoint.call(self.coordinator_endpoint, request))
+        span = self.tracer.begin(
+            "coordinate", ctx=ctx, node_id=self.node.node_id,
+            msg=type(request).__name__,
+        )
+        if span.ctx is not None:
+            request.ctx = span.ctx
+        reply = yield from self.endpoint.call(self.coordinator_endpoint, request)
+        self.tracer.end(span)
+        return reply
 
     def _control(self, io_node: int, request: ControlRequest):
         """Generator: metadata RPC to one I/O node."""

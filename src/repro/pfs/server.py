@@ -31,9 +31,10 @@ from repro.paragonos.messages import (
     WriteReply,
     WriteRequest,
 )
+from repro.obs.trace import get_tracer
 from repro.paragonos.rpc import RPCEndpoint
 from repro.sim import Environment
-from repro.sim.monitor import Monitor
+from repro.obs.monitor import Monitor
 from repro.ufs import UFS, concat_data
 
 
@@ -73,6 +74,7 @@ class PFSServer:
         self.readahead_blocks = readahead_blocks
         self.write_back = write_back
         self.monitor = monitor
+        self.tracer = get_tracer(monitor)
         if cache is not None:
             cache.writeback = self._writeback
         endpoint.register(ReadRequest, self._handle_read)
@@ -110,11 +112,18 @@ class PFSServer:
     # -- read -------------------------------------------------------------
 
     def _handle_read(self, request: ReadRequest):
+        span = self.tracer.begin(
+            "server_io", ctx=request.ctx, node_id=self.node.node_id,
+            op="read", bytes=request.nbytes, cause=request.cause,
+        )
+        if span.ctx is not None:
+            request.ctx = span.ctx
         yield from self.node.busy(self.node.params.server_request_overhead_s)
         if request.fastpath or self.cache is None:
             data, cache_hit = (yield from self._read_fastpath(request)), False
         else:
             data, cache_hit = yield from self._read_buffered(request)
+        self.tracer.end(span, cache_hit=cache_hit)
         self._count("reads", request.nbytes, request.cause)
         return ReadReply(
             file_id=request.file_id,
@@ -126,7 +135,8 @@ class PFSServer:
     def _read_fastpath(self, request: ReadRequest):
         """Direct disk -> reply transfer with block coalescing."""
         data = yield from self.ufs.read(
-            request.file_id, request.ufs_offset, request.nbytes, coalesce=True
+            request.file_id, request.ufs_offset, request.nbytes, coalesce=True,
+            ctx=request.ctx,
         )
         if self._unaligned(request.ufs_offset, request.nbytes):
             # Whole blocks came off the disk; copy out just the range.
@@ -147,8 +157,8 @@ class PFSServer:
             if key not in self.cache:
                 all_hits = False
 
-            def fetch(block=block):
-                return (yield from self.ufs.read_block(file_id, block))
+            def fetch(block=block, ctx=request.ctx):
+                return (yield from self.ufs.read_block(file_id, block, ctx=ctx))
 
             yield from self.cache.read_block(key, fetch)
         if self.readahead_blocks > 0:
@@ -188,10 +198,17 @@ class PFSServer:
     # -- write ------------------------------------------------------------------
 
     def _handle_write(self, request: WriteRequest):
+        span = self.tracer.begin(
+            "server_io", ctx=request.ctx, node_id=self.node.node_id,
+            op="write", bytes=len(request.data),
+        )
+        if span.ctx is not None:
+            request.ctx = span.ctx
         yield from self.node.busy(self.node.params.server_request_overhead_s)
         nbytes = len(request.data)
         if request.fastpath or self.cache is None:
-            yield from self.ufs.write(request.file_id, request.ufs_offset, request.data)
+            yield from self.ufs.write(request.file_id, request.ufs_offset, request.data,
+                                      ctx=request.ctx)
             if self._unaligned(request.ufs_offset, nbytes):
                 yield from self.node.memcpy(nbytes)
                 self._count_extra("partial_block_writes")
@@ -200,7 +217,8 @@ class PFSServer:
         else:
             # Write-through: install in cache and persist to the UFS.
             yield from self.node.memcpy(nbytes)
-            yield from self.ufs.write(request.file_id, request.ufs_offset, request.data)
+            yield from self.ufs.write(request.file_id, request.ufs_offset, request.data,
+                                      ctx=request.ctx)
             bs = self.ufs.block_size
             first = request.ufs_offset // bs
             last = (request.ufs_offset + max(nbytes, 1) - 1) // bs
@@ -215,6 +233,7 @@ class PFSServer:
                     )
                     # Content now persisted; the cached copy is clean.
                     self.cache._blocks[key].dirty = False
+        self.tracer.end(span)
         self._count("writes", nbytes, "demand")
         return WriteReply(
             file_id=request.file_id, ufs_offset=request.ufs_offset, nbytes=nbytes

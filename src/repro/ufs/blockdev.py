@@ -9,7 +9,10 @@ disk accesses when blocks of the file are contiguous on the disk").
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.hardware.raid import RAID3Array
+from repro.obs.trace import TraceContext
 
 
 class BlockDevice:
@@ -25,18 +28,20 @@ class BlockDevice:
     def total_blocks(self) -> int:
         return self.array.capacity_bytes // self.block_size
 
-    def read_extent(self, start_block: int, nblocks: int):
+    def read_extent(self, start_block: int, nblocks: int,
+                    ctx: Optional[TraceContext] = None):
         """Generator: read *nblocks* contiguous blocks in one disk request."""
         self._validate(start_block, nblocks)
         nbytes = nblocks * self.block_size
-        yield from self.array.read(start_block * self.block_size, nbytes)
+        yield from self.array.read(start_block * self.block_size, nbytes, ctx=ctx)
         return nbytes
 
-    def write_extent(self, start_block: int, nblocks: int):
+    def write_extent(self, start_block: int, nblocks: int,
+                     ctx: Optional[TraceContext] = None):
         """Generator: write *nblocks* contiguous blocks in one disk request."""
         self._validate(start_block, nblocks)
         nbytes = nblocks * self.block_size
-        yield from self.array.write(start_block * self.block_size, nbytes)
+        yield from self.array.write(start_block * self.block_size, nbytes, ctx=ctx)
         return nbytes
 
     def _validate(self, start_block: int, nblocks: int) -> None:

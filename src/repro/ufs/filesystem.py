@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.sim.monitor import Monitor
+from repro.obs.trace import TraceContext
+from repro.obs.monitor import Monitor
 from repro.ufs.allocator import ExtentAllocator
 from repro.ufs.blockdev import BlockDevice
 from repro.ufs.data import Data, LiteralData, SyntheticData, concat_data
@@ -155,7 +156,8 @@ class UFS:
 
     # -- timed operations ------------------------------------------------------
 
-    def read(self, file_id: int, offset: int, nbytes: int, coalesce: bool = True):
+    def read(self, file_id: int, offset: int, nbytes: int, coalesce: bool = True,
+             ctx: Optional[TraceContext] = None):
         """Generator: read a byte range, spending disk time; returns Data.
 
         Whole file-system blocks covering the range are transferred from
@@ -177,14 +179,15 @@ class UFS:
         nblocks = last_block - first_block + 1
 
         for _logical, physical, run_len in self._runs(inode, first_block, nblocks, coalesce):
-            yield from self.device.read_extent(physical, run_len)
+            yield from self.device.read_extent(physical, run_len, ctx=ctx)
 
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.reads").add(1)
             self.monitor.counter(f"{self.name}.bytes_read").add(nbytes)
         return self.content(file_id, offset, nbytes)
 
-    def write(self, file_id: int, offset: int, data: Data, coalesce: bool = True):
+    def write(self, file_id: int, offset: int, data: Data, coalesce: bool = True,
+              ctx: Optional[TraceContext] = None):
         """Generator: write *data* at *offset*, growing the file as needed.
 
         Partially covered edge blocks require a read-modify-write: the
@@ -211,29 +214,31 @@ class UFS:
             rmw_blocks.append(last_block)
         for block in dict.fromkeys(rmw_blocks):
             physical = inode.physical_block(block)
-            yield from self.device.read_extent(physical, 1)
+            yield from self.device.read_extent(physical, 1, ctx=ctx)
 
         # Merge content into the written-block store.
         self._merge_written(inode, offset, data)
 
         for _logical, physical, run_len in self._runs(inode, first_block, nblocks, coalesce):
-            yield from self.device.write_extent(physical, run_len)
+            yield from self.device.write_extent(physical, run_len, ctx=ctx)
 
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.writes").add(1)
             self.monitor.counter(f"{self.name}.bytes_written").add(nbytes)
         return nbytes
 
-    def read_block(self, file_id: int, block_index: int):
+    def read_block(self, file_id: int, block_index: int,
+                   ctx: Optional[TraceContext] = None):
         """Generator: read exactly one file-system block (cache fill path)."""
         inode = self.inode(file_id)
         physical = inode.physical_block(block_index)
-        yield from self.device.read_extent(physical, 1)
+        yield from self.device.read_extent(physical, 1, ctx=ctx)
         start = block_index * self.block_size
         length = min(self.block_size, inode.size_bytes - start)
         return self.content(file_id, start, length)
 
-    def write_block(self, file_id: int, block_index: int, data: Data):
+    def write_block(self, file_id: int, block_index: int, data: Data,
+                    ctx: Optional[TraceContext] = None):
         """Generator: write exactly one file-system block."""
         if len(data) > self.block_size:
             raise UFSError("block write larger than block size")
@@ -243,7 +248,7 @@ class UFS:
             self._grow(inode, start + len(data))
         physical = inode.physical_block(block_index)
         self._merge_written(inode, start, data)
-        yield from self.device.write_extent(physical, 1)
+        yield from self.device.write_extent(physical, 1, ctx=ctx)
         return len(data)
 
     # -- internals ------------------------------------------------------------

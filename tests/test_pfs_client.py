@@ -10,10 +10,7 @@ from repro.ufs.data import LiteralData
 KB = 1024
 MB = 1024 * 1024
 
-
-@pytest.fixture
-def machine():
-    return Machine(MachineConfig(n_compute=4, n_io=4))
+# The ``machine`` fixture (4 compute / 4 I/O) comes from tests/conftest.py.
 
 
 def setup_file(machine, size=4 * MB, name="data", pfs=None):

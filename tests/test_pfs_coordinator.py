@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.config import MachineConfig, PFSConfig
-from repro.machine import Machine
+from repro.config import PFSConfig
 from repro.pfs.coordinator import (
     GlobalArrive,
     SyncArrive,
@@ -15,8 +14,9 @@ KB = 1024
 
 
 @pytest.fixture
-def machine():
-    return Machine(MachineConfig(n_compute=4, n_io=2))
+def machine(machine_factory):
+    """Coordinator tests want more compute than I/O nodes (4C/2IO)."""
+    return machine_factory(n_compute=4, n_io=2)
 
 
 @pytest.fixture

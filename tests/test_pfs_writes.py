@@ -1,7 +1,5 @@
 """Integration tests for the PFS write path across I/O modes."""
 
-import pytest
-
 from repro.config import MachineConfig, PFSConfig
 from repro.machine import Machine
 from repro.pfs import IOMode
@@ -10,10 +8,7 @@ from repro.ufs.data import LiteralData
 KB = 1024
 MB = 1024 * 1024
 
-
-@pytest.fixture
-def machine():
-    return Machine(MachineConfig(n_compute=4, n_io=4))
+# The ``machine`` fixture (4 compute / 4 I/O) comes from tests/conftest.py.
 
 
 def open_all(machine, mount, name, mode, nprocs=4):

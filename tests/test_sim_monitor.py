@@ -53,6 +53,48 @@ class TestTimeWeightedStat:
         stat = TimeWeightedStat(env, "q", initial=5.0)
         assert stat.mean() == 5.0
 
+    def test_degenerate_window_mid_simulation(self, env):
+        """A stat created at t>0 and queried at that same instant has a
+        zero-width window: the mean is *defined* as the current value
+        (the limit as the window shrinks), never a 0/0 artefact."""
+        means = []
+
+        def proc():
+            yield env.timeout(3.0)
+            stat = TimeWeightedStat(env, "q", initial=2.5)
+            means.append(stat.mean())
+
+        env.process(proc())
+        env.run()
+        assert means == [2.5]
+
+    def test_degenerate_window_tracks_instantaneous_sets(self, env):
+        """Even several set() calls at the creation instant keep the
+        degenerate mean equal to the *current* value."""
+        results = []
+
+        def proc():
+            yield env.timeout(1.0)
+            stat = TimeWeightedStat(env, "q")
+            stat.set(7.0)
+            stat.set(9.0)
+            results.append((stat.mean(), stat.value, stat.maximum))
+
+        env.process(proc())
+        env.run()
+        assert results == [(9.0, 9.0, 9.0)]
+
+    def test_mean_is_finite_once_time_advances(self, env):
+        stat = TimeWeightedStat(env, "q", initial=4.0)
+
+        def proc():
+            yield env.timeout(2.0)
+
+        env.process(proc())
+        env.run()
+        assert stat.mean() == pytest.approx(4.0)
+        assert math.isfinite(stat.mean())
+
 
 class TestSeriesStat:
     def test_summary_statistics(self):
