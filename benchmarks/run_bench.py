@@ -1,0 +1,174 @@
+"""Machine-readable bench trajectory: the Table 1 / Figure 2 points.
+
+Writes ``BENCH_2.json`` at the repo root: collective read bandwidth for
+every (request size, prefetch) Table 1 cell and every (mode, request
+size) Figure 2 cell, plus a per-cell telemetry summary naming the
+saturating resource.  The file is the perf baseline later PRs regress
+against -- scaling work that moves these numbers should move them *up*.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--output PATH]
+
+``--quick`` trims sizes and rounds for CI; the default settings match
+the experiment suite (rounds=16, the paper's request sizes).  Output is
+deterministic -- no timestamps, rounded floats -- so reruns of an
+unchanged tree produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.experiments.common import (  # noqa: E402
+    KB,
+    DEFAULT_REQUEST_SIZES_KB,
+    run_collective,
+    run_separate_files,
+    scaled_file_size,
+)
+from repro.pfs import IOMode  # noqa: E402
+
+FIGURE2_MODES = (IOMode.M_UNIX, IOMode.M_LOG, IOMode.M_SYNC,
+                 IOMode.M_RECORD, IOMode.M_ASYNC)
+
+
+def _round(value: float, digits: int = 4) -> float:
+    return round(float(value), digits)
+
+
+def bench_table1(sizes_kb, rounds: int) -> list:
+    """Table 1 cells with telemetry: bandwidth + saturating resource."""
+    points = []
+    for size_kb in sizes_kb:
+        request = size_kb * KB
+        file_size = scaled_file_size(request, rounds=rounds)
+        for prefetch in (False, True):
+            report = run_collective(
+                request_size=request,
+                file_size=file_size,
+                iomode=IOMode.M_RECORD,
+                prefetch=prefetch,
+                rounds=rounds,
+                telemetry=True,
+            )
+            bottleneck = report.bottleneck
+            points.append(
+                {
+                    "request_kb": size_kb,
+                    "prefetch": prefetch,
+                    "collective_bandwidth_mbps": _round(
+                        report.collective_bandwidth_mbps
+                    ),
+                    "mean_read_access_s": _round(
+                        report.mean_read_access_time_s, 6
+                    ),
+                    "balanced": _round(report.balanced),
+                    "bottleneck": None
+                    if bottleneck is None
+                    else {
+                        "resource": bottleneck.resource,
+                        "utilization": _round(bottleneck.utilization),
+                        "saturated": len(bottleneck.saturated),
+                    },
+                }
+            )
+    return points
+
+
+def bench_figure2(sizes_kb, rounds: int) -> list:
+    """Figure 2 cells: per-mode bandwidth plus the Separate Files case."""
+    points = []
+    for size_kb in sizes_kb:
+        request = size_kb * KB
+        file_size = scaled_file_size(request, rounds=rounds)
+        for mode in FIGURE2_MODES:
+            report = run_collective(
+                request_size=request,
+                file_size=file_size,
+                iomode=mode,
+                rounds=rounds,
+                async_partition=False,
+            )
+            points.append(
+                {
+                    "request_kb": size_kb,
+                    "mode": mode.name,
+                    "collective_bandwidth_mbps": _round(
+                        report.collective_bandwidth_mbps
+                    ),
+                }
+            )
+        report = run_separate_files(
+            request_size=request, file_size_per_node=request * rounds
+        )
+        points.append(
+            {
+                "request_kb": size_kb,
+                "mode": "SEPARATE_FILES",
+                "collective_bandwidth_mbps": _round(
+                    report.collective_bandwidth_mbps
+                ),
+            }
+        )
+    return points
+
+
+def run_bench(quick: bool = False) -> dict:
+    if quick:
+        t1_sizes = (64, 256, 1024)
+        f2_sizes = (64, 1024)
+        rounds = 8
+    else:
+        t1_sizes = DEFAULT_REQUEST_SIZES_KB
+        f2_sizes = DEFAULT_REQUEST_SIZES_KB
+        rounds = 16
+    return {
+        "bench": "pr2-telemetry",
+        "machine": {"n_compute": 8, "n_io": 8, "block_kb": 64},
+        "settings": {"rounds": rounds, "quick": quick},
+        "metric": "collective read bandwidth (MB/s): total bytes / "
+                  "slowest rank's read-call time",
+        "table1": bench_table1(t1_sizes, rounds),
+        "figure2": bench_figure2(f2_sizes, rounds),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer sizes/rounds (CI)")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_2.json"
+        ),
+        help="output path (default: repo-root BENCH_2.json)",
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(quick=args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    n_points = len(results["table1"]) + len(results["figure2"])
+    print(f"wrote {os.path.abspath(args.output)} ({n_points} points)")
+    for point in results["table1"]:
+        bn = point["bottleneck"]
+        print(
+            f"  table1 {point['request_kb']:>5}KB "
+            f"prefetch={'on ' if point['prefetch'] else 'off'} "
+            f"{point['collective_bandwidth_mbps']:7.2f} MB/s  "
+            f"bottleneck: {bn['resource'] if bn else 'n/a'}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

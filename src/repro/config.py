@@ -43,6 +43,12 @@ class MachineConfig:
     #: default; tracing never schedules events, so enabling it does not
     #: change simulated time (results stay bit-identical).
     trace: bool = False
+    #: Sample per-resource time-series metrics on ``machine.obs.telemetry``.
+    #: Off by default; the sampler observes the event loop via a tick hook
+    #: and never schedules events, so results stay bit-identical.
+    telemetry: bool = False
+    #: Telemetry sampler cadence in simulated seconds.
+    telemetry_interval_s: float = 0.05
     #: Hardware constants.
     hardware: HardwareParams = field(default_factory=HardwareParams)
 
@@ -53,6 +59,8 @@ class MachineConfig:
             raise ValueError("need at least one I/O node")
         if self.block_size <= 0:
             raise ValueError("block size must be positive")
+        if self.telemetry_interval_s <= 0:
+            raise ValueError("telemetry interval must be positive")
 
 
 @dataclass(frozen=True)

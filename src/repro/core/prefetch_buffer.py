@@ -121,6 +121,11 @@ class PrefetchBufferList:
             if b.state in (BufferState.IN_FLIGHT, BufferState.READY)
         ]
 
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently held by live buffers (prefetch-memory pressure)."""
+        return sum(b.length for b in self.live_buffers)
+
     def find_covering(self, offset: int, nbytes: int) -> Optional[PrefetchBuffer]:
         """The first live buffer containing the requested range."""
         for buffer in self.buffers:

@@ -88,6 +88,26 @@ class ExperimentTable:
 
         self.sections.append(render_breakdown(breakdown, title=title))
 
+    def to_jsonable(self) -> dict:
+        """Machine-readable form: the shared shape every table/figure
+        artifact (``results/*.json``, ``BENCH_*.json`` entries) uses."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_jsonable(), indent=indent) + "\n"
+
+    def write_json(self, path) -> None:
+        """Write the JSON artifact next to the text rendering."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
 
 def build_machine(
     n_compute: int = 8,
@@ -98,10 +118,12 @@ def build_machine(
     cache_blocks: int = 128,
     hardware=None,
     trace: bool = False,
+    telemetry: bool = False,
 ):
     """Machine + mount with the paper's defaults (8C/8IO, 64KB blocks)."""
     config_kwargs = dict(
-        n_compute=n_compute, n_io=n_io, cache_blocks=cache_blocks, trace=trace
+        n_compute=n_compute, n_io=n_io, cache_blocks=cache_blocks, trace=trace,
+        telemetry=telemetry,
     )
     if hardware is not None:
         config_kwargs["hardware"] = hardware
@@ -146,14 +168,22 @@ def run_collective(
     async_partition: bool = True,
     hardware=None,
     trace: bool = False,
+    telemetry: bool = False,
+    keep_machine: bool = False,
 ) -> BandwidthReport:
     """One fresh-machine collective read run; returns the report.
 
     With ``trace=True`` the machine records request spans and the report
     comes back with its :attr:`~repro.metrics.BandwidthReport.breakdown`
     populated (per-layer critical-path seconds summed over all read
-    calls).  Tracing never schedules simulation events, so the measured
-    numbers are identical either way.
+    calls).  With ``telemetry=True`` resource time series are sampled and
+    :attr:`~repro.metrics.BandwidthReport.bottleneck` names the
+    saturating resource.  Neither schedules simulation events, so the
+    measured numbers are identical either way.
+
+    ``keep_machine=True`` attaches the machine as ``report.machine`` so
+    callers can export telemetry/traces after the fact (the attribute is
+    set dynamically and never participates in equality).
     """
     machine, mount = build_machine(
         n_compute=n_compute,
@@ -163,6 +193,7 @@ def run_collective(
         buffered=buffered,
         hardware=hardware,
         trace=trace,
+        telemetry=telemetry,
     )
     machine.create_file(mount, "data", file_size)
     workload = CollectiveReadWorkload(
@@ -179,6 +210,11 @@ def run_collective(
     report = workload.run().report
     if trace:
         report.breakdown = machine.obs.breakdown()
+    if telemetry:
+        machine.obs.telemetry.finalize()
+        report.bottleneck = machine.obs.bottleneck_report()
+    if keep_machine:
+        report.machine = machine
     return report
 
 

@@ -4,12 +4,15 @@ Usage::
 
     python -m repro.experiments.runall [output_dir]
 
-With an output directory, each artifact's rendering is also written to
-``<output_dir>/<name>.txt``.  The full suite takes about half a minute.
+With an output directory, each artifact's rendering is written to
+``<output_dir>/<name>.txt`` and its machine-readable form (the shared
+:meth:`ExperimentTable.to_jsonable` shape) to ``<output_dir>/<name>.json``.
+The full suite takes about half a minute.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from typing import Callable, List, Optional, Tuple
@@ -26,22 +29,29 @@ from repro.experiments import (
 )
 
 
-def _run_all() -> List[Tuple[str, str, Optional[str]]]:
-    """Returns (name, rendering, shape_problem) per artifact."""
-    out: List[Tuple[str, str, Optional[str]]] = []
+def _run_all() -> List[Tuple[str, str, Optional[str], List]]:
+    """Returns (name, rendering, shape_problem, tables) per artifact."""
+    out: List[Tuple[str, str, Optional[str], List]] = []
 
     fig2 = figure2.run_figure2()
-    out.append(("figure2", fig2.render(), figure2.check_figure2_shape(fig2)))
+    out.append(("figure2", fig2.render(), figure2.check_figure2_shape(fig2), [fig2]))
 
     tab1 = table1.run_table1()
-    out.append(("table1", tab1.render(), table1.check_table1_shape(tab1)))
+    out.append(("table1", tab1.render(), table1.check_table1_shape(tab1), [tab1]))
 
     tab2 = table2.run_table2()
-    out.append(("table2", tab2.render(), table2.check_table2_shape(tab2)))
+    out.append(("table2", tab2.render(), table2.check_table2_shape(tab2), [tab2]))
 
     panels = figure45.run_figure45()
     rendering = "\n\n".join(panels[k].render() for k in sorted(panels))
-    out.append(("figure45", rendering, figure45.check_figure45_shape(panels)))
+    out.append(
+        (
+            "figure45",
+            rendering,
+            figure45.check_figure45_shape(panels),
+            [panels[k] for k in sorted(panels)],
+        )
+    )
 
     tab3 = table3.run_table3()
     tab3_base = table3.run_table3_baseline()
@@ -50,6 +60,7 @@ def _run_all() -> List[Tuple[str, str, Optional[str]]]:
             "table3",
             tab3.render() + "\n\n" + tab3_base.render(),
             table3.check_table3_shape(tab3, tab3_base),
+            [tab3, tab3_base],
         )
     )
 
@@ -60,12 +71,18 @@ def _run_all() -> List[Tuple[str, str, Optional[str]]]:
             "table4",
             tab4.render() + "\n\n" + tab4_np.render(),
             table4.check_table4_shape(tab4, tab4_np),
+            [tab4, tab4_np],
         )
     )
 
     sens = sensitivity.run_sensitivity()
     out.append(
-        ("sensitivity", sens.render(), sensitivity.check_sensitivity_shape(sens))
+        (
+            "sensitivity",
+            sens.render(),
+            sensitivity.check_sensitivity_shape(sens),
+            [sens],
+        )
     )
 
     abl: List[Tuple[str, Callable]] = [
@@ -79,15 +96,24 @@ def _run_all() -> List[Tuple[str, str, Optional[str]]]:
         ("ablation_scaling", ablations.run_scaling_ablation),
     ]
     for name, fn in abl:
-        out.append((name, fn().render(), None))
+        table = fn()
+        out.append((name, table.render(), None, [table]))
     return out
+
+
+def artifact_jsonable(tables: List, problem: Optional[str]) -> dict:
+    """One artifact's JSON form: its table(s) plus the shape verdict."""
+    return {
+        "shape_problem": problem,
+        "tables": [t.to_jsonable() for t in tables],
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     output_dir = argv[0] if argv else None
     failures = 0
-    for name, rendering, problem in _run_all():
+    for name, rendering, problem, tables in _run_all():
         print(rendering)
         status = "OK" if problem is None else f"SHAPE PROBLEM: {problem}"
         print(f"[{name}] {status}\n")
@@ -97,6 +123,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             os.makedirs(output_dir, exist_ok=True)
             with open(os.path.join(output_dir, f"{name}.txt"), "w") as fh:
                 fh.write(rendering + "\n")
+            with open(os.path.join(output_dir, f"{name}.json"), "w") as fh:
+                json.dump(artifact_jsonable(tables, problem), fh, indent=2)
+                fh.write("\n")
     print(f"done: {failures} shape problem(s)")
     return 1 if failures else 0
 

@@ -23,6 +23,7 @@ import zlib
 from typing import Optional
 
 from repro.hardware.params import DiskParams
+from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
 from repro.sim import Environment, PriorityResource, Resource
 from repro.obs.monitor import Monitor
@@ -76,6 +77,23 @@ class Disk:
         self._cached_start = 0
         self._cached_end = 0
         self._rng_state = (zlib.crc32(name.encode()) & 0xFFFFFFFF) | 1
+        #: Accumulated time the arm was held (utilisation).
+        self.busy_s = 0.0
+        telemetry = get_telemetry(monitor)
+        label = {"device": name}
+        telemetry.register_probe(
+            "disk_busy_seconds", lambda: self.busy_s, labels=label,
+            help="Seconds the arm was held (busy fraction = value / elapsed)",
+            kind="counter",
+        )
+        telemetry.register_probe(
+            "disk_queue_depth", lambda: float(self.queue_depth), labels=label,
+            help="Requests waiting for the arm",
+        )
+        self._service_hist = telemetry.histogram(
+            "disk_service_seconds", labels=label,
+            help="Queue + positioning + transfer time per request",
+        )
 
     # -- service-time model -------------------------------------------------
 
@@ -134,8 +152,10 @@ class Disk:
         queued_at = self.env.now
         sequential = False
         cache_hit = False
+        started_at = None
         try:
             yield req
+            started_at = self.env.now
             cache_hit = kind == "read" and self.cached(lba, nbytes)
             if cache_hit:
                 # Served from the drive buffer: controller time only.
@@ -152,8 +172,11 @@ class Disk:
                     )
                     self._cached_end = lba + nbytes
         finally:
+            if started_at is not None:
+                self.busy_s += self.env.now - started_at
             self._arm.release(req)
         self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
+        self._service_hist.observe(self.env.now - queued_at)
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.{kind}s").add(1)
             self.monitor.counter(f"{self.name}.bytes_{kind}").add(nbytes)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.hardware.params import MeshParams
+from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import get_tracer
 from repro.sim import Environment, Resource
 from repro.obs.monitor import Monitor
@@ -61,6 +62,22 @@ class Mesh:
         self.monitor = monitor
         self.tracer = get_tracer(monitor)
         self._links: Dict[Link, Resource] = {}
+        #: Per-directed-link seconds held by a streaming worm.
+        self._link_busy_s: Dict[Link, float] = {}
+        #: Total seconds senders spent blocked on link acquisition
+        #: (contention: zero on an idle mesh by construction).
+        self.wait_s = 0.0
+        self._in_flight = 0
+        self.telemetry = get_telemetry(monitor)
+        self.telemetry.register_probe(
+            "mesh_wait_seconds", lambda: self.wait_s,
+            help="Cumulative seconds senders blocked on busy links (contention)",
+            kind="counter",
+        )
+        self.telemetry.register_probe(
+            "mesh_messages_in_flight", lambda: float(self._in_flight),
+            help="Messages currently crossing the mesh",
+        )
 
     # -- topology ---------------------------------------------------------
 
@@ -95,6 +112,14 @@ class Mesh:
         res = self._links.get(link)
         if res is None:
             res = self._links[link] = Resource(self.env, capacity=1)
+            (ax, ay), (bx, by) = link
+            self.telemetry.register_probe(
+                "mesh_link_busy_seconds",
+                lambda lk=link: self._link_busy_s.get(lk, 0.0),
+                labels={"link": f"{ax},{ay}->{bx},{by}"},
+                help="Seconds this directed link was held by a worm",
+                kind="counter",
+            )
         return res
 
     # -- transmission -------------------------------------------------------
@@ -132,11 +157,16 @@ class Mesh:
 
         links = self.route(message.src, message.dst)
         requests = []
+        acquired = []
+        self._in_flight += 1
         try:
             for link in links:
                 req = self._link(link).request()
                 requests.append((link, req))
+                requested_at = env.now
                 yield req
+                self.wait_s += env.now - requested_at
+                acquired.append((link, env.now))
                 if p.per_hop_s > 0:
                     yield env.timeout(p.per_hop_s)
             # Path reserved end-to-end; stream the body.
@@ -144,8 +174,14 @@ class Mesh:
             if body_time > 0:
                 yield env.timeout(body_time)
         finally:
+            released_at = env.now
             for link, req in requests:
                 self._link(link).release(req)
+            for link, granted_at in acquired:
+                self._link_busy_s[link] = (
+                    self._link_busy_s.get(link, 0.0) + (released_at - granted_at)
+                )
+            self._in_flight -= 1
 
         message.delivered_at = env.now
         self.tracer.end(span)

@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.hardware.params import DiskParams, RAIDParams
 from repro.hardware.scsi import SCSIBus
+from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
 from repro.sim import Environment
 from repro.obs.monitor import Monitor
@@ -86,6 +87,21 @@ class RAID3Array:
         self._fail_next = 0
         #: Accumulated time the arm was held (utilisation).
         self.busy_s = 0.0
+        telemetry = get_telemetry(monitor)
+        label = {"device": name}
+        telemetry.register_probe(
+            "disk_busy_seconds", lambda: self.busy_s, labels=label,
+            help="Seconds the array arm was held (busy fraction = value / elapsed)",
+            kind="counter",
+        )
+        telemetry.register_probe(
+            "disk_queue_depth", lambda: float(len(self._pending)), labels=label,
+            help="Requests waiting for the array arm",
+        )
+        self._service_hist = telemetry.histogram(
+            "disk_service_seconds", labels=label,
+            help="Queue + positioning + transfer time per request",
+        )
 
     # -- geometry ------------------------------------------------------------
 
@@ -227,6 +243,7 @@ class RAID3Array:
             self._busy = False
             self._grant_next()
         self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
+        self._service_hist.observe(self.env.now - queued_at)
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.{kind}s").add(1)
             self.monitor.counter(f"{self.name}.bytes_{kind}").add(nbytes)

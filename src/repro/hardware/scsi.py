@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.hardware.params import SCSIParams
+from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
 from repro.sim import Environment, Resource
 from repro.obs.monitor import Monitor
@@ -37,6 +38,17 @@ class SCSIBus:
         self._bus = Resource(env, capacity=1)
         #: Accumulated time the bus spent transferring (utilisation).
         self.busy_s = 0.0
+        telemetry = get_telemetry(monitor)
+        label = {"bus": name}
+        telemetry.register_probe(
+            "scsi_busy_seconds", lambda: self.busy_s, labels=label,
+            help="Seconds the bus spent streaming (busy fraction = value / elapsed)",
+            kind="counter",
+        )
+        telemetry.register_probe(
+            "scsi_queue_depth", lambda: float(len(self._bus.queue)), labels=label,
+            help="Transfers waiting for bus arbitration",
+        )
 
     def transfer_time(self, nbytes: int) -> float:
         """Uncontended time to move *nbytes* across the bus."""

@@ -41,8 +41,14 @@ class Machine:
         self.config = config or MachineConfig()
         cfg = self.config
         self.env = Environment()
-        #: Unified observability handle: stats registry + request tracer.
-        self.obs = Observability(self.env, trace=cfg.trace)
+        #: Unified observability handle: stats registry + request tracer
+        #: + telemetry (metric registry, probes, sampler).
+        self.obs = Observability(
+            self.env,
+            trace=cfg.trace,
+            telemetry=cfg.telemetry,
+            telemetry_interval_s=cfg.telemetry_interval_s,
+        )
         #: Back-compat alias -- satisfies the full Monitor interface.
         self.monitor = self.obs
 
@@ -159,6 +165,32 @@ class Machine:
             )
 
         self.mounts: Dict[str, PFSMount] = {}
+
+        # -- node-level telemetry probes (nodes take no monitor handle) ----------
+        telemetry = self.obs.telemetry
+        for node in self.compute_nodes + self.io_nodes + [self.service_node]:
+            label = {"node": str(node.node_id)}
+            # Normalised by CPU count so value/elapsed is a [0, 1] fraction.
+            telemetry.register_probe(
+                "node_cpu_busy_seconds",
+                lambda n=node: n.cpu_busy_s / n.params.cpu_count,
+                labels=label,
+                help="CPU busy-seconds per node, normalised by CPU count",
+                kind="counter",
+            )
+            telemetry.register_probe(
+                "node_msgproc_busy_seconds",
+                lambda n=node: n.msgproc_busy_s,
+                labels=label,
+                help="Message-processor busy-seconds per node",
+                kind="counter",
+            )
+            telemetry.register_probe(
+                "node_memory_used_bytes",
+                lambda n=node: float(n.memory.used_bytes),
+                labels=label,
+                help="Allocated node memory in bytes",
+            )
 
     # -- PFS administration -------------------------------------------------------
 

@@ -10,6 +10,12 @@ counters, ad-hoc per-component accounting):
 - :mod:`repro.obs.stats` -- prefetcher outcome statistics;
 - :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON, per-layer
   latency breakdowns, critical-path reports;
+- :mod:`repro.obs.telemetry` -- labeled metric registry (counters,
+  gauges, fixed-bucket histograms), resource probes, and the
+  simulated-time sampler;
+- :mod:`repro.obs.telemetry_export` -- Prometheus text snapshot,
+  CSV/JSONL time series, ASCII utilization heatmap/timeline, and the
+  per-run :class:`BottleneckReport`;
 - :mod:`repro.obs.observability` -- the :class:`Observability` facade a
   :class:`~repro.machine.Machine` exposes as ``machine.obs``.
 
@@ -27,6 +33,26 @@ from repro.obs.export import (
 from repro.obs.monitor import CounterStat, Monitor, SeriesStat, TimeWeightedStat
 from repro.obs.observability import Observability
 from repro.obs.stats import PrefetchStats
+from repro.obs.telemetry import (
+    DEFAULT_TIME_BUCKETS_S,
+    NULL_TELEMETRY,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricRegistry,
+    Telemetry,
+    get_telemetry,
+)
+from repro.obs.telemetry_export import (
+    BottleneckReport,
+    bottleneck_report,
+    prometheus_text,
+    timeseries_csv,
+    timeseries_jsonl,
+    utilization_heatmap,
+    utilization_matrix,
+    utilization_timeline,
+)
 from repro.obs.trace import (
     NOOP_SPAN,
     NULL_TRACER,
@@ -37,22 +63,38 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BottleneckReport",
+    "CounterMetric",
     "CounterStat",
+    "DEFAULT_TIME_BUCKETS_S",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricRegistry",
     "Monitor",
     "NOOP_SPAN",
+    "NULL_TELEMETRY",
     "NULL_TRACER",
     "Observability",
     "PrefetchStats",
     "SeriesStat",
     "Span",
+    "Telemetry",
     "TimeWeightedStat",
     "TraceContext",
     "Tracer",
+    "bottleneck_report",
     "breakdown_of",
     "chrome_trace_events",
     "chrome_trace_json",
     "critical_path_report",
+    "get_telemetry",
     "get_tracer",
     "latency_breakdown",
+    "prometheus_text",
     "render_breakdown",
+    "timeseries_csv",
+    "timeseries_jsonl",
+    "utilization_heatmap",
+    "utilization_matrix",
+    "utilization_timeline",
 ]

@@ -20,6 +20,16 @@ from repro.obs.export import (
     render_breakdown,
 )
 from repro.obs.monitor import CounterStat, Monitor, SeriesStat, TimeWeightedStat
+from repro.obs.telemetry import Telemetry
+from repro.obs.telemetry_export import (
+    BottleneckReport,
+    bottleneck_report,
+    prometheus_text,
+    timeseries_csv,
+    timeseries_jsonl,
+    utilization_heatmap,
+    utilization_timeline,
+)
 from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,14 +45,27 @@ class Observability:
 
     - :attr:`tracer` -- the request tracer (disabled unless
       ``trace=True``);
+    - :attr:`telemetry` -- the labeled metric registry + sampler
+      (disabled unless ``telemetry=True``);
     - export conveniences (:meth:`chrome_trace`, :meth:`breakdown`,
-      :meth:`breakdown_table`, :meth:`critical_path`).
+      :meth:`breakdown_table`, :meth:`critical_path`, :meth:`prometheus`,
+      :meth:`telemetry_csv`, :meth:`telemetry_jsonl`, :meth:`heatmap`,
+      :meth:`timeline`, :meth:`bottleneck_report`).
     """
 
-    def __init__(self, env: "Environment", trace: bool = False) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        trace: bool = False,
+        telemetry: bool = False,
+        telemetry_interval_s: float = 0.05,
+    ) -> None:
         self.env = env
         self.monitor = Monitor(env)
         self.tracer = Tracer(env, enabled=trace)
+        self.telemetry = Telemetry(
+            env, enabled=telemetry, interval_s=telemetry_interval_s
+        )
 
     # -- Monitor interface (delegation) -----------------------------------
 
@@ -86,5 +109,31 @@ class Observability:
     def spans(self, kind: Optional[str] = None) -> List:
         return self.tracer.by_kind(kind) if kind else list(self.tracer.spans)
 
+    # -- telemetry exports ---------------------------------------------------
+
+    def prometheus(self) -> str:
+        """Current metric state in Prometheus text exposition format."""
+        return prometheus_text(self.telemetry)
+
+    def telemetry_csv(self) -> str:
+        """Sampled time series as CSV rows."""
+        return timeseries_csv(self.telemetry)
+
+    def telemetry_jsonl(self) -> str:
+        """Sampled time series as JSON Lines."""
+        return timeseries_jsonl(self.telemetry)
+
+    def heatmap(self, family: str = "disk_busy_seconds", **kwargs) -> str:
+        """ASCII utilization heatmap of a busy-seconds family."""
+        return utilization_heatmap(self.telemetry, family, **kwargs)
+
+    def timeline(self, family: str = "disk_busy_seconds", **kwargs) -> str:
+        """ASCII utilization line chart of a busy-seconds family."""
+        return utilization_timeline(self.telemetry, family, **kwargs)
+
+    def bottleneck_report(self) -> Optional[BottleneckReport]:
+        """Which resource saturated this run (None if telemetry is off)."""
+        return bottleneck_report(self.telemetry)
+
     def __repr__(self) -> str:
-        return f"<Observability tracer={self.tracer!r}>"
+        return f"<Observability tracer={self.tracer!r} telemetry={self.telemetry!r}>"

@@ -113,7 +113,12 @@ class PrefetchStats:
             setattr(out, name, getattr(self, name) + getattr(other, name))
         out.partial_wait_time = self.partial_wait_time + other.partial_wait_time
         out.overlap_time = self.overlap_time + other.overlap_time
-        out.overlap_fractions = self.overlap_fractions + other.overlap_fractions
+        # Sorted multiset union: concatenation alone would make merge
+        # order observable through dataclass equality (a+b != b+a), so
+        # merging handles in a different order would yield unequal -- yet
+        # semantically identical -- machine-wide stats.  Sorting keeps
+        # merge commutative and associative; the mean is unaffected.
+        out.overlap_fractions = sorted(self.overlap_fractions + other.overlap_fractions)
         return out
 
     def summary(self) -> str:

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Generator, Optional, Type
 
 from repro.hardware.mesh import Mesh, MeshMessage
 from repro.hardware.node import Node
+from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import get_tracer
 from repro.paragonos.messages import RPCMessage
 from repro.sim import Environment, Store
@@ -55,6 +56,12 @@ class RPCEndpoint:
         self._handlers: Dict[Type[RPCMessage], Callable[..., Generator]] = {}
         self._dispatcher = env.process(
             self._dispatch_loop(), name=f"rpc-dispatch-{node.node_id}"
+        )
+        get_telemetry(monitor).register_probe(
+            "rpc_inbox_depth",
+            lambda: float(len(self._inbox.items)),
+            labels={"node": str(node.node_id)},
+            help="Requests delivered but not yet picked up by the dispatcher",
         )
 
     def register(

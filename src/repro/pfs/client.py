@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.hardware.mesh import Mesh, MeshMessage
 from repro.hardware.node import Node
+from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
 from repro.paragonos.art import AsyncRequestManager
 from repro.paragonos.messages import (
@@ -539,6 +540,21 @@ class PFSClient:
         self.art = art or AsyncRequestManager(env, node)
         self.monitor = monitor
         self.tracer = get_tracer(monitor)
+        #: Always-on per-rank read progress (probe source).
+        self.bytes_read_total = 0
+        telemetry = get_telemetry(monitor)
+        label = {"node": str(node.node_id)}
+        telemetry.register_probe(
+            "client_read_bytes_total",
+            lambda: float(self.bytes_read_total),
+            labels=label,
+            help="Bytes returned to the application on this node (rank progress)",
+            kind="counter",
+        )
+        self._read_call_hist = telemetry.histogram(
+            "client_read_call_seconds", labels=label,
+            help="User-visible duration of each read() call",
+        )
 
     # -- namespace ------------------------------------------------------------
 
@@ -790,6 +806,8 @@ class PFSClient:
         return (yield from self.endpoint.call(self._io_endpoint(io_node), request))
 
     def _record_read(self, nbytes: int, duration: float) -> None:
+        self.bytes_read_total += nbytes
+        self._read_call_hist.observe(duration)
         if self.monitor is not None:
             self.monitor.series(f"pfs_client.{self.node.node_id}.read_call").record(
                 duration

@@ -31,6 +31,7 @@ from repro.paragonos.messages import (
     WriteReply,
     WriteRequest,
 )
+from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import get_tracer
 from repro.paragonos.rpc import RPCEndpoint
 from repro.sim import Environment
@@ -75,6 +76,20 @@ class PFSServer:
         self.write_back = write_back
         self.monitor = monitor
         self.tracer = get_tracer(monitor)
+        #: Requests currently being handled (always-on; probe source).
+        self._active_requests = 0
+        telemetry = get_telemetry(monitor)
+        label = {"node": str(node.node_id)}
+        telemetry.register_probe(
+            "pfs_server_active_requests",
+            lambda: float(self._active_requests),
+            labels=label,
+            help="Read/write requests currently in service on this server",
+        )
+        self._read_hist = telemetry.histogram(
+            "pfs_server_read_seconds", labels=label,
+            help="Server-side handling time per read request",
+        )
         if cache is not None:
             cache.writeback = self._writeback
         endpoint.register(ReadRequest, self._handle_read)
@@ -118,11 +133,17 @@ class PFSServer:
         )
         if span.ctx is not None:
             request.ctx = span.ctx
-        yield from self.node.busy(self.node.params.server_request_overhead_s)
-        if request.fastpath or self.cache is None:
-            data, cache_hit = (yield from self._read_fastpath(request)), False
-        else:
-            data, cache_hit = yield from self._read_buffered(request)
+        started_at = self.env.now
+        self._active_requests += 1
+        try:
+            yield from self.node.busy(self.node.params.server_request_overhead_s)
+            if request.fastpath or self.cache is None:
+                data, cache_hit = (yield from self._read_fastpath(request)), False
+            else:
+                data, cache_hit = yield from self._read_buffered(request)
+        finally:
+            self._active_requests -= 1
+        self._read_hist.observe(self.env.now - started_at)
         self.tracer.end(span, cache_hit=cache_hit)
         self._count("reads", request.nbytes, request.cause)
         return ReadReply(
@@ -204,6 +225,19 @@ class PFSServer:
         )
         if span.ctx is not None:
             request.ctx = span.ctx
+        self._active_requests += 1
+        try:
+            yield from self._handle_write_body(request)
+        finally:
+            self._active_requests -= 1
+        nbytes = len(request.data)
+        self.tracer.end(span)
+        self._count("writes", nbytes, "demand")
+        return WriteReply(
+            file_id=request.file_id, ufs_offset=request.ufs_offset, nbytes=nbytes
+        )
+
+    def _handle_write_body(self, request: WriteRequest):
         yield from self.node.busy(self.node.params.server_request_overhead_s)
         nbytes = len(request.data)
         if request.fastpath or self.cache is None:
@@ -233,11 +267,6 @@ class PFSServer:
                     )
                     # Content now persisted; the cached copy is clean.
                     self.cache._blocks[key].dirty = False
-        self.tracer.end(span)
-        self._count("writes", nbytes, "demand")
-        return WriteReply(
-            file_id=request.file_id, ufs_offset=request.ufs_offset, nbytes=nbytes
-        )
 
     def _write_back_cached(self, request: WriteRequest, nbytes: int):
         """Write-back: land the data in the cache only; no disk time.

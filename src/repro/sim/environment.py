@@ -43,6 +43,11 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Observers called as ``hook(now)`` after each processed event.
+        #: Hooks must never schedule events or mutate simulation state --
+        #: they exist so telemetry can sample in simulated time without a
+        #: perpetual sampler process keeping a run-until-empty loop alive.
+        self._tick_hooks: List[Any] = []
 
     # -- introspection --------------------------------------------------
 
@@ -88,6 +93,16 @@ class Environment:
         """Event that fires when any of *events* has fired."""
         return AnyOf(self, events)
 
+    def add_tick_hook(self, hook) -> None:
+        """Register *hook* to observe the clock after every :meth:`step`.
+
+        The hook receives the current simulated time.  It runs outside any
+        process context and must be a pure observer: scheduling events or
+        touching resources from a hook would perturb the run it is meant
+        to measure.
+        """
+        self._tick_hooks.append(hook)
+
     # -- scheduling -------------------------------------------------------
 
     def schedule(
@@ -120,6 +135,10 @@ class Environment:
             # do not pass silently.
             exc = event._value
             raise exc
+
+        if self._tick_hooks:
+            for hook in self._tick_hooks:
+                hook(self._now)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.

@@ -117,6 +117,10 @@ class CollectiveReadWorkload:
             prefetcher = (
                 self.prefetcher_factory(rank) if self.prefetcher_factory else None
             )
+            if prefetcher is not None and prefetcher.monitor is None:
+                # Factory-built prefetchers inherit the machine's handle so
+                # their counters and telemetry probes register.
+                prefetcher.monitor = machine.monitor
             handle = yield from machine.clients[rank].open(
                 self.mount,
                 self.filename,
@@ -309,6 +313,8 @@ class SeparateFilesWorkload:
             prefetcher = (
                 self.prefetcher_factory(rank) if self.prefetcher_factory else None
             )
+            if prefetcher is not None and prefetcher.monitor is None:
+                prefetcher.monitor = machine.monitor
             handle = yield from machine.clients[rank].open(
                 self.mount,
                 f"{self.prefix}{rank}",

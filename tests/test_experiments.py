@@ -42,6 +42,24 @@ class TestExperimentTable:
         with pytest.raises(ValueError):
             table.column("zzz")
 
+    def test_to_jsonable_round_trips(self, tmp_path):
+        import json
+
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        table.add_row(1, 2.5)
+        table.notes.append("a note")
+        expected = {
+            "title": "t",
+            "columns": ["a", "b"],
+            "rows": [[1, 2.5]],
+            "notes": ["a note"],
+        }
+        assert table.to_jsonable() == expected
+        assert json.loads(table.to_json()) == expected
+        path = tmp_path / "t.json"
+        table.write_json(path)
+        assert json.loads(path.read_text()) == expected
+
 
 class TestCommonHelpers:
     def test_scaled_file_size(self):
@@ -209,22 +227,27 @@ class TestArtifactSmokeRuns:
 
     def test_runall_writes_files(self, tmp_path, monkeypatch):
         # Patch the heavy runners with trivial stand-ins; verify plumbing.
+        import json
+
         import repro.experiments.runall as runall
 
         tiny = ExperimentTable(title="tiny", columns=["a"])
         tiny.add_row(1)
         monkeypatch.setattr(
-            runall, "_run_all", lambda: [("tiny", tiny.render(), None)]
+            runall, "_run_all", lambda: [("tiny", tiny.render(), None, [tiny])]
         )
         rc = runall.main([str(tmp_path)])
         assert rc == 0
         assert (tmp_path / "tiny.txt").read_text().startswith("tiny")
+        artifact = json.loads((tmp_path / "tiny.json").read_text())
+        assert artifact["shape_problem"] is None
+        assert artifact["tables"] == [tiny.to_jsonable()]
 
     def test_runall_reports_shape_failures(self, monkeypatch, capsys):
         import repro.experiments.runall as runall
 
         monkeypatch.setattr(
-            runall, "_run_all", lambda: [("x", "rendering", "broken")]
+            runall, "_run_all", lambda: [("x", "rendering", "broken", [])]
         )
         rc = runall.main([])
         assert rc == 1
