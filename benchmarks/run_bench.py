@@ -1,10 +1,17 @@
 """Machine-readable bench trajectory: the Table 1 / Figure 2 points.
 
-Writes ``BENCH_2.json`` at the repo root: collective read bandwidth for
+Writes ``BENCH_3.json`` at the repo root: collective read bandwidth for
 every (request size, prefetch) Table 1 cell and every (mode, request
 size) Figure 2 cell, plus a per-cell telemetry summary naming the
 saturating resource.  The file is the perf baseline later PRs regress
 against -- scaling work that moves these numbers should move them *up*.
+
+Every cell is additionally run under the tie-order race sanitizer
+(:func:`repro.analysis.sanitizers.check_tie_order`): the experiment is
+executed under both same-timestamp event orderings (``fifo``/``lifo``)
+and the per-cell ``deterministic`` field records that the reports were
+bit-identical.  A ``false`` anywhere means an arbitration race crept
+back into the model.
 
 Usage::
 
@@ -27,6 +34,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+from repro.analysis.sanitizers import check_tie_order  # noqa: E402
 from repro.experiments.common import (  # noqa: E402
     KB,
     DEFAULT_REQUEST_SIZES_KB,
@@ -51,19 +59,24 @@ def bench_table1(sizes_kb, rounds: int) -> list:
         request = size_kb * KB
         file_size = scaled_file_size(request, rounds=rounds)
         for prefetch in (False, True):
-            report = run_collective(
-                request_size=request,
-                file_size=file_size,
-                iomode=IOMode.M_RECORD,
-                prefetch=prefetch,
-                rounds=rounds,
-                telemetry=True,
+            check = check_tie_order(
+                lambda tb: run_collective(
+                    request_size=request,
+                    file_size=file_size,
+                    iomode=IOMode.M_RECORD,
+                    prefetch=prefetch,
+                    rounds=rounds,
+                    telemetry=True,
+                    tie_break=tb,
+                )
             )
+            report = check.reports["fifo"]
             bottleneck = report.bottleneck
             points.append(
                 {
                     "request_kb": size_kb,
                     "prefetch": prefetch,
+                    "deterministic": check.deterministic,
                     "collective_bandwidth_mbps": _round(
                         report.collective_bandwidth_mbps
                     ),
@@ -90,29 +103,40 @@ def bench_figure2(sizes_kb, rounds: int) -> list:
         request = size_kb * KB
         file_size = scaled_file_size(request, rounds=rounds)
         for mode in FIGURE2_MODES:
-            report = run_collective(
-                request_size=request,
-                file_size=file_size,
-                iomode=mode,
-                rounds=rounds,
-                async_partition=False,
+            check = check_tie_order(
+                lambda tb: run_collective(
+                    request_size=request,
+                    file_size=file_size,
+                    iomode=mode,
+                    rounds=rounds,
+                    async_partition=False,
+                    tie_break=tb,
+                )
             )
+            report = check.reports["fifo"]
             points.append(
                 {
                     "request_kb": size_kb,
                     "mode": mode.name,
+                    "deterministic": check.deterministic,
                     "collective_bandwidth_mbps": _round(
                         report.collective_bandwidth_mbps
                     ),
                 }
             )
-        report = run_separate_files(
-            request_size=request, file_size_per_node=request * rounds
+        check = check_tie_order(
+            lambda tb: run_separate_files(
+                request_size=request,
+                file_size_per_node=request * rounds,
+                tie_break=tb,
+            )
         )
+        report = check.reports["fifo"]
         points.append(
             {
                 "request_kb": size_kb,
                 "mode": "SEPARATE_FILES",
+                "deterministic": check.deterministic,
                 "collective_bandwidth_mbps": _round(
                     report.collective_bandwidth_mbps
                 ),
@@ -131,7 +155,7 @@ def run_bench(quick: bool = False) -> dict:
         f2_sizes = DEFAULT_REQUEST_SIZES_KB
         rounds = 16
     return {
-        "bench": "pr2-telemetry",
+        "bench": "pr3-determinism",
         "machine": {"n_compute": 8, "n_io": 8, "block_kb": 64},
         "settings": {"rounds": rounds, "quick": quick},
         "metric": "collective read bandwidth (MB/s): total bytes / "
@@ -148,9 +172,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_2.json"
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_3.json"
         ),
-        help="output path (default: repo-root BENCH_2.json)",
+        help="output path (default: repo-root BENCH_3.json)",
     )
     args = parser.parse_args(argv)
     results = run_bench(quick=args.quick)
@@ -158,6 +182,10 @@ def main(argv=None) -> int:
         json.dump(results, fh, indent=2)
         fh.write("\n")
     n_points = len(results["table1"]) + len(results["figure2"])
+    races = [
+        p for p in results["table1"] + results["figure2"]
+        if not p["deterministic"]
+    ]
     print(f"wrote {os.path.abspath(args.output)} ({n_points} points)")
     for point in results["table1"]:
         bn = point["bottleneck"]
@@ -167,6 +195,12 @@ def main(argv=None) -> int:
             f"{point['collective_bandwidth_mbps']:7.2f} MB/s  "
             f"bottleneck: {bn['resource'] if bn else 'n/a'}"
         )
+    if races:
+        print(f"TIE-ORDER RACES in {len(races)} cell(s):")
+        for point in races:
+            print(f"  {point}")
+        return 1
+    print("tie-order sanitizer: all cells bit-identical under fifo/lifo")
     return 0
 
 

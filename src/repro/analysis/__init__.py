@@ -1,0 +1,63 @@
+"""repro.analysis -- determinism lint suite and runtime sanitizers.
+
+Static analysis (``python -m repro.analysis src tests``):
+
+- R001  no wall-clock reads in simulation code
+- R002  no module-level / unseeded RNGs
+- R003  no set / dict-view iteration at scheduling or stats-merge sites
+- R004  observability hooks must not perturb the simulation
+- R005  resource ``request()`` / ``release()`` pairing
+
+Findings are suppressed inline with ``# sim-ok: R001 -- justification``
+(the justification is mandatory).  Output is human-readable text or
+SARIF-lite JSON (``--json``).
+
+Runtime sanitizers (:mod:`repro.analysis.sanitizers`):
+
+- :func:`~repro.analysis.sanitizers.check_tie_order` -- runs an
+  experiment under permuted same-timestamp event ordering and diffs
+  canonical report fingerprints (tie-order race detection).
+- :func:`~repro.analysis.sanitizers.leaked_resources` /
+  :func:`~repro.analysis.sanitizers.assert_no_leaks` -- held-resource
+  detection once the event queue has drained (also wired into
+  ``Machine.verify``).
+"""
+
+from repro.analysis.engine import (
+    lint_file,
+    lint_paths,
+    lint_source,
+    rule_catalogue,
+)
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.report import render_json, render_text, to_sarif
+from repro.analysis.sanitizers import (
+    ResourceLeak,
+    TieOrderRace,
+    TieOrderResult,
+    assert_no_leaks,
+    assert_tie_order_deterministic,
+    check_tie_order,
+    leaked_resources,
+    report_fingerprint,
+)
+
+__all__ = [
+    "Finding",
+    "ResourceLeak",
+    "Rule",
+    "TieOrderRace",
+    "TieOrderResult",
+    "assert_no_leaks",
+    "assert_tie_order_deterministic",
+    "check_tie_order",
+    "leaked_resources",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "report_fingerprint",
+    "rule_catalogue",
+    "to_sarif",
+]

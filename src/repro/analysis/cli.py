@@ -1,0 +1,58 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean, 1 = findings reported, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import lint_paths, rule_catalogue
+from repro.analysis.report import render_json, render_text
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Determinism lint for the Paragon PFS simulation: wall-clock "
+            "reads, unseeded RNGs, unordered iteration at scheduling/merge "
+            "sites, impure observability hooks, unpaired resource requests."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: src)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit SARIF-lite JSON instead of text"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in rule_catalogue():
+            print(f"{rule.rule_id}  {rule.name}: {rule.summary}")
+        return 0
+
+    paths: List[str] = args.paths or ["src"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths)
+    if args.json:
+        sys.stdout.write(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0

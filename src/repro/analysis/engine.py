@@ -1,0 +1,92 @@
+"""Lint engine: file discovery, parsing, rule execution, suppression.
+
+The engine is deliberately stdlib-only (``ast`` + ``re``): it must run in
+CI and in the bare development container with no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.rules import ALL_RULES, LintRule, build_alias_map
+from repro.analysis.suppressions import apply_suppressions, parse_suppressions
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "node_modules"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under *paths* (files pass through)."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def lint_source(
+    source: str, path: str, rules: Iterable[LintRule] = ALL_RULES
+) -> List[Finding]:
+    """Lint one module's source text; returns surviving findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    aliases = build_alias_map(tree)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(tree, path, aliases))
+    table = parse_suppressions(source)
+    findings = apply_suppressions(findings, table, path)
+    lines = source.splitlines()
+    out: List[Finding] = []
+    for finding in findings:
+        snippet = None
+        if 1 <= finding.line <= len(lines):
+            snippet = lines[finding.line - 1].strip()
+        out.append(
+            Finding(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule_id=finding.rule_id,
+                message=finding.message,
+                snippet=snippet,
+            )
+        )
+    return sorted(out)
+
+
+def lint_file(path: str, rules: Iterable[LintRule] = ALL_RULES) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, path, rules)
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Iterable[LintRule] = ALL_RULES
+) -> List[Finding]:
+    """Lint every Python file under *paths*; findings sorted by location."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings)
+
+
+def rule_catalogue() -> List[Rule]:
+    return [rule.rule for rule in ALL_RULES]

@@ -1,0 +1,43 @@
+"""Finding model shared by the lint engine, rules, and reporters.
+
+A finding pins one rule violation to a file/line/column and carries the
+human-readable message.  Findings sort by location so reports are stable
+regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one lint rule (used by ``--list-rules``)."""
+
+    rule_id: str
+    name: str
+    summary: str
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str = field(compare=False)
+    message: str = field(compare=False)
+    #: The offending source line, stripped (for the text report).
+    snippet: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def location(self) -> Tuple[str, int, int]:
+        return (self.path, self.line, self.col)
+
+    def render(self) -> str:
+        out = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.snippet:
+            out += f"\n    {self.snippet}"
+        return out

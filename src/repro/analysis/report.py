@@ -1,0 +1,80 @@
+"""Finding reporters: human-readable text and SARIF-lite JSON.
+
+The JSON shape follows SARIF's ``runs[].results[]`` skeleton (toolable
+by anything that speaks SARIF) without the full 2.1.0 schema baggage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES
+
+TOOL_NAME = "repro.analysis"
+TOOL_VERSION = "1.0"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One block per finding, plus a summary line."""
+    lines = [f.render() for f in findings]
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    if findings:
+        counts = ", ".join(f"{rid}: {n}" for rid, n in sorted(by_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({counts})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict:
+    """SARIF-lite document (version, one run, rules + results)."""
+    results: List[dict] = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "rules": [
+                            {
+                                "id": rule.rule.rule_id,
+                                "name": rule.rule.name,
+                                "shortDescription": {"text": rule.rule.summary},
+                            }
+                            for rule in ALL_RULES
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(to_sarif(findings), indent=2) + "\n"

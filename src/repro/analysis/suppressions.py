@@ -1,0 +1,84 @@
+"""Inline suppression comments.
+
+A finding may be silenced with a ``sim-ok`` comment on the offending
+line or on the line directly above it::
+
+    t0 = time.time()  # sim-ok: R001 -- wall clock measures host runtime, not sim time
+
+The justification after ``--`` is **required**: a bare ``# sim-ok: R001``
+is itself reported (S000) so suppressions cannot silently accumulate
+without recorded reasons.  ``# sim-ok: *`` suppresses every rule on the
+line (justification still required).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.findings import Finding
+
+#: ``# sim-ok: R001, R002 -- reason`` (reason optional at parse time;
+#: its absence is the S000 violation).
+_SIM_OK = re.compile(
+    r"#\s*sim-ok:\s*(?P<rules>\*|[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``sim-ok`` comment."""
+
+    line: int
+    rule_ids: Sequence[str]  # ("*",) means all rules
+    reason: str  # "" when the justification is missing
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rule_ids or rule_id in self.rule_ids
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """Map line number -> suppression for every ``sim-ok`` comment."""
+    table: Dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SIM_OK.search(text)
+        if match is None:
+            continue
+        rules = tuple(r.strip() for r in match.group("rules").split(","))
+        reason = (match.group("reason") or "").strip()
+        table[lineno] = Suppression(line=lineno, rule_ids=rules, reason=reason)
+    return table
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], table: Dict[int, Suppression], path: str
+) -> List[Finding]:
+    """Drop suppressed findings; add S000 for justification-less comments.
+
+    A suppression on line N covers findings on line N and line N+1 (the
+    comment-above style).  Unjustified comments produce an S000 finding
+    whether or not they suppressed anything.
+    """
+    kept: List[Finding] = []
+    for finding in findings:
+        suppression = table.get(finding.line) or table.get(finding.line - 1)
+        if suppression is not None and suppression.covers(finding.rule_id):
+            continue
+        kept.append(finding)
+    for suppression in table.values():
+        if not suppression.reason:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=1,
+                    rule_id="S000",
+                    message=(
+                        "sim-ok suppression is missing its justification "
+                        "(write '# sim-ok: RULE -- why this is safe')"
+                    ),
+                )
+            )
+    return kept

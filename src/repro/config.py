@@ -49,6 +49,11 @@ class MachineConfig:
     telemetry: bool = False
     #: Telemetry sampler cadence in simulated seconds.
     telemetry_interval_s: float = 0.05
+    #: Tie-break order among same-timestamp events ("fifo" or "lifo").
+    #: Results must be identical under either -- the tie-order race
+    #: sanitizer (:func:`repro.analysis.sanitizers.check_tie_order`) runs
+    #: an experiment under both and diffs the reports.
+    tie_break: str = "fifo"
     #: Hardware constants.
     hardware: HardwareParams = field(default_factory=HardwareParams)
 
@@ -61,6 +66,8 @@ class MachineConfig:
             raise ValueError("block size must be positive")
         if self.telemetry_interval_s <= 0:
             raise ValueError("telemetry interval must be positive")
+        if self.tie_break not in ("fifo", "lifo"):
+            raise ValueError("tie_break must be 'fifo' or 'lifo'")
 
 
 @dataclass(frozen=True)

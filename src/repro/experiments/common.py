@@ -119,11 +119,12 @@ def build_machine(
     hardware=None,
     trace: bool = False,
     telemetry: bool = False,
+    tie_break: str = "fifo",
 ):
     """Machine + mount with the paper's defaults (8C/8IO, 64KB blocks)."""
     config_kwargs = dict(
         n_compute=n_compute, n_io=n_io, cache_blocks=cache_blocks, trace=trace,
-        telemetry=telemetry,
+        telemetry=telemetry, tie_break=tie_break,
     )
     if hardware is not None:
         config_kwargs["hardware"] = hardware
@@ -169,6 +170,7 @@ def run_collective(
     hardware=None,
     trace: bool = False,
     telemetry: bool = False,
+    tie_break: str = "fifo",
     keep_machine: bool = False,
 ) -> BandwidthReport:
     """One fresh-machine collective read run; returns the report.
@@ -194,6 +196,7 @@ def run_collective(
         hardware=hardware,
         trace=trace,
         telemetry=telemetry,
+        tie_break=tie_break,
     )
     machine.create_file(mount, "data", file_size)
     workload = CollectiveReadWorkload(
@@ -226,10 +229,12 @@ def run_separate_files(
     n_io: int = 8,
     stripe_unit: int = 64 * KB,
     prefetch: bool = False,
+    tie_break: str = "fifo",
 ) -> BandwidthReport:
     """Figure 2's "Separate Files" case: one rotated file per node."""
     machine, mount = build_machine(
-        n_compute=n_compute, n_io=n_io, stripe_unit=stripe_unit
+        n_compute=n_compute, n_io=n_io, stripe_unit=stripe_unit,
+        tie_break=tie_break,
     )
     for rank in range(n_compute):
         machine.create_file(mount, f"data{rank}", file_size_per_node, rotate=True)

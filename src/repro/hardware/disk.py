@@ -25,7 +25,7 @@ from typing import Optional
 from repro.hardware.params import DiskParams
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
-from repro.sim import Environment, PriorityResource, Resource
+from repro.sim import ArbitratedResource, Environment, PriorityResource
 from repro.obs.monitor import Monitor
 
 
@@ -66,9 +66,11 @@ class Disk:
         self.elevator = elevator
         self.jitter = jitter
         if elevator:
-            self._arm: Resource = PriorityResource(env, capacity=1)
+            self._arm = PriorityResource(env, capacity=1)
         else:
-            self._arm = Resource(env, capacity=1)
+            # Arbitrated FIFO: same-timestamp arrivals are ordered by the
+            # requesting process's causal key, not event-pop order.
+            self._arm = ArbitratedResource(env, capacity=1)
         #: Head position (LBA) after the last completed request.
         self._head_lba = 0
         #: End LBA of the last completed transfer, for sequential detection.

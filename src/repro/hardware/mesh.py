@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.hardware.params import MeshParams
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import get_tracer
-from repro.sim import Environment, Resource
+from repro.sim import ArbitratedResource, Environment
 from repro.obs.monitor import Monitor
 
 Coord = Tuple[int, int]
@@ -61,7 +61,7 @@ class Mesh:
         self.params = params or MeshParams()
         self.monitor = monitor
         self.tracer = get_tracer(monitor)
-        self._links: Dict[Link, Resource] = {}
+        self._links: Dict[Link, ArbitratedResource] = {}
         #: Per-directed-link seconds held by a streaming worm.
         self._link_busy_s: Dict[Link, float] = {}
         #: Total seconds senders spent blocked on link acquisition
@@ -108,10 +108,13 @@ class Mesh:
     def hops(self, src: Coord, dst: Coord) -> int:
         return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
 
-    def _link(self, link: Link) -> Resource:
+    def _link(self, link: Link) -> ArbitratedResource:
         res = self._links.get(link)
         if res is None:
-            res = self._links[link] = Resource(self.env, capacity=1)
+            # Arbitrated: two worms requesting the same link at the same
+            # simulated time are ordered by (src, dst), not by event
+            # insertion order -- port arbitration must not be a race.
+            res = self._links[link] = ArbitratedResource(self.env, capacity=1)
             (ax, ay), (bx, by) = link
             self.telemetry.register_probe(
                 "mesh_link_busy_seconds",
@@ -161,7 +164,7 @@ class Mesh:
         self._in_flight += 1
         try:
             for link in links:
-                req = self._link(link).request()
+                req = self._link(link).request(key=(message.src, message.dst))
                 requests.append((link, req))
                 requested_at = env.now
                 yield req

@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.hardware.memory import MemoryRegion
 from repro.hardware.params import NodeParams
-from repro.sim import Environment, Resource
+from repro.sim import ArbitratedResource, Environment
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import Event
@@ -59,13 +59,15 @@ class Node:
         self.position = position
         self.params = params or NodeParams()
         #: The CPU(s): software path costs and memory copies serialise
-        #: here (SMP nodes have capacity > 1).
-        self.cpu = Resource(env, capacity=self.params.cpu_count)
+        #: here (SMP nodes have capacity > 1).  Arbitrated so that two
+        #: same-timestamp contenders are ordered by their causal process
+        #: keys, not by event insertion order.
+        self.cpu = ArbitratedResource(env, capacity=self.params.cpu_count)
         #: The message co-processor (the Paragon's second i860): incoming
         #: mesh data is landed into destination buffers here, *without*
         #: occupying the application CPU -- which is what lets a prefetch
         #: land while the application computes.
-        self.msgproc = Resource(env, capacity=1)
+        self.msgproc = ArbitratedResource(env, capacity=1)
         self.memory = MemoryRegion(self.params.memory_bytes)
         #: Accumulated busy time (utilisation accounting).
         self.cpu_busy_s = 0.0

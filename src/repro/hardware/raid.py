@@ -68,9 +68,15 @@ class RAID3Array:
         if self.raid_params.data_disks <= 0:
             raise ValueError("a RAID-3 array needs at least one data disk")
         #: Pending requests waiting for the (ganged) arm: list of
-        #: [lba, grant_event] entries; dispatch picks nearest-to-head.
+        #: (lba, causal key, grant_event) entries; dispatch picks
+        #: nearest-to-head, tie-broken by (lba, key) so same-timestamp
+        #: arrival order never decides the winner.
         self._pending: list = []
         self._busy = False
+        #: Arbiter-settlement hook (see Environment._mark_arbiter_dirty):
+        #: grants are issued when the clock is about to advance, after all
+        #: same-timestamp arrivals are queued.
+        self._settle_queued = False
         self._sweep_up = True
         self._head_lba = 0
         #: Seeded LCG for rotational-latency jitter: real positioning is
@@ -178,17 +184,31 @@ class RAID3Array:
             return
         if self.elevator:
             head = self._head_lba
-            ahead = [i for i, (lba, _g) in enumerate(self._pending)
+            ahead = [i for i, (lba, _k, _g) in enumerate(self._pending)
                      if (lba >= head if self._sweep_up else lba <= head)]
             if not ahead:
                 self._sweep_up = not self._sweep_up
                 ahead = list(range(len(self._pending)))
-            best = min(ahead, key=lambda i: abs(self._pending[i][0] - head))
+            best = min(
+                ahead,
+                key=lambda i: (
+                    abs(self._pending[i][0] - head),
+                    self._pending[i][0],
+                    self._pending[i][1],
+                ),
+            )
         else:
-            best = 0
-        _lba, grant = self._pending.pop(best)
+            best = min(
+                range(len(self._pending)),
+                key=lambda i: (self._pending[i][1], i),
+            )
+        _lba, _key, grant = self._pending.pop(best)
         self._busy = True
         grant.succeed()
+
+    def _settle(self) -> None:
+        """End-of-timestep arbitration hook (called by the Environment)."""
+        self._grant_next()
 
     def _access(self, lba: int, nbytes: int, kind: str,
                 ctx: Optional[TraceContext] = None):
@@ -204,8 +224,10 @@ class RAID3Array:
         )
         span_ctx = span.ctx if span.ctx is not None else ctx
         grant = self.env.event()
-        self._pending.append((lba, grant))
-        self._grant_next()
+        proc = self.env.active_process
+        key = proc.order_key if proc is not None else ()
+        self._pending.append((lba, key, grant))
+        self.env._mark_arbiter_dirty(self)
         started_at = None
         try:
             yield grant
@@ -241,7 +263,8 @@ class RAID3Array:
             if started_at is not None:
                 self.busy_s += self.env.now - started_at
             self._busy = False
-            self._grant_next()
+            if self._pending:
+                self.env._mark_arbiter_dirty(self)
         self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
         self._service_hist.observe(self.env.now - queued_at)
         if self.monitor is not None:

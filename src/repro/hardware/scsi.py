@@ -16,7 +16,7 @@ from typing import Optional
 from repro.hardware.params import SCSIParams
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
-from repro.sim import Environment, Resource
+from repro.sim import ArbitratedResource, Environment
 from repro.obs.monitor import Monitor
 
 
@@ -35,7 +35,9 @@ class SCSIBus:
         self.params = params or SCSIParams()
         self.monitor = monitor
         self.tracer = get_tracer(monitor)
-        self._bus = Resource(env, capacity=1)
+        # Arbitrated: simultaneous transfer requests are granted in
+        # canonical (causal process key) order, not event-pop order.
+        self._bus = ArbitratedResource(env, capacity=1)
         #: Accumulated time the bus spent transferring (utilisation).
         self.busy_s = 0.0
         telemetry = get_telemetry(monitor)

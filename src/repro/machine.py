@@ -40,7 +40,7 @@ class Machine:
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or MachineConfig()
         cfg = self.config
-        self.env = Environment()
+        self.env = Environment(tie_break=cfg.tie_break)
         #: Unified observability handle: stats registry + request tracer
         #: + telemetry (metric registry, probes, sampler).
         self.obs = Observability(
@@ -323,6 +323,14 @@ class Machine:
                 f"servers read {server_bytes} bytes but clients received "
                 f"{client_bytes} demand bytes"
             )
+
+        # 6. No leaked resource holds once the event queue has drained
+        #    (a held CPU / mesh link / SCSI bus with no event left to
+        #    release it can never be released).
+        from repro.analysis.sanitizers import leaked_resources
+
+        for leak in leaked_resources(self.env):
+            problems.append(str(leak))
 
         if strict and problems:
             raise AssertionError("; ".join(problems))

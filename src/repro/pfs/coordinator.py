@@ -187,7 +187,7 @@ class CoordinatorService:
         else:
             yield call.complete
         offset = call.base_offset + sum(
-            size for rank, size in call.sizes.items() if rank < request.rank
+            size for rank, size in sorted(call.sizes.items()) if rank < request.rank
         )
         return SyncGo(
             file_id=request.file_id, call_index=request.call_index, offset=offset

@@ -26,6 +26,7 @@ from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.monitor import CounterStat, Monitor, TimeWeightedStat
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import (
+    ArbitratedResource,
     Container,
     FilterStore,
     PriorityResource,
@@ -36,6 +37,7 @@ from repro.sim.resources import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ArbitratedResource",
     "Container",
     "CounterStat",
     "Environment",

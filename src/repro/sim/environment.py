@@ -38,16 +38,42 @@ class Environment:
     the pending-event queue.  Time only advances inside :meth:`run`.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    #: Valid tie-breaking orders for same-(time, priority) events.
+    TIE_BREAKS = ("fifo", "lifo")
+
+    def __init__(self, initial_time: float = 0.0, tie_break: str = "fifo") -> None:
+        if tie_break not in self.TIE_BREAKS:
+            raise ValueError(
+                f"tie_break must be one of {self.TIE_BREAKS}, got {tie_break!r}"
+            )
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
+        #: Tie-breaking among events with equal (time, priority).  The
+        #: default ("fifo") pops them in scheduling order; "lifo" pops
+        #: them in reverse.  The tie-order race sanitizer runs the same
+        #: experiment under both orders: a mechanism-faithful simulation
+        #: must produce bit-identical reports either way, because
+        #: same-timestamp arbitration is settled by canonical keys
+        #: (:class:`~repro.sim.resources.ArbitratedResource`), never by
+        #: event insertion order.
+        self.tie_break = tie_break
+        self._tie_sign = 1 if tie_break == "fifo" else -1
         self._active_process: Optional[Process] = None
         #: Observers called as ``hook(now)`` after each processed event.
         #: Hooks must never schedule events or mutate simulation state --
         #: they exist so telemetry can sample in simulated time without a
         #: perpetual sampler process keeping a run-until-empty loop alive.
         self._tick_hooks: List[Any] = []
+        #: Arbitrated resources with undecided grants, settled when the
+        #: current timestep has no events left (see :meth:`step`).
+        self._dirty_arbiters: List[Any] = []
+        #: Every resource ever constructed on this environment, in
+        #: creation order -- the runtime leak sanitizer walks this.
+        self._resources: List[Any] = []
+        #: Root-process counter used to assign causal order keys (see
+        #: :attr:`~repro.sim.process.Process.order_key`).
+        self._root_processes = 0
 
     # -- introspection --------------------------------------------------
 
@@ -93,6 +119,38 @@ class Environment:
         """Event that fires when any of *events* has fired."""
         return AnyOf(self, events)
 
+    def register_resource(self, resource: Any) -> None:
+        """Record *resource* for end-of-run leak checking.
+
+        Called by the constructors in :mod:`repro.sim.resources`.  The
+        list is append-only and in creation order, so walking it is
+        deterministic.
+        """
+        self._resources.append(resource)
+
+    @property
+    def resources(self) -> Tuple[Any, ...]:
+        """All resources constructed on this environment (creation order)."""
+        return tuple(self._resources)
+
+    def _mark_arbiter_dirty(self, arbiter: Any) -> None:
+        """Queue *arbiter* for settlement at the end of this timestep."""
+        if not arbiter._settle_queued:
+            arbiter._settle_queued = True
+            self._dirty_arbiters.append(arbiter)
+
+    def _settle_arbiters(self) -> None:
+        """Settle every dirty arbitrated resource (canonical grant order).
+
+        Settling may resume processes at the current time, which may
+        dirty further arbiters; :meth:`step` loops until the timestep is
+        quiescent before letting the clock advance.
+        """
+        while self._dirty_arbiters:
+            arbiter = self._dirty_arbiters.pop(0)
+            arbiter._settle_queued = False
+            arbiter._settle()
+
     def add_tick_hook(self, hook) -> None:
         """Register *hook* to observe the clock after every :meth:`step`.
 
@@ -114,10 +172,22 @@ class Environment:
         """Put *event* on the queue to be processed after *delay*."""
         priority = PRIORITY_URGENT if priority_urgent else PRIORITY_NORMAL
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._tie_sign * self._eid, event)
+        )
 
     def step(self) -> None:
-        """Process the next scheduled event, advancing the clock."""
+        """Process the next scheduled event, advancing the clock.
+
+        Before the clock may advance past the current time (or the queue
+        runs dry), pending arbitrated-resource grants are settled so that
+        same-timestamp acquisition order is decided by canonical keys,
+        never by event insertion order.
+        """
+        if self._dirty_arbiters and (
+            not self._queue or self._queue[0][0] > self._now
+        ):
+            self._settle_arbiters()
         try:
             when, _prio, _eid, event = heapq.heappop(self._queue)
         except IndexError:

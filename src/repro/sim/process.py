@@ -60,7 +60,7 @@ class _InterruptEvent(Event):
 class Process(Event):
     """An active component executing a generator function."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "order_key", "_children")
 
     def __init__(
         self,
@@ -73,6 +73,22 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: Causal order key: a tuple path in the spawn tree.  Root
+        #: processes (spawned outside any process context) get ``(n,)``
+        #: in spawn order; a process spawned by a running process gets
+        #: ``parent.order_key + (child_index,)``.  Because the key is
+        #: derived from causal structure -- never from event-queue
+        #: insertion order -- it is stable under permuted tie-breaking
+        #: and is the default arbitration key for
+        #: :class:`~repro.sim.resources.ArbitratedResource`.
+        self._children = 0
+        parent = env.active_process
+        if parent is None:
+            env._root_processes += 1
+            self.order_key = (env._root_processes,)
+        else:
+            parent._children += 1
+            self.order_key = parent.order_key + (parent._children,)
         #: The event this process is currently waiting on (None when
         #: running or finished).
         self._target: Optional[Event] = None

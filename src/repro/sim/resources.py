@@ -71,6 +71,7 @@ class Resource:
         self._capacity = capacity
         self.users: List[Request] = []
         self.queue: List[Request] = []
+        env.register_resource(self)
 
     @property
     def capacity(self) -> int:
@@ -148,6 +149,149 @@ class PriorityResource(Resource):
     def _grant_waiters(self) -> None:
         while self._heap and len(self.users) < self._capacity:
             _key, nxt = heapq.heappop(self._heap)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+def _key_order(key: Any) -> Any:
+    """Best-effort natural ordering wrapper for arbitration keys.
+
+    Keys at one resource are normally homogeneous (all process order
+    keys, or all caller-supplied tuples) and compare natively; if a
+    resource ever sees mixed shapes, fall back to a stable textual
+    order so settlement remains deterministic rather than raising.
+    """
+    return _CanonKey(key)
+
+
+class _CanonKey:
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_CanonKey") -> bool:
+        try:
+            return self.key < other.key
+        except TypeError:
+            return repr(self.key) < repr(other.key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _CanonKey) and self.key == other.key
+
+
+class ArbitratedRequest(Event):
+    """A request to hold one slot of an :class:`ArbitratedResource`."""
+
+    __slots__ = ("resource", "key", "arrived_at", "_seq")
+
+    def __init__(self, resource: "ArbitratedResource", key: Any) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.key = key
+        self.arrived_at = resource.env.now
+        resource._do_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled request from the wait queue."""
+        if self._value is PENDING:
+            self.resource._cancel(self)
+
+    def __enter__(self) -> "ArbitratedRequest":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.resource.release(self)
+
+
+class ArbitratedResource:
+    """Semaphore whose same-timestamp grants are settled canonically.
+
+    A plain :class:`Resource` grants a free slot synchronously, so when
+    two processes request it at the same simulated time the winner is
+    whichever *event* happened to pop first -- a tie-order race.  An
+    ``ArbitratedResource`` never grants synchronously: requests collect
+    during the timestep, and when the environment has processed every
+    event at the current time it settles the resource, granting free
+    slots to waiters ordered by ``(arrival time, key)``.  The key is
+    model content (defaulting to the requesting process's causal
+    :attr:`~repro.sim.process.Process.order_key`), so the outcome is
+    identical under any tie-breaking permutation of the event queue.
+
+    Grants still happen at the same simulated time the request was made
+    (settlement never advances the clock), so switching a model from
+    ``Resource`` to ``ArbitratedResource`` changes *who wins a tie*,
+    never *how long anything takes*.
+
+    API mirrors :class:`Resource`: ``request()`` returns an event to
+    ``yield``, usable as a context manager; ``release()`` frees a slot.
+    ``request(key=...)`` overrides the arbitration key; two requests with
+    equal arrival time and equal keys fall back to insertion order (give
+    contenders distinct keys to keep settlement canonical).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[ArbitratedRequest] = []
+        self.queue: List[ArbitratedRequest] = []
+        self._seq = 0
+        #: Set while queued for settlement (managed by the environment).
+        self._settle_queued = False
+        env.register_resource(self)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self, key: Any = None) -> ArbitratedRequest:
+        if key is None:
+            proc = self.env.active_process
+            key = proc.order_key if proc is not None else ()
+        return ArbitratedRequest(self, key)
+
+    def release(self, request: ArbitratedRequest) -> None:
+        """Release a slot previously granted to *request*."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            if request._value is PENDING:
+                self._cancel(request)
+            return
+        if self.queue:
+            self.env._mark_arbiter_dirty(self)
+
+    # -- internals -------------------------------------------------------
+
+    def _do_request(self, request: ArbitratedRequest) -> None:
+        self._seq += 1
+        request._seq = self._seq
+        self.queue.append(request)
+        self.env._mark_arbiter_dirty(self)
+
+    def _cancel(self, request: ArbitratedRequest) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _order(self, request: ArbitratedRequest) -> Any:
+        return (request.arrived_at, _key_order(request.key), request._seq)
+
+    def _settle(self) -> None:
+        """Grant free slots to waiters in canonical order."""
+        if not self.queue or len(self.users) >= self._capacity:
+            return
+        self.queue.sort(key=self._order)
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.pop(0)
             self.users.append(nxt)
             nxt.succeed()
 

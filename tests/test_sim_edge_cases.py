@@ -69,6 +69,7 @@ class TestInterruptResourceInteraction:
         leaked = {}
 
         def waiter(env):
+            # sim-ok: R005 -- deliberate leak pins the kernel's no-revoke-on-interrupt behaviour
             req = resource.request()
             leaked["req"] = req
             try:
