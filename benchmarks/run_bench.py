@@ -1,26 +1,35 @@
 """Machine-readable bench trajectory: the Table 1 / Figure 2 points.
 
-Writes ``BENCH_3.json`` at the repo root: collective read bandwidth for
+Writes ``BENCH_4.json`` at the repo root: collective read bandwidth for
 every (request size, prefetch) Table 1 cell and every (mode, request
 size) Figure 2 cell, plus a per-cell telemetry summary naming the
 saturating resource.  The file is the perf baseline later PRs regress
 against -- scaling work that moves these numbers should move them *up*.
+Each Table 1 cell also carries a ``degraded_bandwidth_mbps`` column: the
+same workload with one spindle of ``raid0`` failed from t=0, served via
+RAID-3 parity reconstruction (:mod:`repro.faults`).
 
-Every cell is additionally run under the tie-order race sanitizer
-(:func:`repro.analysis.sanitizers.check_tie_order`): the experiment is
-executed under both same-timestamp event orderings (``fifo``/``lifo``)
-and the per-cell ``deterministic`` field records that the reports were
-bit-identical.  A ``false`` anywhere means an arbitration race crept
-back into the model.
+Tie-order checking (``--tie-check``): with ``full``, every cell is run
+under the tie-order race sanitizer
+(:func:`repro.analysis.sanitizers.check_tie_order`) -- executed under
+both same-timestamp event orderings (``fifo``/``lifo``) -- doubling
+bench wall time.  The default ``sample`` mode instead runs the full
+check on a deterministic ~1-in-4 subset of cells (selected by a content
+hash of the cell key, so the subset never drifts between runs or
+machines) and runs the rest fifo-only.  Per cell, ``tie_checked``
+records whether the sanitizer ran and ``deterministic`` is true/false
+when checked, null when sampled out.  A ``false`` anywhere means an
+arbitration race crept back into the model.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--output PATH]
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick]
+        [--tie-check {full,sample}] [--output PATH]
 
 ``--quick`` trims sizes and rounds for CI; the default settings match
 the experiment suite (rounds=16, the paper's request sizes).  Output is
-deterministic -- no timestamps, rounded floats -- so reruns of an
-unchanged tree produce byte-identical JSON.
+deterministic -- no timestamps, rounded floats, content-hash sampling --
+so reruns of an unchanged tree produce byte-identical JSON.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import argparse
 import json
 import os
 import sys
+import zlib
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
@@ -42,24 +52,51 @@ from repro.experiments.common import (  # noqa: E402
     run_separate_files,
     scaled_file_size,
 )
+from repro.faults import FaultPlan  # noqa: E402
 from repro.pfs import IOMode  # noqa: E402
 
 FIGURE2_MODES = (IOMode.M_UNIX, IOMode.M_LOG, IOMode.M_SYNC,
                  IOMode.M_RECORD, IOMode.M_ASYNC)
+
+#: One in SAMPLE_MODULUS cells gets the full fifo/lifo check in
+#: ``--tie-check=sample`` mode.
+SAMPLE_MODULUS = 4
+
+
+def tie_check_sampled(cell_key: str) -> bool:
+    """Deterministic cell sampler for ``--tie-check=sample``.
+
+    Pure function of the cell key's bytes (zlib.crc32 -- stable across
+    processes and platforms, unlike ``hash()``), so the sampled subset
+    is identical on every run and machine.
+    """
+    return zlib.crc32(cell_key.encode("utf-8")) % SAMPLE_MODULUS == 0
 
 
 def _round(value: float, digits: int = 4) -> float:
     return round(float(value), digits)
 
 
-def bench_table1(sizes_kb, rounds: int) -> list:
-    """Table 1 cells with telemetry: bandwidth + saturating resource."""
+def _measure(cell_key: str, runner, tie_check: str):
+    """Run one cell; returns (fifo report, deterministic, tie_checked)."""
+    if tie_check == "full" or tie_check_sampled(cell_key):
+        check = check_tie_order(runner)
+        return check.reports["fifo"], check.deterministic, True
+    return runner("fifo"), None, False
+
+
+def bench_table1(sizes_kb, rounds: int, tie_check: str) -> list:
+    """Table 1 cells with telemetry: bandwidth + saturating resource,
+    plus the degraded-mode (one failed spindle on raid0) bandwidth."""
+    degraded_plan = FaultPlan.single_disk_failure(array="raid0", at_s=0.0)
     points = []
     for size_kb in sizes_kb:
         request = size_kb * KB
         file_size = scaled_file_size(request, rounds=rounds)
         for prefetch in (False, True):
-            check = check_tie_order(
+            cell_key = f"table1:{size_kb}kb:prefetch={prefetch}"
+            report, deterministic, tie_checked = _measure(
+                cell_key,
                 lambda tb: run_collective(
                     request_size=request,
                     file_size=file_size,
@@ -68,17 +105,29 @@ def bench_table1(sizes_kb, rounds: int) -> list:
                     rounds=rounds,
                     telemetry=True,
                     tie_break=tb,
-                )
+                ),
+                tie_check,
             )
-            report = check.reports["fifo"]
+            degraded = run_collective(
+                request_size=request,
+                file_size=file_size,
+                iomode=IOMode.M_RECORD,
+                prefetch=prefetch,
+                rounds=rounds,
+                faults=degraded_plan,
+            )
             bottleneck = report.bottleneck
             points.append(
                 {
                     "request_kb": size_kb,
                     "prefetch": prefetch,
-                    "deterministic": check.deterministic,
+                    "deterministic": deterministic,
+                    "tie_checked": tie_checked,
                     "collective_bandwidth_mbps": _round(
                         report.collective_bandwidth_mbps
+                    ),
+                    "degraded_bandwidth_mbps": _round(
+                        degraded.collective_bandwidth_mbps
                     ),
                     "mean_read_access_s": _round(
                         report.mean_read_access_time_s, 6
@@ -96,14 +145,16 @@ def bench_table1(sizes_kb, rounds: int) -> list:
     return points
 
 
-def bench_figure2(sizes_kb, rounds: int) -> list:
+def bench_figure2(sizes_kb, rounds: int, tie_check: str) -> list:
     """Figure 2 cells: per-mode bandwidth plus the Separate Files case."""
     points = []
     for size_kb in sizes_kb:
         request = size_kb * KB
         file_size = scaled_file_size(request, rounds=rounds)
         for mode in FIGURE2_MODES:
-            check = check_tie_order(
+            cell_key = f"figure2:{size_kb}kb:{mode.name}"
+            report, deterministic, tie_checked = _measure(
+                cell_key,
                 lambda tb: run_collective(
                     request_size=request,
                     file_size=file_size,
@@ -111,32 +162,36 @@ def bench_figure2(sizes_kb, rounds: int) -> list:
                     rounds=rounds,
                     async_partition=False,
                     tie_break=tb,
-                )
+                ),
+                tie_check,
             )
-            report = check.reports["fifo"]
             points.append(
                 {
                     "request_kb": size_kb,
                     "mode": mode.name,
-                    "deterministic": check.deterministic,
+                    "deterministic": deterministic,
+                    "tie_checked": tie_checked,
                     "collective_bandwidth_mbps": _round(
                         report.collective_bandwidth_mbps
                     ),
                 }
             )
-        check = check_tie_order(
+        cell_key = f"figure2:{size_kb}kb:SEPARATE_FILES"
+        report, deterministic, tie_checked = _measure(
+            cell_key,
             lambda tb: run_separate_files(
                 request_size=request,
                 file_size_per_node=request * rounds,
                 tie_break=tb,
-            )
+            ),
+            tie_check,
         )
-        report = check.reports["fifo"]
         points.append(
             {
                 "request_kb": size_kb,
                 "mode": "SEPARATE_FILES",
-                "deterministic": check.deterministic,
+                "deterministic": deterministic,
+                "tie_checked": tie_checked,
                 "collective_bandwidth_mbps": _round(
                     report.collective_bandwidth_mbps
                 ),
@@ -145,7 +200,9 @@ def bench_figure2(sizes_kb, rounds: int) -> list:
     return points
 
 
-def run_bench(quick: bool = False) -> dict:
+def run_bench(quick: bool = False, tie_check: str = "sample") -> dict:
+    if tie_check not in ("full", "sample"):
+        raise ValueError("tie_check must be 'full' or 'sample'")
     if quick:
         t1_sizes = (64, 256, 1024)
         f2_sizes = (64, 1024)
@@ -155,13 +212,15 @@ def run_bench(quick: bool = False) -> dict:
         f2_sizes = DEFAULT_REQUEST_SIZES_KB
         rounds = 16
     return {
-        "bench": "pr3-determinism",
+        "bench": "pr4-fault-plane",
         "machine": {"n_compute": 8, "n_io": 8, "block_kb": 64},
-        "settings": {"rounds": rounds, "quick": quick},
+        "settings": {"rounds": rounds, "quick": quick, "tie_check": tie_check},
         "metric": "collective read bandwidth (MB/s): total bytes / "
                   "slowest rank's read-call time",
-        "table1": bench_table1(t1_sizes, rounds),
-        "figure2": bench_figure2(f2_sizes, rounds),
+        "degraded_metric": "same workload with one raid0 spindle failed "
+                           "from t=0 (RAID-3 parity reconstruction)",
+        "table1": bench_table1(t1_sizes, rounds, tie_check),
+        "figure2": bench_figure2(f2_sizes, rounds, tie_check),
     }
 
 
@@ -170,29 +229,35 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="fewer sizes/rounds (CI)")
     parser.add_argument(
+        "--tie-check",
+        choices=("full", "sample"),
+        default="sample",
+        help="run the fifo/lifo sanitizer on every cell (full) or a "
+             "deterministic ~1-in-%d subset (sample, default)" % SAMPLE_MODULUS,
+    )
+    parser.add_argument(
         "--output",
         default=os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_3.json"
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_4.json"
         ),
-        help="output path (default: repo-root BENCH_3.json)",
+        help="output path (default: repo-root BENCH_4.json)",
     )
     args = parser.parse_args(argv)
-    results = run_bench(quick=args.quick)
+    results = run_bench(quick=args.quick, tie_check=args.tie_check)
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
-    n_points = len(results["table1"]) + len(results["figure2"])
-    races = [
-        p for p in results["table1"] + results["figure2"]
-        if not p["deterministic"]
-    ]
-    print(f"wrote {os.path.abspath(args.output)} ({n_points} points)")
+    all_points = results["table1"] + results["figure2"]
+    n_checked = sum(1 for p in all_points if p["tie_checked"])
+    races = [p for p in all_points if p["deterministic"] is False]
+    print(f"wrote {os.path.abspath(args.output)} ({len(all_points)} points)")
     for point in results["table1"]:
         bn = point["bottleneck"]
         print(
             f"  table1 {point['request_kb']:>5}KB "
             f"prefetch={'on ' if point['prefetch'] else 'off'} "
             f"{point['collective_bandwidth_mbps']:7.2f} MB/s  "
+            f"degraded {point['degraded_bandwidth_mbps']:7.2f} MB/s  "
             f"bottleneck: {bn['resource'] if bn else 'n/a'}"
         )
     if races:
@@ -200,7 +265,10 @@ def main(argv=None) -> int:
         for point in races:
             print(f"  {point}")
         return 1
-    print("tie-order sanitizer: all cells bit-identical under fifo/lifo")
+    print(
+        f"tie-order sanitizer: {n_checked}/{len(all_points)} cells checked "
+        f"({args.tie_check}), all bit-identical under fifo/lifo"
+    )
     return 0
 
 

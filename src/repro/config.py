@@ -8,7 +8,9 @@ factor 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.faults.plan import FaultPlan
 from repro.hardware.params import HardwareParams
 
 KB = 1024
@@ -54,6 +56,11 @@ class MachineConfig:
     #: sanitizer (:func:`repro.analysis.sanitizers.check_tie_order`) runs
     #: an experiment under both and diffs the reports.
     tie_break: str = "fifo"
+    #: Deterministic fault plan (:mod:`repro.faults`).  None (default)
+    #: means the fault plane is entirely inert -- no extra events, no
+    #: retry bookkeeping -- and results are bit-identical to a build
+    #: without it (locked by the golden fingerprint regression test).
+    faults: Optional[FaultPlan] = None
     #: Hardware constants.
     hardware: HardwareParams = field(default_factory=HardwareParams)
 

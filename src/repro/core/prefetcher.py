@@ -215,21 +215,40 @@ class Prefetcher:
 
             def operation(buffer=buffer, start=start, length=length,
                           issue_ctx=issue_ctx):
-                try:
-                    data = yield from handle.transfer_read(
-                        start, length, cause="prefetch", ctx=issue_ctx
-                    )
-                except Exception:
-                    # A failed prefetch must never fail the application:
-                    # release the buffer; waiters fall back to a direct
-                    # read.
-                    self.stats.failed += 1
-                    self._count("failed")
-                    if buffer.state is BufferState.IN_FLIGHT:
-                        blist.fail(buffer)
-                    elif not buffer.complete.triggered:
-                        buffer.complete.succeed()
-                    return None
+                faults = getattr(handle.client, "faults", None)
+                max_retries = (
+                    faults.plan.retry.prefetch_retries if faults is not None else 0
+                )
+                attempts = 0
+                while True:
+                    try:
+                        data = yield from handle.transfer_read(
+                            start, length, cause="prefetch", ctx=issue_ctx
+                        )
+                        break
+                    except Exception:
+                        if (
+                            attempts < max_retries
+                            and buffer.state is BufferState.IN_FLIGHT
+                        ):
+                            # Transient fault: re-issue the same range into
+                            # the same buffer.  Only `retried` moves --
+                            # issued/bytes_prefetched already counted this
+                            # prefetch, so totals stay consistent.
+                            attempts += 1
+                            self.stats.retried += 1
+                            self._count("retried")
+                            continue
+                        # A failed prefetch must never fail the application:
+                        # release the buffer; waiters fall back to a direct
+                        # read.
+                        self.stats.failed += 1
+                        self._count("failed")
+                        if buffer.state is BufferState.IN_FLIGHT:
+                            blist.fail(buffer)
+                        elif not buffer.complete.triggered:
+                            buffer.complete.succeed()
+                        return None
                 if buffer.state is BufferState.DISCARDED:
                     # The file closed while we were in flight; drop it.
                     if not buffer.complete.triggered:

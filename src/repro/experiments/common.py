@@ -120,11 +120,12 @@ def build_machine(
     trace: bool = False,
     telemetry: bool = False,
     tie_break: str = "fifo",
+    faults=None,
 ):
     """Machine + mount with the paper's defaults (8C/8IO, 64KB blocks)."""
     config_kwargs = dict(
         n_compute=n_compute, n_io=n_io, cache_blocks=cache_blocks, trace=trace,
-        telemetry=telemetry, tie_break=tie_break,
+        telemetry=telemetry, tie_break=tie_break, faults=faults,
     )
     if hardware is not None:
         config_kwargs["hardware"] = hardware
@@ -172,6 +173,7 @@ def run_collective(
     telemetry: bool = False,
     tie_break: str = "fifo",
     keep_machine: bool = False,
+    faults=None,
 ) -> BandwidthReport:
     """One fresh-machine collective read run; returns the report.
 
@@ -197,6 +199,7 @@ def run_collective(
         trace=trace,
         telemetry=telemetry,
         tie_break=tie_break,
+        faults=faults,
     )
     machine.create_file(mount, "data", file_size)
     workload = CollectiveReadWorkload(
@@ -230,11 +233,12 @@ def run_separate_files(
     stripe_unit: int = 64 * KB,
     prefetch: bool = False,
     tie_break: str = "fifo",
+    faults=None,
 ) -> BandwidthReport:
     """Figure 2's "Separate Files" case: one rotated file per node."""
     machine, mount = build_machine(
         n_compute=n_compute, n_io=n_io, stripe_unit=stripe_unit,
-        tie_break=tie_break,
+        tie_break=tie_break, faults=faults,
     )
     for rank in range(n_compute):
         machine.create_file(mount, f"data{rank}", file_size_per_node, rotate=True)

@@ -1,0 +1,36 @@
+"""Deterministic fault-injection plane (``repro.faults``).
+
+Splits cleanly in two:
+
+- :mod:`repro.faults.plan` -- immutable, seeded fault *plans*
+  (:class:`FaultPlan`, :class:`FaultSpec`, :class:`RetryPolicy`) plus
+  the typed errors the recovery machinery raises.
+- :mod:`repro.faults.injector` -- the per-machine runtime
+  (:class:`FaultInjector`) that matches triggers, drives scheduled
+  disk failures, and audits delivered bytes.
+
+See ``docs/fault_injection.md`` for the taxonomy, the retry/backoff
+semantics, and the degraded-mode cost model.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultBudgetExceeded,
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    mesh_pair,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultBudgetExceeded",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "mesh_pair",
+]

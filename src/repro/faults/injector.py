@@ -1,0 +1,145 @@
+"""Runtime fault injection: trigger matching, scheduled failures, audits.
+
+One :class:`FaultInjector` is built per :class:`~repro.machine.Machine`
+from the immutable :class:`~repro.faults.plan.FaultPlan`.  Components
+call :meth:`FaultInjector.decide` at well-defined injection points
+("should this operation be faulted?"); the injector owns all mutable
+trigger state (per-spec operation counters), applies the time-scheduled
+``disk_failure`` / ``disk_repair`` specs lazily via :meth:`tick`, and
+keeps a delivery audit log that :meth:`Machine.verify` checks against
+ground-truth file content.
+
+Determinism: ``decide`` consults only ``env.now`` and per-spec counters
+that advance with canonically-ordered operation streams; there is no
+randomness here (plans are generated elsewhere, from seeds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.plan import SCHEDULED_KINDS, FaultError, FaultPlan, FaultSpec
+from repro.sim import Environment, Monitor
+
+
+def _matches(spec_target: str, target: str) -> bool:
+    return spec_target == "*" or spec_target == target
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against a running machine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.env = env
+        self.plan = plan
+        self.monitor = monitor
+        #: Matching-operation count per count-style spec (by plan index).
+        self._seen: Dict[int, int] = {}
+        #: Fire count per spec (telemetry + ``fired`` report).
+        self._fired: Dict[int, int] = {}
+        #: Delivery audit log: (file_id, offset, nbytes, sha256 hexdigest).
+        self.deliveries: List[Tuple[int, int, int, str]] = []
+        #: Scheduled specs not yet applied, in (at_s, plan) order.
+        self._scheduled_pending: List[FaultSpec] = []
+        self._arrays: Dict[str, Any] = {}
+
+    # -- trigger evaluation ------------------------------------------------
+
+    def decide(self, kind: str, target: str) -> Optional[FaultSpec]:
+        """Return the first spec firing for this (kind, target) op, if any.
+
+        Every matching count-style spec sees its operation counter
+        advance (specs observe the full operation stream whether or not
+        an earlier spec fires), so plans compose predictably.
+        """
+        now = self.env.now
+        hit: Optional[Tuple[int, FaultSpec]] = None
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != kind or spec.kind in SCHEDULED_KINDS:
+                continue
+            if not _matches(spec.target, target):
+                continue
+            if spec.windowed:
+                if spec.active_at(now) and hit is None:
+                    hit = (index, spec)
+                continue
+            if spec.at_s is not None and now < spec.at_s:
+                continue
+            seen = self._seen.get(index, 0)
+            self._seen[index] = seen + 1
+            if spec.after_n <= seen < spec.after_n + spec.count and hit is None:
+                hit = (index, spec)
+        if hit is None:
+            return None
+        index, spec = hit
+        self._fired[index] = self._fired.get(index, 0) + 1
+        self._count(f"faults.injected.{kind}")
+        return spec
+
+    def fired(self, kind: Optional[str] = None) -> int:
+        """Total fires, optionally restricted to one kind."""
+        return sum(
+            n
+            for index, n in self._fired.items()
+            if kind is None or self.plan.specs[index].kind == kind
+        )
+
+    # -- scheduled (disk failure/repair) application -----------------------
+
+    def start(self, arrays: Dict[str, Any]) -> None:
+        """Register *arrays* as the targets for time-scheduled specs.
+
+        Scheduled failures are applied *lazily*: :meth:`tick` (called by
+        the arrays at every access) applies every spec whose ``at_s`` has
+        passed.  Disk state is only observable through accesses, so this
+        is indistinguishable from an eager driver -- and it keeps the
+        event queue free of fault timers, which would otherwise delay
+        workload phases that run the simulation until quiescence.
+        """
+        scheduled = self.plan.scheduled
+        if not scheduled:
+            return
+        for spec in scheduled:
+            if spec.target not in arrays:
+                raise FaultError(
+                    f"{spec.kind} targets unknown array {spec.target!r}; "
+                    f"known: {sorted(arrays)}"
+                )
+        self._arrays = arrays
+        self._scheduled_pending = list(scheduled)
+
+    def tick(self) -> None:
+        """Apply every scheduled spec due at or before ``env.now``.
+
+        Deterministic regardless of which array's access triggers it:
+        the post-tick disk state is a pure function of ``env.now`` and
+        the plan's ``(at_s, plan position)`` order.
+        """
+        while (
+            self._scheduled_pending
+            and self._scheduled_pending[0].at_s <= self.env.now
+        ):
+            spec = self._scheduled_pending.pop(0)
+            array = self._arrays[spec.target]
+            if spec.kind == "disk_failure":
+                array.fail_disk(spec.disk_index)
+            else:
+                array.repair_disk(spec.disk_index)
+            self._count(f"faults.injected.{spec.kind}")
+
+    # -- delivery audit ----------------------------------------------------
+
+    def record_delivery(self, file_id: int, offset: int, nbytes: int, data) -> None:
+        """Log the digest of bytes handed to the application."""
+        digest = hashlib.sha256(data.to_bytes()).hexdigest()
+        self.deliveries.append((file_id, offset, nbytes, digest))
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if self.monitor is not None:
+            self.monitor.counter(name).add(value)

@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import math
 import zlib
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.hardware.params import DiskParams
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
 from repro.sim import ArbitratedResource, Environment, PriorityResource
@@ -57,11 +60,13 @@ class Disk:
         elevator: bool = False,
         jitter: bool = True,
         monitor: Optional[Monitor] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.env = env
         self.name = name
         self.params = params or DiskParams()
         self.monitor = monitor
+        self.faults = faults
         self.tracer = get_tracer(monitor)
         self.elevator = elevator
         self.jitter = jitter
@@ -158,6 +163,22 @@ class Disk:
         try:
             yield req
             started_at = self.env.now
+            if self.faults is not None:
+                media_error = self.faults.decide("media_error", self.name)
+                slow = self.faults.decide("slow_sector", self.name)
+                if slow is not None:
+                    if self.monitor is not None:
+                        self.monitor.counter(f"{self.name}.slow_sectors").add(1)
+                    yield self.env.timeout(slow.duration_s)
+                if media_error is not None:
+                    # A lone spindle has no parity to reconstruct from:
+                    # the error surfaces to the caller (transient -- a
+                    # retry re-reads the sector successfully).
+                    if self.monitor is not None:
+                        self.monitor.counter(f"{self.name}.media_errors").add(1)
+                    raise DiskError(
+                        f"media error on {self.name} at lba {lba} (transient)"
+                    )
             cache_hit = kind == "read" and self.cached(lba, nbytes)
             if cache_hit:
                 # Served from the drive buffer: controller time only.

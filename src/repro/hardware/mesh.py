@@ -16,9 +16,12 @@ software overhead that makes many small requests expensive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.hardware.params import MeshParams
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import get_tracer
 from repro.sim import ArbitratedResource, Environment
@@ -40,6 +43,11 @@ class MeshMessage:
     delivered_at: float = field(default=0.0)
     #: Trace context of the causing span (None when untraced).
     ctx: Any = None
+    #: Set by fault injection: the message occupied its route but was
+    #: lost (the sender must not act on it having arrived).
+    dropped: bool = False
+    #: Set by fault injection: the message was delivered twice.
+    duplicated: bool = False
 
 
 class Mesh:
@@ -52,6 +60,7 @@ class Mesh:
         height: int,
         params: Optional[MeshParams] = None,
         monitor: Optional[Monitor] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         if width <= 0 or height <= 0:
             raise ValueError("mesh dimensions must be positive")
@@ -60,6 +69,7 @@ class Mesh:
         self.height = height
         self.params = params or MeshParams()
         self.monitor = monitor
+        self.faults = faults
         self.tracer = get_tracer(monitor)
         self._links: Dict[Link, ArbitratedResource] = {}
         #: Per-directed-link seconds held by a streaming worm.
@@ -187,7 +197,24 @@ class Mesh:
             self._in_flight -= 1
 
         message.delivered_at = env.now
-        self.tracer.end(span)
+        if self.faults is not None:
+            # Window-triggered only (see repro.faults.plan): same-time
+            # sends have no canonical global order, so drop/dup decisions
+            # depend on sim time alone and are tie-break-invariant.  The
+            # worm still paid full route occupancy + streaming time.
+            pair = (
+                f"{message.src[0]},{message.src[1]}->"
+                f"{message.dst[0]},{message.dst[1]}"
+            )
+            if self.faults.decide("mesh_drop", pair) is not None:
+                message.dropped = True
+            elif self.faults.decide("mesh_dup", pair) is not None:
+                message.duplicated = True
+            self.tracer.end(
+                span, dropped=message.dropped, duplicated=message.duplicated
+            )
+        else:
+            self.tracer.end(span)
         if self.monitor is not None:
             self.monitor.counter("mesh.messages").add(1)
             self.monitor.counter("mesh.bytes").add(message.size_bytes)

@@ -62,6 +62,12 @@ class RAIDParams:
     data_disks: int = 4
     #: Per-array request overhead in the RAID controller.
     controller_overhead_s: float = 0.0008
+    #: Parity reconstruction XOR throughput of the array controller.
+    #: Governs the extra compute cost of degraded-mode reads (and of
+    #: recovering a transient media error from parity); calibrated well
+    #: above the media rate so reconstruction is transfer-dominated,
+    #: as on the real hardware.
+    xor_rate_bps: float = 20.0 * MB
 
 
 @dataclass(frozen=True)

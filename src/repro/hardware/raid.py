@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import math
 import zlib
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Set
 
 from repro.hardware.params import DiskParams, RAIDParams
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 from repro.hardware.scsi import SCSIBus
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
@@ -56,6 +59,7 @@ class RAID3Array:
         raid_params: Optional[RAIDParams] = None,
         elevator: bool = True,
         monitor: Optional[Monitor] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.env = env
         self.bus = bus
@@ -63,6 +67,7 @@ class RAID3Array:
         self.disk_params = disk_params or DiskParams()
         self.raid_params = raid_params or RAIDParams()
         self.monitor = monitor
+        self.faults = faults
         self.tracer = get_tracer(monitor)
         self.elevator = elevator
         if self.raid_params.data_disks <= 0:
@@ -91,6 +96,12 @@ class RAID3Array:
         self._cached_end = 0
         #: Fault injection: number of upcoming accesses that will fail.
         self._fail_next = 0
+        #: Spindle indices currently failed (0..data_disks-1 are data,
+        #: index ``data_disks`` is the parity spindle).  RAID-3 survives
+        #: any single failure; a second concurrent failure loses data.
+        self._failed_disks: Set[int] = set()
+        #: Latched when redundancy was exceeded; all later accesses fail.
+        self._data_lost = False
         #: Accumulated time the arm was held (utilisation).
         self.busy_s = 0.0
         telemetry = get_telemetry(monitor)
@@ -213,6 +224,8 @@ class RAID3Array:
     def _access(self, lba: int, nbytes: int, kind: str,
                 ctx: Optional[TraceContext] = None):
         self._validate(lba, nbytes)
+        if self.faults is not None:
+            self.faults.tick()
         queued_at = self.env.now
         sequential = False
         cache_hit = False
@@ -233,6 +246,10 @@ class RAID3Array:
             yield grant
             started_at = self.env.now
             yield self.env.timeout(self.raid_params.controller_overhead_s)
+            if self.faults is not None:
+                # Re-check the schedule: the failure may be due between
+                # queueing and the arm grant.
+                self.faults.tick()
             if self._fail_next > 0:
                 self._fail_next -= 1
                 if self.monitor is not None:
@@ -240,7 +257,34 @@ class RAID3Array:
                 raise RAIDError(
                     f"injected media error on {self.name} at lba {lba}"
                 )
-            cache_hit = kind == "read" and self.cached(lba, nbytes)
+            if self._data_lost:
+                raise RAIDError(
+                    f"data lost on {self.name}: more than one spindle failed "
+                    "(RAID-3 redundancy exceeded)"
+                )
+            media_error = None
+            if self.faults is not None:
+                media_error = self.faults.decide("media_error", self.name)
+                slow = self.faults.decide("slow_sector", self.name)
+                if slow is not None:
+                    # Marginal sector: positioning retries before the
+                    # transfer succeeds.
+                    if self.monitor is not None:
+                        self.monitor.counter(f"{self.name}.slow_sectors").add(1)
+                    yield self.env.timeout(slow.duration_s)
+            if media_error is not None and self.degraded:
+                # The bad sector's spindle has no redundancy left behind
+                # it -- this access is unrecoverable at the array layer.
+                raise RAIDError(
+                    f"unrecoverable media error on degraded {self.name} "
+                    f"at lba {lba}"
+                )
+            # A transient media error forces a platter re-read plus
+            # parity reconstruction, so it bypasses the track cache.
+            cache_hit = (
+                kind == "read" and media_error is None and self.cached(lba, nbytes)
+            )
+            degraded_now = self.degraded
             if cache_hit:
                 # Served from the drive buffer: bus transfer only.
                 yield from self.bus.transfer(nbytes, ctx=span_ctx)
@@ -253,6 +297,36 @@ class RAID3Array:
                 yield from self.bus.transfer(
                     nbytes, stream_rate_bps=self.media_rate_bps, ctx=span_ctx
                 )
+                reconstruct = kind == "read" and (degraded_now or media_error)
+                if reconstruct and nbytes > 0:
+                    # Parity reconstruction: the parity spindle's share
+                    # crosses the SCSI bus as an extra transfer (it is
+                    # not part of the data stream in normal mode), then
+                    # the controller XORs the missing spindle back.
+                    share = -(-nbytes // self.data_disks)
+                    yield from self.bus.transfer(
+                        share,
+                        stream_rate_bps=self.disk_params.media_rate_bps,
+                        ctx=span_ctx,
+                    )
+                    yield self.env.timeout(nbytes / self.raid_params.xor_rate_bps)
+                    if self.monitor is not None:
+                        self.monitor.counter(
+                            f"{self.name}.reconstructed_bytes"
+                        ).add(nbytes)
+                        if degraded_now:
+                            self.monitor.counter(f"{self.name}.degraded_reads").add(1)
+                        if media_error is not None:
+                            self.monitor.counter(
+                                f"{self.name}.media_errors_recovered"
+                            ).add(1)
+                elif kind == "write" and degraded_now and nbytes > 0:
+                    # Degraded write: parity must absorb the missing
+                    # spindle's contribution (XOR only; the parity
+                    # stream itself is concurrent as in normal mode).
+                    yield self.env.timeout(nbytes / self.raid_params.xor_rate_bps)
+                    if self.monitor is not None:
+                        self.monitor.counter(f"{self.name}.degraded_writes").add(1)
                 self._head_lba = lba + nbytes
                 self._last_end_lba = lba + nbytes
                 if kind == "read":
@@ -265,7 +339,15 @@ class RAID3Array:
             self._busy = False
             if self._pending:
                 self.env._mark_arbiter_dirty(self)
-        self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
+        if self.faults is not None or degraded_now:
+            self.tracer.end(
+                span,
+                sequential=sequential,
+                track_cache_hit=cache_hit,
+                degraded=degraded_now,
+            )
+        else:
+            self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
         self._service_hist.observe(self.env.now - queued_at)
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.{kind}s").add(1)
@@ -291,6 +373,39 @@ class RAID3Array:
         if count < 0:
             raise ValueError("count must be non-negative")
         self._fail_next += count
+
+    # -- degraded mode ---------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while at least one spindle is failed (parity covers it)."""
+        return bool(self._failed_disks)
+
+    def fail_disk(self, index: int = 0) -> None:
+        """A spindle dies.  One failure degrades the array (every access
+        from now on pays parity reconstruction); a second concurrent
+        failure exceeds RAID-3 redundancy and loses data."""
+        if index < 0 or index > self.data_disks:
+            raise RAIDError(
+                f"disk index {index} outside array (0..{self.data_disks}, "
+                f"where {self.data_disks} is the parity spindle)"
+            )
+        if index in self._failed_disks:
+            return
+        if self._failed_disks:
+            self._data_lost = True
+        self._failed_disks.add(index)
+        if self.monitor is not None:
+            self.monitor.counter(f"{self.name}.disk_failures").add(1)
+
+    def repair_disk(self, index: int = 0) -> None:
+        """The spindle is replaced and rebuilt.
+
+        Modelling simplification: the rebuild is instantaneous and free
+        (no background rebuild traffic) -- the array simply returns to
+        non-degraded service.  See docs/fault_injection.md.
+        """
+        self._failed_disks.discard(index)
 
     @property
     def queue_depth(self) -> int:

@@ -12,9 +12,11 @@ file-pointer coordination service) row 2.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig, PFSConfig
+from repro.faults.injector import FaultInjector
 from repro.hardware.mesh import Mesh
 from repro.hardware.node import Node, NodeKind
 from repro.hardware.raid import RAID3Array
@@ -52,8 +54,18 @@ class Machine:
         #: Back-compat alias -- satisfies the full Monitor interface.
         self.monitor = self.obs
 
+        #: Fault-injection runtime; None when the plan is absent, and the
+        #: entire fault plane (retries, dedup logs, degraded checks) is
+        #: then inert.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(self.env, cfg.faults, monitor=self.monitor)
+            if cfg.faults is not None
+            else None
+        )
+
         width = max(cfg.n_compute, cfg.n_io, 1)
-        self.mesh = Mesh(self.env, width, 3, params=cfg.hardware.mesh, monitor=self.monitor)
+        self.mesh = Mesh(self.env, width, 3, params=cfg.hardware.mesh,
+                         monitor=self.monitor, faults=self.faults)
 
         # -- nodes ---------------------------------------------------------
         self.compute_nodes: List[Node] = [
@@ -96,6 +108,7 @@ class Machine:
                 disk_params=cfg.hardware.disk,
                 raid_params=cfg.hardware.raid,
                 monitor=self.monitor,
+                faults=self.faults,
             )
             ufs = UFS(
                 BlockDevice(array, cfg.block_size),
@@ -110,7 +123,8 @@ class Machine:
                 name=f"bcache{i}",
                 monitor=self.monitor,
             )
-            endpoint = RPCEndpoint(self.env, node, self.mesh, monitor=self.monitor)
+            endpoint = RPCEndpoint(self.env, node, self.mesh, monitor=self.monitor,
+                                   faults=self.faults)
             server = PFSServer(
                 self.env,
                 node,
@@ -120,6 +134,7 @@ class Machine:
                 readahead_blocks=cfg.server_readahead_blocks,
                 write_back=cfg.write_back,
                 monitor=self.monitor,
+                faults=self.faults,
             )
             if cfg.write_back:
                 self.sync_daemons.append(
@@ -140,14 +155,16 @@ class Machine:
 
         # -- coordination service on the service node -----------------------------
         self.coordinator_endpoint = RPCEndpoint(
-            self.env, self.service_node, self.mesh, monitor=self.monitor
+            self.env, self.service_node, self.mesh, monitor=self.monitor,
+            faults=self.faults,
         )
         self.coordinator = CoordinatorService(self.env, self.coordinator_endpoint)
 
         # -- PFS clients on the compute nodes ------------------------------------------
         self.clients: List[PFSClient] = []
         for node in self.compute_nodes:
-            endpoint = RPCEndpoint(self.env, node, self.mesh, monitor=self.monitor)
+            endpoint = RPCEndpoint(self.env, node, self.mesh, monitor=self.monitor,
+                                   faults=self.faults)
             art = AsyncRequestManager(
                 self.env, node, max_threads=cfg.art_threads, monitor=self.monitor
             )
@@ -161,10 +178,20 @@ class Machine:
                     self.coordinator_endpoint,
                     art=art,
                     monitor=self.monitor,
+                    faults=self.faults,
                 )
             )
 
         self.mounts: Dict[str, PFSMount] = {}
+        # One machine-wide file-id counter shared by every mount: ids
+        # key UFS inodes across mounts, and a fresh machine always
+        # numbers its files 1, 2, ... (process-history independent).
+        self._file_ids = itertools.count(1)
+
+        # Time-scheduled faults (disk failure/repair) fire from a driver
+        # process against the named arrays.
+        if self.faults is not None:
+            self.faults.start({array.name: array for array in self.arrays})
 
         # -- node-level telemetry probes (nodes take no monitor handle) ----------
         telemetry = self.obs.telemetry
@@ -211,7 +238,8 @@ class Machine:
             raise ValueError(f"mount {name!r} already exists")
         pfs = pfs or PFSConfig()
         mount = PFSMount(
-            name, self.stripe_attributes(pfs), buffered=pfs.buffered
+            name, self.stripe_attributes(pfs), buffered=pfs.buffered,
+            file_ids=self._file_ids,
         )
         self.mounts[name] = mount
         return mount
@@ -331,6 +359,45 @@ class Machine:
 
         for leak in leaked_resources(self.env):
             problems.append(str(leak))
+
+        # 7. Under fault injection, every byte range delivered to the
+        #    application is byte-identical to the fault-free content
+        #    (recovered reads -- retries, degraded-mode reconstruction --
+        #    must be transparent).  The client logs a digest of each
+        #    delivery; we recompute ground truth from the stripe files.
+        if self.faults is not None:
+            import hashlib
+
+            from repro.pfs.stripe import decluster
+
+            attrs_by_id = {}
+            for mount in self.mounts.values():
+                for pfs_file in mount.files.values():
+                    attrs_by_id[pfs_file.file_id] = pfs_file.attrs
+            for file_id, offset, nbytes, digest in self.faults.deliveries:
+                attrs = attrs_by_id.get(file_id)
+                if attrs is None:
+                    problems.append(
+                        f"delivery audit: unknown file_id {file_id}"
+                    )
+                    continue
+                pieces = sorted(
+                    decluster(attrs, offset, nbytes),
+                    key=lambda p: p.pfs_offset,
+                )
+                truth = b"".join(
+                    self.ufses[p.io_node]
+                    .content(file_id, p.ufs_offset, p.length)
+                    .to_bytes()
+                    for p in pieces
+                )
+                expected = hashlib.sha256(truth).hexdigest()
+                if digest != expected:
+                    problems.append(
+                        f"delivery audit: file {file_id} "
+                        f"[{offset}, {offset + nbytes}) delivered bytes "
+                        f"differ from fault-free content"
+                    )
 
         if strict and problems:
             raise AssertionError("; ".join(problems))

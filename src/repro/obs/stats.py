@@ -48,6 +48,11 @@ class PrefetchStats:
     discarded: int = 0
     #: Prefetch transfers that errored (e.g. media failures).
     failed: int = 0
+    #: Failed prefetch transfers re-issued within the retry budget (only
+    #: non-zero under fault injection).  compare=False: pre-fault-plane
+    #: report fingerprints must stay bit-identical, so this counter is
+    #: informational -- fault tests compare it explicitly.
+    retried: int = field(default=0, compare=False)
     #: Demand reads that waited on a prefetch which then failed and fell
     #: back to a direct read.
     failed_fallbacks: int = 0
@@ -105,6 +110,7 @@ class PrefetchStats:
             "skipped_duplicate",
             "discarded",
             "failed",
+            "retried",
             "failed_fallbacks",
             "throttled",
             "bytes_prefetched",

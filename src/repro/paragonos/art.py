@@ -26,7 +26,7 @@ from typing import Callable, Generator, List, Optional
 from repro.hardware.node import Node
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
-from repro.sim import Environment, Store
+from repro.sim import ArbitratedStore, Environment
 from repro.obs.monitor import Monitor
 
 _request_ids = itertools.count(1)
@@ -99,7 +99,10 @@ class AsyncRequestManager:
         self.monitor = monitor
         self.tracer = get_tracer(monitor)
         #: The active list: FIFO queue of pending AsyncRequests.
-        self._active_list: Store = Store(env)
+        #: Same-timestamp submissions are admitted in canonical key
+        #: order (ArbitratedStore), so concurrent prefetch bursts queue
+        #: identically under either tie-break.
+        self._active_list: ArbitratedStore = ArbitratedStore(env)
         self._outstanding: List[AsyncRequest] = []
         self._workers = [
             env.process(self._art_loop(i), name=f"art-{node.node_id}-{i}")

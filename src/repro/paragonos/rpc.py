@@ -7,19 +7,39 @@ handler (a generator, so it can perform disk I/O), and the reply crosses
 the mesh back.  Handlers run one process per request -- the Paragon OS
 server is multithreaded, so requests from different clients are serviced
 concurrently, contending only on real resources (CPU, disks, bus).
+
+Fault tolerance (active only when the machine runs with a
+:class:`~repro.faults.plan.FaultPlan`): calls carry a per-request reply
+timeout with bounded exponential backoff; on timeout the *same* request
+object -- hence the same idempotent ``msg_id`` -- is retransmitted.  The
+server deduplicates by ``(source node, msg_id)``: a retransmit of an
+in-flight request coalesces onto the running handler, and a retransmit
+of a completed one replays the cached reply without re-executing the
+handler (so side-effectful work is applied at most once).  A call whose
+budget is exhausted raises
+:class:`~repro.faults.plan.FaultBudgetExceeded` carrying the trace span
+chain.  Handler *errors* are not retried -- they are deterministic
+outcomes, not lost messages -- preserving the fault-free semantics.
+
+The inbox is an :class:`~repro.sim.ArbitratedStore`: same-timestamp
+request arrivals (natural under retry storms) are admitted in canonical
+key order, keeping faulty runs bit-identical under either tie-break.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, Optional, Type
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Tuple, Type
 
 from repro.hardware.mesh import Mesh, MeshMessage
 from repro.hardware.node import Node
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import get_tracer
 from repro.paragonos.messages import RPCMessage
-from repro.sim import Environment, Store
+from repro.sim import ArbitratedStore, Environment
 from repro.obs.monitor import Monitor
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 
 class RPCError(Exception):
@@ -37,6 +57,20 @@ class _Envelope:
         self.source = source
 
 
+def _defuse_late_failure(event) -> None:
+    """Keep an abandoned reply event's late failure from crashing the sim.
+
+    A timed-out attempt's reply event may still be failed by the server
+    afterwards; nobody waits on it any more, so mark it defused.  Added
+    at creation time, this callback runs before any later-constructed
+    condition's check -- and defusing does not stop a *pending* AnyOf
+    from failing, so handler errors raised before the timeout still
+    propagate to the caller.
+    """
+    if not event._ok:
+        event.defused = True
+
+
 class RPCEndpoint:
     """Message endpoint bound to one node."""
 
@@ -46,14 +80,19 @@ class RPCEndpoint:
         node: Node,
         mesh: Mesh,
         monitor: Optional[Monitor] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.env = env
         self.node = node
         self.mesh = mesh
         self.monitor = monitor
+        self.faults = faults
         self.tracer = get_tracer(monitor)
-        self._inbox: Store = Store(env)
+        self._inbox: ArbitratedStore = ArbitratedStore(env)
         self._handlers: Dict[Type[RPCMessage], Callable[..., Generator]] = {}
+        #: Idempotency log: (source node, msg_id) -> state.  Only
+        #: populated when a fault plan is active (no cost otherwise).
+        self._request_log: Dict[Tuple[int, int], Dict] = {}
         self._dispatcher = env.process(
             self._dispatch_loop(), name=f"rpc-dispatch-{node.node_id}"
         )
@@ -88,23 +127,82 @@ class RPCEndpoint:
         if span.ctx is not None:
             # Downstream work (server handler, disk) parents under the call.
             request.ctx = span.ctx
-        reply_event = self.env.event()
-        envelope = _Envelope(request, reply_event, self)
-        yield from self.mesh.send(
-            MeshMessage(
-                src=self.node.position,
-                dst=target.node.position,
-                size_bytes=request.wire_bytes,
-                payload=envelope,
-                ctx=request.ctx,
-            )
-        )
-        yield target._inbox.put(envelope)
-        reply = yield reply_event
-        self.tracer.end(span)
+        if self.faults is None:
+            reply = yield from self._call_once(target, request)
+            self.tracer.end(span)
+        else:
+            reply = yield from self._call_with_retries(target, request, span)
         if self.monitor is not None:
             self.monitor.counter("rpc.calls").add(1)
         return reply
+
+    def _call_once(self, target: "RPCEndpoint", request: RPCMessage):
+        """Fault-free fast path: single attempt, wait forever."""
+        reply_event = self.env.event()
+        envelope = _Envelope(request, reply_event, self)
+        yield from self._transmit(target, request, envelope)
+        reply = yield reply_event
+        return reply
+
+    def _call_with_retries(self, target: "RPCEndpoint", request: RPCMessage, span):
+        """Timeout + bounded exponential backoff with idempotent msg_id."""
+        policy = self.faults.plan.retry
+        timeouts: List[float] = []
+        for attempt in range(policy.max_attempts):
+            attempt_span = self.tracer.begin(
+                "rpc_attempt",
+                ctx=span.ctx,
+                node_id=self.node.node_id,
+                msg=type(request).__name__,
+                attempt=attempt,
+            )
+            reply_event = self.env.event()
+            # The server may fail this event after we have timed out and
+            # moved on; defuse such late failures (see helper docstring).
+            reply_event.callbacks.append(_defuse_late_failure)
+            envelope = _Envelope(request, reply_event, self)
+            yield from self._transmit(target, request, envelope)
+            limit = policy.timeout_for(attempt)
+            timeouts.append(limit)
+            timeout_event = self.env.timeout(limit)
+            outcome = yield self.env.any_of([reply_event, timeout_event])
+            if reply_event in outcome:
+                reply = outcome[reply_event]
+                self.tracer.end(attempt_span, outcome="reply")
+                self.tracer.end(span, attempts=attempt + 1)
+                return reply
+            self.tracer.end(attempt_span, outcome="timeout")
+            if self.monitor is not None:
+                self.monitor.counter("rpc.retries").add(1)
+        self.tracer.end(span, attempts=policy.max_attempts, outcome="budget_exceeded")
+        from repro.faults.plan import FaultBudgetExceeded
+        from repro.obs.trace import NOOP_SPAN
+
+        chain = [] if span is NOOP_SPAN else [span] + self.tracer.ancestors(span)
+        raise FaultBudgetExceeded(
+            f"RPC {type(request).__name__} msg_id={request.msg_id} from node "
+            f"{self.node.node_id} to node {target.node.node_id} got no reply "
+            f"after {policy.max_attempts} attempts (timeouts: {timeouts})",
+            span_chain=chain,
+            attempts=timeouts,
+        )
+
+    def _transmit(self, target: "RPCEndpoint", request: RPCMessage, envelope):
+        """Carry one attempt across the mesh and into the target inbox."""
+        message = MeshMessage(
+            src=self.node.position,
+            dst=target.node.position,
+            size_bytes=request.wire_bytes,
+            payload=envelope,
+            ctx=request.ctx,
+        )
+        yield from self.mesh.send(message)
+        if message.dropped:
+            # Lost after occupying its route; the retry timeout recovers.
+            return
+        yield target._inbox.put(envelope)
+        if message.duplicated:
+            yield target._inbox.put(envelope)
 
     # -- server side -------------------------------------------------------------
 
@@ -127,24 +225,70 @@ class RPCEndpoint:
                 )
             )
             return
+        entry = None
+        if self.faults is not None:
+            key = (envelope.source.node.node_id, request.msg_id)
+            entry = self._request_log.get(key)
+            if entry is not None:
+                if entry["state"] == "in-flight":
+                    # Retransmit (or duplicate) of a running request:
+                    # coalesce onto the in-flight handler's reply.
+                    if envelope not in entry["envelopes"]:
+                        entry["envelopes"].append(envelope)
+                    if self.monitor is not None:
+                        self.monitor.counter("rpc.duplicates_coalesced").add(1)
+                    return
+                # Completed: replay the cached reply, never re-execute.
+                if self.monitor is not None:
+                    self.monitor.counter("rpc.replays").add(1)
+                yield from self._send_reply(envelope, entry["reply"])
+                return
+            entry = {"state": "in-flight", "envelopes": [envelope], "reply": None}
+            self._request_log[key] = entry
+            stall = self.faults.decide("rpc_stall", f"node{self.node.node_id}")
+            if stall is not None:
+                if self.monitor is not None:
+                    self.monitor.counter("rpc.stalls").add(1)
+                yield self.env.timeout(stall.duration_s)
         try:
             reply = yield from handler(request)
         except Exception as exc:  # propagate handler failure to the caller
-            envelope.reply_event.fail(RPCError(str(exc)))
+            if entry is not None:
+                # A handler error is a deterministic outcome, not a lost
+                # message: drop the log entry so a retransmit re-raises.
+                del self._request_log[(envelope.source.node.node_id, request.msg_id)]
+                for env_ in entry["envelopes"]:
+                    if not env_.reply_event.triggered:
+                        env_.reply_event.fail(RPCError(str(exc)))
+            else:
+                envelope.reply_event.fail(RPCError(str(exc)))
             return
-        # Ship the reply back across the mesh before waking the caller.
-        yield from self.mesh.send(
-            MeshMessage(
-                src=self.node.position,
-                dst=envelope.source.node.position,
-                size_bytes=reply.wire_bytes if reply is not None else 0,
-                payload=reply,
-                ctx=request.ctx,
-            )
-        )
-        envelope.reply_event.succeed(reply)
+        if entry is not None:
+            entry["state"] = "done"
+            entry["reply"] = reply
+            for env_ in entry["envelopes"]:
+                yield from self._send_reply(env_, reply)
+        else:
+            yield from self._send_reply(envelope, reply)
         if self.monitor is not None:
             self.monitor.counter("rpc.served").add(1)
+
+    def _send_reply(self, envelope: _Envelope, reply):
+        """Ship the reply back across the mesh before waking the caller."""
+        message = MeshMessage(
+            src=self.node.position,
+            dst=envelope.source.node.position,
+            size_bytes=reply.wire_bytes if reply is not None else 0,
+            payload=reply,
+            ctx=envelope.request.ctx,
+        )
+        yield from self.mesh.send(message)
+        if message.dropped:
+            # Reply lost in the mesh; the caller times out and the
+            # retransmit is answered from the idempotency log.
+            return
+        if not envelope.reply_event.triggered:
+            envelope.reply_event.succeed(reply)
 
     def __repr__(self) -> str:
         return f"<RPCEndpoint node={self.node.node_id}>"

@@ -309,9 +309,17 @@ class PFSFileHandle:
         if nbytes == 0:
             return LiteralData(b"")
         if self.prefetcher is not None:
-            return (yield from self.prefetcher.serve_read(self, offset, nbytes,
-                                                          ctx=ctx))
-        return (yield from self.transfer_read(offset, nbytes, ctx=ctx))
+            data = yield from self.prefetcher.serve_read(self, offset, nbytes,
+                                                         ctx=ctx)
+        else:
+            data = yield from self.transfer_read(offset, nbytes, ctx=ctx)
+        if self.client.faults is not None:
+            # Audit what the application actually received; Machine.verify
+            # (invariant 7) diffs these digests against ground truth.
+            self.client.faults.record_delivery(
+                self.file.file_id, offset, nbytes, data
+            )
+        return data
 
     def transfer_read(self, offset: int, nbytes: int, cause: str = "demand",
                       ctx: Optional[TraceContext] = None):
@@ -530,6 +538,7 @@ class PFSClient:
         coordinator_endpoint: RPCEndpoint,
         art: Optional[AsyncRequestManager] = None,
         monitor: Optional[Monitor] = None,
+        faults=None,
     ) -> None:
         self.env = env
         self.node = node
@@ -539,6 +548,10 @@ class PFSClient:
         self.coordinator_endpoint = coordinator_endpoint
         self.art = art or AsyncRequestManager(env, node)
         self.monitor = monitor
+        #: FaultInjector when the machine runs under a fault plan; used
+        #: for the delivery audit (Machine.verify invariant 7) and the
+        #: prefetcher's retry budget.
+        self.faults = faults
         self.tracer = get_tracer(monitor)
         #: Always-on per-rank read progress (probe source).
         self.bytes_read_total = 0

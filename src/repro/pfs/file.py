@@ -10,7 +10,6 @@ prefetch buffer lists) lives in :class:`repro.pfs.client.PFSFileHandle`.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
@@ -19,8 +18,6 @@ from repro.pfs.stripe import StripeAttributes
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pfs.mount import PFSMount
-
-_file_ids = itertools.count(1)
 
 
 @dataclass
@@ -47,8 +44,13 @@ class PFSFile:
         mount: "PFSMount",
         attrs: StripeAttributes,
         size_bytes: int = 0,
+        file_id: Optional[int] = None,
     ) -> None:
-        self.file_id = next(_file_ids)
+        # Ids are allocated by the mount's (machine-scoped) counter, so
+        # placement decisions keyed on file_id (e.g. rotation) never
+        # depend on how many files other machines in the same process
+        # created -- a fresh machine always numbers its files 1, 2, ...
+        self.file_id = next(mount._file_ids) if file_id is None else file_id
         self.name = name
         self.mount = mount
         self.attrs = attrs

@@ -11,7 +11,8 @@ create time.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import itertools
+from typing import Dict, Iterator, Optional
 
 from repro.pfs.file import PFSFile
 from repro.pfs.stripe import StripeAttributes
@@ -29,6 +30,7 @@ class PFSMount:
         name: str,
         default_attrs: StripeAttributes,
         buffered: bool = False,
+        file_ids: Optional[Iterator[int]] = None,
     ) -> None:
         self.name = name
         self.default_attrs = default_attrs
@@ -36,6 +38,13 @@ class PFSMount:
         #: measures); True => route transfers through the I/O-node cache.
         self.buffered = buffered
         self._files: Dict[str, PFSFile] = {}
+        #: File-id allocator.  The machine passes one counter shared by
+        #: all of its mounts (ids key UFS inodes machine-wide); a mount
+        #: built standalone gets its own, starting at 1 either way so
+        #: ids never depend on unrelated machines in the same process.
+        self._file_ids: Iterator[int] = (
+            file_ids if file_ids is not None else itertools.count(1)
+        )
 
     @property
     def fastpath(self) -> bool:

@@ -19,9 +19,12 @@ of the partial blocks and copying only the necessary data").
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.hardware.node import Node
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 from repro.paragonos.buffercache import BufferCache
 from repro.paragonos.messages import (
     ControlReply,
@@ -52,6 +55,7 @@ class PFSServer:
         readahead_blocks: int = 0,
         write_back: bool = False,
         monitor: Optional[Monitor] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         """*readahead_blocks* > 0 enables server-side readahead: after a
         buffered read, the server asynchronously pulls the next blocks of
@@ -75,6 +79,7 @@ class PFSServer:
         self.readahead_blocks = readahead_blocks
         self.write_back = write_back
         self.monitor = monitor
+        self.faults = faults
         self.tracer = get_tracer(monitor)
         #: Requests currently being handled (always-on; probe source).
         self._active_requests = 0
@@ -137,6 +142,16 @@ class PFSServer:
         self._active_requests += 1
         try:
             yield from self.node.busy(self.node.params.server_request_overhead_s)
+            if self.faults is not None:
+                stall = self.faults.decide(
+                    "server_stall", f"node{self.node.node_id}"
+                )
+                if stall is not None:
+                    # The server thread wedges (page fault storm, driver
+                    # hiccup) before touching storage; the client's RPC
+                    # timeout covers it.
+                    self._count_extra("stalls")
+                    yield self.env.timeout(stall.duration_s)
             if request.fastpath or self.cache is None:
                 data, cache_hit = (yield from self._read_fastpath(request)), False
             else:

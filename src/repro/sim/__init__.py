@@ -27,6 +27,7 @@ from repro.sim.monitor import CounterStat, Monitor, TimeWeightedStat
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import (
     ArbitratedResource,
+    ArbitratedStore,
     Container,
     FilterStore,
     PriorityResource,
@@ -38,6 +39,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "ArbitratedResource",
+    "ArbitratedStore",
     "Container",
     "CounterStat",
     "Environment",

@@ -296,6 +296,137 @@ class ArbitratedResource:
             nxt.succeed()
 
 
+class ArbitratedStorePut(Event):
+    """A request to place *item* into an :class:`ArbitratedStore`."""
+
+    __slots__ = ("store", "item", "key", "arrived_at", "_seq")
+
+    def __init__(self, store: "ArbitratedStore", item: Any, key: Any) -> None:
+        super().__init__(store.env)
+        self.store = store
+        self.item = item
+        self.key = key
+        self.arrived_at = store.env.now
+        store._do_put(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled put from the wait queue."""
+        if self._value is PENDING:
+            try:
+                self.store._put_queue.remove(self)
+            except ValueError:
+                pass
+
+
+class ArbitratedStoreGet(Event):
+    """A request to take the oldest item from an :class:`ArbitratedStore`."""
+
+    __slots__ = ("store", "key", "arrived_at", "_seq")
+
+    def __init__(self, store: "ArbitratedStore", key: Any) -> None:
+        super().__init__(store.env)
+        self.store = store
+        self.key = key
+        self.arrived_at = store.env.now
+        store._do_get(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled get from the wait queue."""
+        if self._value is PENDING:
+            try:
+                self.store._get_queue.remove(self)
+            except ValueError:
+                pass
+
+
+class ArbitratedStore:
+    """Store whose same-timestamp puts and gets settle canonically.
+
+    A plain :class:`Store` admits puts and serves gets synchronously in
+    event-pop order, so when two processes put (or get) at the same
+    simulated time the item order is whichever event happened to pop
+    first -- the same tie-order race :class:`ArbitratedResource` closes
+    for semaphores.  An ``ArbitratedStore`` stages both sides during the
+    timestep and settles when the environment has processed every event
+    at the current time: queued puts are admitted ordered by ``(arrival
+    time, key)`` and queued gets are served in the same canonical order,
+    each taking the oldest admitted item.  Keys default to the calling
+    process's causal :attr:`~repro.sim.process.Process.order_key`.
+
+    Settlement never advances the clock, so switching a model from
+    ``Store`` to ``ArbitratedStore`` changes *which same-timestamp put
+    lands first*, never *how long anything takes*.  The admitted items
+    live in ``.items`` (same attribute as :class:`Store`, so telemetry
+    probes and pool scans keep working).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[ArbitratedStorePut] = []
+        self._get_queue: List[ArbitratedStoreGet] = []
+        self._seq = 0
+        #: Set while queued for settlement (managed by the environment).
+        self._settle_queued = False
+        env.register_resource(self)
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def _default_key(self, key: Any) -> Any:
+        if key is None:
+            proc = self.env.active_process
+            key = proc.order_key if proc is not None else ()
+        return key
+
+    def put(self, item: Any, key: Any = None) -> ArbitratedStorePut:
+        return ArbitratedStorePut(self, item, self._default_key(key))
+
+    def get(self, key: Any = None) -> ArbitratedStoreGet:
+        return ArbitratedStoreGet(self, self._default_key(key))
+
+    # -- internals -------------------------------------------------------
+
+    def _do_put(self, event: ArbitratedStorePut) -> None:
+        self._seq += 1
+        event._seq = self._seq
+        self._put_queue.append(event)
+        self.env._mark_arbiter_dirty(self)
+
+    def _do_get(self, event: ArbitratedStoreGet) -> None:
+        self._seq += 1
+        event._seq = self._seq
+        self._get_queue.append(event)
+        self.env._mark_arbiter_dirty(self)
+
+    @staticmethod
+    def _order(event: Any) -> Any:
+        return (event.arrived_at, _key_order(event.key), event._seq)
+
+    def _settle(self) -> None:
+        """Admit queued puts and serve queued gets in canonical order."""
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and len(self.items) < self._capacity:
+                self._put_queue.sort(key=self._order)
+                while self._put_queue and len(self.items) < self._capacity:
+                    put = self._put_queue.pop(0)
+                    self.items.append(put.item)
+                    put.succeed()
+                    progressed = True
+            if self._get_queue and self.items:
+                self._get_queue.sort(key=self._order)
+                while self._get_queue and self.items:
+                    get = self._get_queue.pop(0)
+                    get.succeed(self.items.pop(0))
+                    progressed = True
+
+
 class ContainerPut(Event):
     __slots__ = ("amount",)
 

@@ -451,3 +451,84 @@ class TestPFSContentProperty:
         )
         assert box["data"] == expected
         assert len(box["data"]) == length
+
+
+class TestFaultPlaneProperties:
+    """Pure properties of the fault plane's trigger/retry machinery."""
+
+    @given(
+        st.integers(min_value=0, max_value=20),  # after_n
+        st.integers(min_value=1, max_value=5),  # count
+        st.integers(min_value=0, max_value=40),  # operations observed
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_count_trigger_fires_exactly_count_times(self, after_n, count, ops):
+        """A count-style spec fires on operations [after_n, after_n+count)
+        of its matching stream and on nothing else."""
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        env = Environment()
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="media_error",
+                    target="raid0",
+                    after_n=after_n,
+                    count=count,
+                ),
+            )
+        )
+        injector = FaultInjector(env, plan)
+        fire_ops = [
+            i
+            for i in range(ops)
+            if injector.decide("media_error", "raid0") is not None
+        ]
+        expected = max(0, min(ops - after_n, count))
+        assert len(fire_ops) == expected
+        assert fire_ops == list(range(after_n, after_n + expected))
+        assert injector.fired("media_error") == expected
+        # Other targets and kinds never fire and never advance counters.
+        assert injector.decide("media_error", "raid1") is None
+        assert injector.decide("slow_sector", "raid0") is None
+        assert injector.fired() == expected
+
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),  # timeout_s
+        st.floats(min_value=1.0, max_value=4.0),  # backoff_factor
+        st.floats(min_value=1.0, max_value=8.0),  # cap multiplier
+        st.integers(min_value=1, max_value=10),  # max_attempts
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_retry_schedule_monotone_bounded(
+        self, timeout_s, backoff, cap_mult, attempts
+    ):
+        from repro.faults import RetryPolicy
+
+        max_timeout_s = timeout_s * cap_mult
+        policy = RetryPolicy(
+            timeout_s=timeout_s,
+            backoff_factor=backoff,
+            max_timeout_s=max_timeout_s,
+            max_attempts=attempts,
+        )
+        schedule = [policy.timeout_for(a) for a in range(attempts)]
+        assert schedule == sorted(schedule)
+        assert schedule[0] == min(timeout_s, max_timeout_s)
+        assert all(0 < t <= max_timeout_s for t in schedule)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_scattered_plans_are_reproducible_and_in_budget(self, seed):
+        """Same seed, same plan; every generated stall/slow duration is
+        shorter than the first retry timeout (always recoverable)."""
+        from repro.faults import FaultPlan
+
+        a = FaultPlan.scattered(seed=seed, horizon_s=1.5, n_faults=6)
+        b = FaultPlan.scattered(seed=seed, horizon_s=1.5, n_faults=6)
+        assert a.specs == b.specs
+        for spec in a.specs:
+            if spec.duration_s:
+                assert spec.duration_s < a.retry.timeout_s
+            if spec.windowed:
+                assert spec.window_s < a.retry.timeout_s
