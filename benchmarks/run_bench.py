@@ -1,13 +1,19 @@
 """Machine-readable bench trajectory: the Table 1 / Figure 2 points.
 
-Writes ``BENCH_4.json`` at the repo root: collective read bandwidth for
+Writes ``BENCH_5.json`` at the repo root: collective read bandwidth for
 every (request size, prefetch) Table 1 cell and every (mode, request
 size) Figure 2 cell, plus a per-cell telemetry summary naming the
 saturating resource.  The file is the perf baseline later PRs regress
 against -- scaling work that moves these numbers should move them *up*.
-Each Table 1 cell also carries a ``degraded_bandwidth_mbps`` column: the
-same workload with one spindle of ``raid0`` failed from t=0, served via
-RAID-3 parity reconstruction (:mod:`repro.faults`).
+Each Table 1 cell also carries two fault-plane columns:
+
+- ``degraded_bandwidth_mbps``: the same workload with one spindle of
+  ``raid0`` failed from t=0, served via RAID-3 parity reconstruction
+  (:mod:`repro.faults`).
+- ``rebuild_window_bandwidth_mbps``: the same workload while a
+  half-rate-throttled copy-back rebuild of the replaced spindle runs,
+  its stripe-by-stripe traffic competing with demand/prefetch I/O in
+  the RAID LOOK queue and on the SCSI bus.
 
 Tie-order checking (``--tie-check``): with ``full``, every cell is run
 under the tie-order race sanitizer
@@ -52,7 +58,7 @@ from repro.experiments.common import (  # noqa: E402
     run_separate_files,
     scaled_file_size,
 )
-from repro.faults import FaultPlan  # noqa: E402
+from repro.faults import FaultPlan, FaultSpec  # noqa: E402
 from repro.pfs import IOMode  # noqa: E402
 
 FIGURE2_MODES = (IOMode.M_UNIX, IOMode.M_LOG, IOMode.M_SYNC,
@@ -87,8 +93,17 @@ def _measure(cell_key: str, runner, tie_check: str):
 
 def bench_table1(sizes_kb, rounds: int, tie_check: str) -> list:
     """Table 1 cells with telemetry: bandwidth + saturating resource,
-    plus the degraded-mode (one failed spindle on raid0) bandwidth."""
+    plus the degraded-mode (one failed spindle on raid0) and
+    rebuild-window (copy-back in progress) bandwidths."""
     degraded_plan = FaultPlan.single_disk_failure(array="raid0", at_s=0.0)
+    rebuild_plan = FaultPlan(
+        specs=(
+            FaultSpec(kind="disk_failure", target="raid0", at_s=0.0,
+                      disk_index=0),
+            FaultSpec(kind="disk_repair", target="raid0", at_s=0.01,
+                      disk_index=0, rebuild_rate=0.5),
+        ),
+    )
     points = []
     for size_kb in sizes_kb:
         request = size_kb * KB
@@ -116,6 +131,14 @@ def bench_table1(sizes_kb, rounds: int, tie_check: str) -> list:
                 rounds=rounds,
                 faults=degraded_plan,
             )
+            rebuild = run_collective(
+                request_size=request,
+                file_size=file_size,
+                iomode=IOMode.M_RECORD,
+                prefetch=prefetch,
+                rounds=rounds,
+                faults=rebuild_plan,
+            )
             bottleneck = report.bottleneck
             points.append(
                 {
@@ -128,6 +151,9 @@ def bench_table1(sizes_kb, rounds: int, tie_check: str) -> list:
                     ),
                     "degraded_bandwidth_mbps": _round(
                         degraded.collective_bandwidth_mbps
+                    ),
+                    "rebuild_window_bandwidth_mbps": _round(
+                        rebuild.collective_bandwidth_mbps
                     ),
                     "mean_read_access_s": _round(
                         report.mean_read_access_time_s, 6
@@ -212,13 +238,16 @@ def run_bench(quick: bool = False, tie_check: str = "sample") -> dict:
         f2_sizes = DEFAULT_REQUEST_SIZES_KB
         rounds = 16
     return {
-        "bench": "pr4-fault-plane",
+        "bench": "pr5-fault-plane-complete",
         "machine": {"n_compute": 8, "n_io": 8, "block_kb": 64},
         "settings": {"rounds": rounds, "quick": quick, "tie_check": tie_check},
         "metric": "collective read bandwidth (MB/s): total bytes / "
                   "slowest rank's read-call time",
         "degraded_metric": "same workload with one raid0 spindle failed "
                            "from t=0 (RAID-3 parity reconstruction)",
+        "rebuild_metric": "same workload while a rebuild_rate=0.5 copy-back "
+                          "rebuild of the replaced raid0 spindle competes "
+                          "for the arm and SCSI bus",
         "table1": bench_table1(t1_sizes, rounds, tie_check),
         "figure2": bench_figure2(f2_sizes, rounds, tie_check),
     }
@@ -238,9 +267,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_4.json"
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_5.json"
         ),
-        help="output path (default: repo-root BENCH_4.json)",
+        help="output path (default: repo-root BENCH_5.json)",
     )
     args = parser.parse_args(argv)
     results = run_bench(quick=args.quick, tie_check=args.tie_check)
@@ -258,6 +287,7 @@ def main(argv=None) -> int:
             f"prefetch={'on ' if point['prefetch'] else 'off'} "
             f"{point['collective_bandwidth_mbps']:7.2f} MB/s  "
             f"degraded {point['degraded_bandwidth_mbps']:7.2f} MB/s  "
+            f"rebuild {point['rebuild_window_bandwidth_mbps']:7.2f} MB/s  "
             f"bottleneck: {bn['resource'] if bn else 'n/a'}"
         )
     if races:

@@ -75,6 +75,42 @@ class MachineConfig:
             raise ValueError("telemetry interval must be positive")
         if self.tie_break not in ("fifo", "lifo"):
             raise ValueError("tie_break must be 'fifo' or 'lifo'")
+        if self.faults is not None:
+            self._validate_fault_targets()
+
+    def _validate_fault_targets(self) -> None:
+        """Concrete fault targets must fit this machine's shape.
+
+        Catches raid/node indices past the configured counts at config
+        time rather than as silently-never-firing specs ("*" targets and
+        mesh links are exempt -- the mesh is sized from the node counts).
+        Raises :class:`~repro.faults.plan.FaultError`, the same error the
+        runtime raises for unknown targets it catches later.
+        """
+        from repro.faults.plan import (
+            NODE_LIFECYCLE_KINDS,
+            SCHEDULED_KINDS,
+            FaultError,
+        )
+
+        for spec in self.faults.specs:
+            target = spec.target
+            for kinds, prefix, limit, what in (
+                (SCHEDULED_KINDS, "raid", self.n_io, "I/O"),
+                (NODE_LIFECYCLE_KINDS, "node", self.n_compute, "compute"),
+            ):
+                if spec.kind not in kinds:
+                    continue
+                suffix = target[len(prefix):]
+                if (
+                    target.startswith(prefix)
+                    and suffix.isdigit()
+                    and int(suffix) >= limit
+                ):
+                    raise FaultError(
+                        f"{spec.kind} targets {target!r} but the machine has "
+                        f"only {limit} {what} nodes"
+                    )
 
 
 @dataclass(frozen=True)

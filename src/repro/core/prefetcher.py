@@ -104,6 +104,15 @@ class Prefetcher:
             freed = self._list.free_all()
             self.stats.discarded += freed
 
+    def on_crash(self, handle: "PFSFileHandle") -> None:
+        """Drop all buffers after a node crash: the crashed node's
+        memory is gone, so ready data is lost and in-flight prefetches
+        land into discarded buffers (their replies are dropped)."""
+        if self._list is not None:
+            freed = self._list.free_all()
+            self.stats.discarded += freed
+            self._count("crash_discards")
+
     @property
     def buffer_list(self) -> PrefetchBufferList:
         if self._list is None:
@@ -267,6 +276,14 @@ class Prefetcher:
                 yield from handle.node.landing_copy(length)
                 tracer.end(land_span)
                 buffer.mark_ready(handle.env, data)
+                if faults is not None:
+                    # Audit the landed prefetch: invariant 7 checks these
+                    # bytes against ground truth even if no demand read
+                    # ever consumes the buffer.
+                    faults.record_delivery(
+                        handle.file.file_id, start, length, data,
+                        kind="prefetch",
+                    )
                 return None
 
             yield from handle.client.art.submit(operation, tag="prefetch",

@@ -258,6 +258,64 @@ def scaled_file_size(request_size: int, n_compute: int = 8, rounds: int = 16) ->
     return request_size * n_compute * rounds
 
 
+def run_multipass(
+    request_size: int,
+    file_size: int,
+    passes: int = 6,
+    iomode: IOMode = IOMode.M_RECORD,
+    prefetch: bool = True,
+    rounds: Optional[int] = None,
+    n_compute: int = 8,
+    n_io: int = 8,
+    tie_break: str = "fifo",
+    faults=None,
+    keep_machine: bool = False,
+) -> BandwidthReport:
+    """Read the same file *passes* times on one machine; aggregate report.
+
+    The canonical copy-back-rebuild scenario: a rebuild's cost is paid
+    once (the live region crosses the SCSI bus one time) while degraded
+    reconstruction taxes every pass, so over enough passes the expected
+    bandwidth ordering is fault-free > rebuild > degraded-forever.
+    A single pass cannot show this -- the rebuild moves at least as many
+    bytes as one pass reads from the failed array.
+
+    The aggregate report divides total bytes by the summed per-pass
+    slowest-rank read-call time (each pass re-opens fresh handles).
+    """
+    machine, mount = build_machine(
+        n_compute=n_compute, n_io=n_io, tie_break=tie_break, faults=faults,
+    )
+    machine.create_file(mount, "data", file_size)
+    total_bytes = 0
+    read_call_time = 0.0
+    elapsed = 0.0
+    for _ in range(passes):
+        workload = CollectiveReadWorkload(
+            machine,
+            mount,
+            "data",
+            request_size=request_size,
+            iomode=iomode,
+            rounds=rounds,
+            prefetcher_factory=prefetcher_factory(prefetch),
+        )
+        result = workload.run()
+        total_bytes += result.report.total_bytes
+        read_call_time += result.report.read_time_s
+        elapsed += result.report.elapsed_s
+    report = BandwidthReport(
+        total_bytes=total_bytes,
+        elapsed_s=elapsed,
+        read_call_time_by_rank={0: read_call_time},
+        bytes_by_rank={0: total_bytes},
+        calls_by_rank={},
+    )
+    if keep_machine:
+        report.machine = machine
+    return report
+
+
 def speedup(with_value: float, without_value: float) -> float:
     return with_value / without_value if without_value > 0 else float("inf")
 

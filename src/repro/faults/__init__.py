@@ -20,6 +20,7 @@ from repro.faults.plan import (
     FaultError,
     FaultPlan,
     FaultSpec,
+    NodeCrashed,
     RetryPolicy,
     mesh_pair,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "NodeCrashed",
     "RetryPolicy",
     "mesh_pair",
 ]

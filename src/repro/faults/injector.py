@@ -43,8 +43,14 @@ class FaultInjector:
         self._seen: Dict[int, int] = {}
         #: Fire count per spec (telemetry + ``fired`` report).
         self._fired: Dict[int, int] = {}
-        #: Delivery audit log: (file_id, offset, nbytes, sha256 hexdigest).
-        self.deliveries: List[Tuple[int, int, int, str]] = []
+        #: Delivery audit log: ``(file_id, offset, nbytes, sha256
+        #: hexdigest, kind, io_node)``.  ``kind`` is one of ``demand``
+        #: (bytes handed to the application), ``prefetch`` (bytes landed
+        #: in a client prefetch buffer) or ``readahead`` (blocks pulled
+        #: into a server's buffer cache); demand/prefetch offsets are
+        #: PFS-file-space (``io_node = -1``), readahead offsets are
+        #: UFS-stripe-space on ``io_node``.
+        self.deliveries: List[Tuple[int, int, int, str, str, int]] = []
         #: Scheduled specs not yet applied, in (at_s, plan) order.
         self._scheduled_pending: List[FaultSpec] = []
         self._arrays: Dict[str, Any] = {}
@@ -130,15 +136,25 @@ class FaultInjector:
             if spec.kind == "disk_failure":
                 array.fail_disk(spec.disk_index)
             else:
-                array.repair_disk(spec.disk_index)
+                array.repair_disk(spec.disk_index, rebuild_rate=spec.rebuild_rate)
             self._count(f"faults.injected.{spec.kind}")
 
     # -- delivery audit ----------------------------------------------------
 
-    def record_delivery(self, file_id: int, offset: int, nbytes: int, data) -> None:
-        """Log the digest of bytes handed to the application."""
+    def record_delivery(
+        self,
+        file_id: int,
+        offset: int,
+        nbytes: int,
+        data,
+        kind: str = "demand",
+        io_node: int = -1,
+    ) -> None:
+        """Log the digest of bytes delivered along one of the audited
+        paths (demand read, prefetch landing, server readahead)."""
         digest = hashlib.sha256(data.to_bytes()).hexdigest()
-        self.deliveries.append((file_id, offset, nbytes, digest))
+        self.deliveries.append((file_id, offset, nbytes, digest, kind, io_node))
+        self._count(f"faults.audited.{kind}")
 
     def _count(self, name: str, value: int = 1) -> None:
         if self.monitor is not None:

@@ -24,6 +24,10 @@ fault schedule is bit-identical under ``tie_break=fifo`` and ``lifo``:
   tie-order race.  "Drop every matching message in [t, t+w)" is not.
 - ``disk_failure`` / ``disk_repair`` fire at an absolute simulated time
   via the injector's driver process.
+- ``node_crash`` / ``node_restart`` are pure *time predicates*: a client
+  is "crashed" iff the simulated clock sits inside one of its plan's
+  ``[crash_at, restart_at)`` windows.  No event ever fires -- both
+  tie-break legs evaluate the same predicate on the same clock.
 """
 
 from __future__ import annotations
@@ -43,6 +47,8 @@ FAULT_KINDS = frozenset(
         "mesh_dup",  # mesh: message delivered twice
         "rpc_stall",  # rpc: dispatcher sleeps duration_s before the handler
         "server_stall",  # pfs server: read handler sleeps duration_s
+        "node_crash",  # compute node: client dies at at_s (in-flight work lost)
+        "node_restart",  # compute node: client returns at at_s and recovers
     }
 )
 
@@ -53,9 +59,22 @@ SCHEDULED_KINDS = frozenset({"disk_failure", "disk_repair"})
 #: global operation order exists at the mesh layer).
 WINDOW_ONLY_KINDS = frozenset({"mesh_drop", "mesh_dup"})
 
+#: Compute-node lifecycle kinds; paired into ``[crash, restart)`` windows.
+NODE_LIFECYCLE_KINDS = frozenset({"node_crash", "node_restart"})
+
 
 class FaultError(Exception):
     """Base class for fault-plane errors (bad plans, unknown targets)."""
+
+
+class NodeCrashed(FaultError):
+    """The calling compute node is inside a crash window.
+
+    Raised out of client-side paths (``PFSFileHandle.read``, the RPC
+    retry loop) when the node's plan says it is down.  Workload drivers
+    model the restarted application by catching this, waiting for the
+    restart time, and re-issuing the interrupted call.
+    """
 
 
 class FaultBudgetExceeded(FaultError):
@@ -136,6 +155,10 @@ class FaultSpec:
       ``after_n`` must stay at their defaults.  Required for mesh kinds.
     - **scheduled** (``disk_failure`` / ``disk_repair``): fires exactly
       at ``at_s`` via the injector's driver process.
+    - **node lifecycle** (``node_crash`` / ``node_restart``): pure time
+      predicates over ``at_s``; targets must name one concrete compute
+      node (``nodeN``) and crash/restart specs for a node must pair up
+      into alternating ``crash < restart`` windows.
     """
 
     kind: str
@@ -152,6 +175,11 @@ class FaultSpec:
     duration_s: float = 0.0
     #: Which data spindle fails / is repaired (scheduled kinds).
     disk_index: int = 0
+    #: Copy-back rebuild throttle for ``disk_repair``: fraction of the
+    #: spindle's time the rebuild may consume (1.0 = rebuild at full
+    #: media rate, 0.25 = sleep three chunk-times between chunks so
+    #: foreground I/O keeps three quarters of the arm).
+    rebuild_rate: float = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -167,6 +195,16 @@ class FaultSpec:
                 raise ValueError(f"{self.kind} requires at_s (a schedule time)")
             if self.disk_index < 0:
                 raise ValueError("disk_index must be non-negative")
+        if not (0.0 < self.rebuild_rate <= 1.0):
+            raise ValueError("rebuild_rate must be in (0, 1]")
+        if self.kind in NODE_LIFECYCLE_KINDS:
+            if self.at_s is None:
+                raise ValueError(f"{self.kind} requires at_s (a schedule time)")
+            if self.target == "*" or not self.target.startswith("node"):
+                raise ValueError(
+                    f"{self.kind} must target one concrete compute node "
+                    f"('nodeN'), got {self.target!r}"
+                )
         if self.kind in WINDOW_ONLY_KINDS:
             # Count triggers at the mesh would be a tie-order race: there
             # is no canonical global order among same-timestamp sends.
@@ -220,9 +258,52 @@ class FaultPlan:
         for spec in self.specs:
             if not isinstance(spec, FaultSpec):
                 raise TypeError(f"specs must be FaultSpec, got {spec!r}")
+        for target in sorted(
+            {s.target for s in self.specs if s.kind in NODE_LIFECYCLE_KINDS}
+        ):
+            self.crash_windows(target)  # raises on unpaired/overlapping specs
 
     def by_kind(self, kind: str) -> Tuple[FaultSpec, ...]:
         return tuple(s for s in self.specs if s.kind == kind)
+
+    def crash_windows(self, target: str) -> Tuple[Tuple[float, float], ...]:
+        """Paired ``(crash_at, restart_at)`` windows for compute node
+        *target*, sorted by crash time.
+
+        Crash/restart specs for one node must pair into alternating,
+        non-overlapping ``crash < restart`` windows; anything else (a
+        crash with no restart, a restart with no preceding crash, two
+        overlapping windows) raises :class:`FaultError` -- the predicate
+        ``crashed(now)`` would otherwise be ambiguous.
+        """
+        crashes = sorted(
+            s.at_s for s in self.specs
+            if s.kind == "node_crash" and s.target == target
+        )
+        restarts = sorted(
+            s.at_s for s in self.specs
+            if s.kind == "node_restart" and s.target == target
+        )
+        if len(crashes) != len(restarts):
+            raise FaultError(
+                f"{target}: {len(crashes)} node_crash spec(s) but "
+                f"{len(restarts)} node_restart spec(s); they must pair up"
+            )
+        windows = tuple(zip(crashes, restarts))
+        last_restart = float("-inf")
+        for crash_at, restart_at in windows:
+            if not crash_at < restart_at:
+                raise FaultError(
+                    f"{target}: node_crash at {crash_at} has no later "
+                    f"node_restart (next restart at {restart_at})"
+                )
+            if crash_at < last_restart:
+                raise FaultError(
+                    f"{target}: crash window starting at {crash_at} overlaps "
+                    "the previous one"
+                )
+            last_restart = restart_at
+        return windows
 
     @property
     def scheduled(self) -> Tuple[FaultSpec, ...]:
@@ -257,6 +338,22 @@ class FaultPlan:
             ),
             retry=retry or RetryPolicy(),
         )
+
+    @classmethod
+    def crash_restart(
+        cls,
+        node: str = "node0",
+        windows: Sequence[Tuple[float, float]] = ((0.05, 0.1),),
+        retry: Optional[RetryPolicy] = None,
+    ) -> "FaultPlan":
+        """Compute node *node* crashes and restarts once per window."""
+        specs = []
+        for crash_at, restart_at in windows:
+            specs.append(FaultSpec(kind="node_crash", target=node, at_s=crash_at))
+            specs.append(
+                FaultSpec(kind="node_restart", target=node, at_s=restart_at)
+            )
+        return cls(specs=tuple(specs), retry=retry or RetryPolicy())
 
     @classmethod
     def scattered(

@@ -14,6 +14,11 @@ constant-average model.
 
 Requests are served strictly in arrival order (FIFO); an optional
 elevator (LOOK) policy can be enabled to study scheduling effects.
+Both policies dispatch through arbitrated grants settled at the end of
+each timestep: FIFO orders same-timestamp arrivals by causal process
+key, and the elevator breaks exact distance ties by ``(lba, key)`` --
+never by event-pop order -- so runs are bit-identical under either
+kernel tie-break.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import TraceContext, get_tracer
-from repro.sim import ArbitratedResource, Environment, PriorityResource
+from repro.sim import Environment
 from repro.obs.monitor import Monitor
 
 
@@ -70,12 +75,18 @@ class Disk:
         self.tracer = get_tracer(monitor)
         self.elevator = elevator
         self.jitter = jitter
-        if elevator:
-            self._arm = PriorityResource(env, capacity=1)
-        else:
-            # Arbitrated FIFO: same-timestamp arrivals are ordered by the
-            # requesting process's causal key, not event-pop order.
-            self._arm = ArbitratedResource(env, capacity=1)
+        #: Pending requests waiting for the arm: list of
+        #: (arrived_at, lba, causal key, seq, grant_event) entries.
+        #: FIFO dispatches by (arrival, key, seq); the elevator runs a
+        #: LOOK sweep with exact distance ties broken by (lba, key, seq).
+        self._pending: list = []
+        self._busy = False
+        #: Arbiter-settlement hook (see Environment._mark_arbiter_dirty):
+        #: grants are issued when the clock is about to advance, after
+        #: all same-timestamp arrivals are queued.
+        self._settle_queued = False
+        self._sweep_up = True
+        self._seq = 0
         #: Head position (LBA) after the last completed request.
         self._head_lba = 0
         #: End LBA of the last completed transfer, for sequential detection.
@@ -133,6 +144,54 @@ class Disk:
         positioning = self.seek_time(self._head_lba, lba) + self._rotational_latency()
         return p.controller_overhead_s + positioning + transfer
 
+    # -- arm arbitration -----------------------------------------------------
+
+    def _grant_next(self) -> None:
+        """Dispatch the next pending request.
+
+        Elevator mode is a proper LOOK sweep: serve the nearest request
+        *in the current direction*, reversing only when none remain
+        ahead (greedy nearest-first -- SSTF -- starves distant requests
+        under saturation).  FIFO mode serves in arrival order, with
+        same-timestamp arrivals ordered by causal process key.
+        """
+        if self._busy or not self._pending:
+            return
+        if self.elevator:
+            head = self._head_lba
+            ahead = [
+                i for i, (_a, lba, _k, _s, _g) in enumerate(self._pending)
+                if (lba >= head if self._sweep_up else lba <= head)
+            ]
+            if not ahead:
+                self._sweep_up = not self._sweep_up
+                ahead = list(range(len(self._pending)))
+            best = min(
+                ahead,
+                key=lambda i: (
+                    abs(self._pending[i][1] - head),
+                    self._pending[i][1],
+                    self._pending[i][2],
+                    self._pending[i][3],
+                ),
+            )
+        else:
+            best = min(
+                range(len(self._pending)),
+                key=lambda i: (
+                    self._pending[i][0],
+                    self._pending[i][2],
+                    self._pending[i][3],
+                ),
+            )
+        *_rest, grant = self._pending.pop(best)
+        self._busy = True
+        grant.succeed()
+
+    def _settle(self) -> None:
+        """End-of-timestep arbitration hook (called by the Environment)."""
+        self._grant_next()
+
     # -- operations ----------------------------------------------------------
 
     def _validate(self, lba: int, nbytes: int) -> None:
@@ -151,17 +210,18 @@ class Disk:
             "disk_service", ctx=ctx, device=self.name, op=kind,
             lba=lba, bytes=nbytes,
         )
-        if self.elevator:
-            assert isinstance(self._arm, PriorityResource)
-            req = self._arm.request(priority=abs(lba - self._head_lba))
-        else:
-            req = self._arm.request()
+        grant = self.env.event()
+        proc = self.env.active_process
+        key = proc.order_key if proc is not None else ()
+        self._seq += 1
+        self._pending.append((self.env.now, lba, key, self._seq, grant))
+        self.env._mark_arbiter_dirty(self)
         queued_at = self.env.now
         sequential = False
         cache_hit = False
         started_at = None
         try:
-            yield req
+            yield grant
             started_at = self.env.now
             if self.faults is not None:
                 media_error = self.faults.decide("media_error", self.name)
@@ -197,7 +257,9 @@ class Disk:
         finally:
             if started_at is not None:
                 self.busy_s += self.env.now - started_at
-            self._arm.release(req)
+                self._busy = False
+                if self._pending:
+                    self.env._mark_arbiter_dirty(self)
         self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
         self._service_hist.observe(self.env.now - queued_at)
         if self.monitor is not None:
@@ -221,9 +283,7 @@ class Disk:
     @property
     def queue_depth(self) -> int:
         """Requests waiting for the arm (excluding the one in service)."""
-        if isinstance(self._arm, PriorityResource):
-            return len(self._arm._heap)
-        return len(self._arm.queue)
+        return len(self._pending)
 
     def __repr__(self) -> str:
         return f"<Disk {self.name} head={self._head_lba}>"

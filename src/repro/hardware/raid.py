@@ -102,10 +102,43 @@ class RAID3Array:
         self._failed_disks: Set[int] = set()
         #: Latched when redundancy was exceeded; all later accesses fail.
         self._data_lost = False
+        #: Copy-back rebuild state.  While a rebuild runs, the stripe
+        #: region below ``_rebuild_frontier`` has been copied onto the
+        #: replacement spindle and reads there are served at full speed;
+        #: reads above it still pay degraded reconstruction.
+        self._rebuilding = False
+        self._rebuild_frontier = 0
+        self._rebuild_target = 0
+        self._rebuild_index = 0
+        self._rebuild_rate = 1.0
+        #: Bytes written onto the replacement spindle (the failed
+        #: spindle's share of the live stripe region).
+        self.rebuild_copied_bytes = 0
+        #: Completed rebuild count (telemetry; also the completion flag
+        #: tests assert on).
+        self.rebuilds_completed = 0
+        #: Live-region oracle wired by the Machine (bytes of allocated
+        #: stripe content on this array); the rebuild only copies this
+        #: region.  Falls back to the access high-water mark.
+        self.live_bytes_fn = None
+        self._high_water = 0
         #: Accumulated time the arm was held (utilisation).
         self.busy_s = 0.0
         telemetry = get_telemetry(monitor)
         label = {"device": name}
+        telemetry.register_probe(
+            "disk_rebuild_frontier_bytes",
+            lambda: float(self._rebuild_frontier if self._rebuilding else 0),
+            labels=label,
+            help="Stripe bytes already copied back during an active rebuild",
+        )
+        telemetry.register_probe(
+            "disk_rebuild_copied_bytes",
+            lambda: float(self.rebuild_copied_bytes),
+            labels=label,
+            help="Bytes written onto replacement spindles by copy-back rebuilds",
+            kind="counter",
+        )
         telemetry.register_probe(
             "disk_busy_seconds", lambda: self.busy_s, labels=label,
             help="Seconds the array arm was held (busy fraction = value / elapsed)",
@@ -221,9 +254,25 @@ class RAID3Array:
         """End-of-timestep arbitration hook (called by the Environment)."""
         self._grant_next()
 
+    def _degraded_range(self, lba: int, nbytes: int) -> bool:
+        """Does an access to ``[lba, lba + nbytes)`` pay reconstruction?
+
+        During a copy-back rebuild the replacement spindle already holds
+        everything below the rebuild frontier, so accesses entirely
+        inside the rebuilt region run at full speed; anything touching
+        the un-rebuilt tail still reconstructs from parity.
+        """
+        if not self.degraded:
+            return False
+        if self._rebuilding and lba + nbytes <= self._rebuild_frontier:
+            return False
+        return True
+
     def _access(self, lba: int, nbytes: int, kind: str,
                 ctx: Optional[TraceContext] = None):
         self._validate(lba, nbytes)
+        if lba + nbytes > self._high_water:
+            self._high_water = lba + nbytes
         if self.faults is not None:
             self.faults.tick()
         queued_at = self.env.now
@@ -284,7 +333,7 @@ class RAID3Array:
             cache_hit = (
                 kind == "read" and media_error is None and self.cached(lba, nbytes)
             )
-            degraded_now = self.degraded
+            degraded_now = self._degraded_range(lba, nbytes)
             if cache_hit:
                 # Served from the drive buffer: bus transfer only.
                 yield from self.bus.transfer(nbytes, ctx=span_ctx)
@@ -398,14 +447,127 @@ class RAID3Array:
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.disk_failures").add(1)
 
-    def repair_disk(self, index: int = 0) -> None:
-        """The spindle is replaced and rebuilt.
+    def repair_disk(self, index: int = 0, rebuild_rate: float = 1.0) -> None:
+        """The spindle is replaced; a copy-back rebuild starts.
 
-        Modelling simplification: the rebuild is instantaneous and free
-        (no background rebuild traffic) -- the array simply returns to
-        non-degraded service.  See docs/fault_injection.md.
+        The replacement is reconstructed stripe-chunk by stripe-chunk
+        over the *live* region of the array: each chunk queues in the
+        same LOOK elevator as demand/prefetch requests, reads the
+        surviving spindles plus the parity share across the SCSI bus,
+        pays the controller XOR pass, and writes the failed spindle's
+        share onto the replacement.  The array stays degraded (for the
+        un-rebuilt tail) until the frontier reaches the live high-water
+        mark, so foreground bandwidth dips while rebuild traffic
+        competes for the arm and bus.
+
+        ``rebuild_rate`` throttles the copy-back: after each chunk the
+        rebuilder idles ``hold * (1 - rate) / rate``, leaving that
+        fraction of arm time to foreground I/O.
         """
-        self._failed_disks.discard(index)
+        if not (0.0 < rebuild_rate <= 1.0):
+            raise RAIDError(f"rebuild_rate must be in (0, 1], got {rebuild_rate}")
+        if index not in self._failed_disks:
+            return
+        if self._data_lost or self._rebuilding:
+            # Nothing a single replacement can recover / one at a time.
+            return
+        if self.live_bytes_fn is not None:
+            target = int(self.live_bytes_fn())
+        else:
+            target = self._high_water
+        self._rebuilding = True
+        self._rebuild_index = index
+        self._rebuild_frontier = 0
+        self._rebuild_target = min(target, self.capacity_bytes)
+        self._rebuild_rate = rebuild_rate
+        # The spawner is whichever access happened to notice the repair
+        # time had passed -- a tie-order-dependent identity.  An explicit
+        # canonical order key keeps every downstream arbitration (arm
+        # grants, SCSI bus) independent of which leg spawned us, and
+        # leaves the accidental parent's child counter untouched.
+        self.env.process(
+            self._rebuild_process(),
+            name=f"rebuild-{self.name}",
+            order_key=(-1, zlib.crc32(self.name.encode()) & 0xFFFFFFFF),
+        )
+        if self.monitor is not None:
+            self.monitor.counter(f"{self.name}.rebuilds_started").add(1)
+
+    def _rebuild_process(self):
+        """Background copy-back: drain the live region chunk by chunk."""
+        chunk_bytes = self.disk_params.track_cache_bytes * self.data_disks
+        chunk_seq = 0
+        try:
+            while self._rebuild_frontier < self._rebuild_target:
+                if self._data_lost:
+                    return  # a second failure killed the rebuild source
+                lba = self._rebuild_frontier
+                nbytes = min(chunk_bytes, self._rebuild_target - lba)
+                chunk_seq += 1
+                hold_s = yield from self._rebuild_chunk(lba, nbytes, chunk_seq)
+                self._rebuild_frontier = lba + nbytes
+                if self._rebuild_rate < 1.0 and hold_s > 0:
+                    # Throttle: idle so the rebuild consumes only
+                    # rebuild_rate of the arm's time.
+                    yield self.env.timeout(
+                        hold_s * (1.0 - self._rebuild_rate) / self._rebuild_rate
+                    )
+            self._failed_disks.discard(self._rebuild_index)
+            self.rebuilds_completed += 1
+            if self.monitor is not None:
+                self.monitor.counter(f"{self.name}.rebuilds_completed").add(1)
+        finally:
+            self._rebuilding = False
+
+    def _rebuild_chunk(self, lba: int, nbytes: int, chunk_seq: int):
+        """One copy-back pass through the LOOK queue; returns arm hold time.
+
+        Mirrors ``_access``'s arm discipline (queue entry, canonical
+        grant, controller overhead, positioning, pipelined bus streams)
+        but never consults ``faults.decide`` (rebuild traffic must not
+        advance count-trigger spec counters -- those count *foreground*
+        operations) and never updates the track cache (the drive buffer
+        serves host reads, not copy-back internals).
+        """
+        grant = self.env.event()
+        # (-1, seq): sorts before every causal process key, so an exact
+        # (distance, lba) tie goes to the rebuild deterministically.
+        self._pending.append((lba, (-1, chunk_seq), grant))
+        self.env._mark_arbiter_dirty(self)
+        started_at = None
+        try:
+            yield grant
+            started_at = self.env.now
+            yield self.env.timeout(self.raid_params.controller_overhead_s)
+            sequential = self._last_end_lba == lba
+            positioning = self.positioning_time(lba, sequential)
+            if positioning > 0:
+                yield self.env.timeout(positioning)
+            # Surviving spindles stream their shares across the bus...
+            yield from self.bus.transfer(
+                nbytes, stream_rate_bps=self.media_rate_bps, cause="rebuild"
+            )
+            # ... plus the parity spindle's share, then the controller
+            # XORs the missing spindle's content and writes it back.
+            share = -(-nbytes // self.data_disks)
+            yield from self.bus.transfer(
+                share,
+                stream_rate_bps=self.disk_params.media_rate_bps,
+                cause="rebuild",
+            )
+            yield self.env.timeout(nbytes / self.raid_params.xor_rate_bps)
+            self._head_lba = lba + nbytes
+            self._last_end_lba = lba + nbytes
+            self.rebuild_copied_bytes += share
+            if self.monitor is not None:
+                self.monitor.counter(f"{self.name}.rebuild_copied_bytes").add(share)
+            return self.env.now - started_at
+        finally:
+            if started_at is not None:
+                self.busy_s += self.env.now - started_at
+            self._busy = False
+            if self._pending:
+                self.env._mark_arbiter_dirty(self)
 
     @property
     def queue_depth(self) -> int:

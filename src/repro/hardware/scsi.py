@@ -61,6 +61,7 @@ class SCSIBus:
         nbytes: int,
         stream_rate_bps: Optional[float] = None,
         ctx: Optional[TraceContext] = None,
+        cause: str = "io",
     ):
         """Generator: hold the bus while *nbytes* stream across it.
 
@@ -68,6 +69,11 @@ class SCSIBus:
         feeding the bus), the transfer proceeds at the slower of the two
         rates -- the device and the bus stream concurrently, so the time
         is governed by the bottleneck, not the sum.
+
+        *cause* labels what the transfer served (``io`` for demand /
+        prefetch traffic, ``rebuild`` for RAID copy-back passes); the
+        non-default causes get their own counters so rebuild competition
+        for the bus is visible in telemetry.
         """
         if nbytes < 0:
             raise ValueError("negative transfer size")
@@ -84,6 +90,9 @@ class SCSIBus:
         if self.monitor is not None:
             self.monitor.counter(f"{self.name}.transfers").add(1)
             self.monitor.counter(f"{self.name}.bytes").add(nbytes)
+            if cause != "io":
+                self.monitor.counter(f"{self.name}.{cause}_transfers").add(1)
+                self.monitor.counter(f"{self.name}.{cause}_bytes").add(nbytes)
         return nbytes
 
     @property

@@ -148,6 +148,13 @@ class Machine:
                 )
             self.buses.append(bus)
             self.arrays.append(array)
+            # Rebuild byte-conservation target: the copy-back pass walks
+            # the array up to the bytes the UFS has actually allocated
+            # (free space holds no live data to reconstruct).
+            array.live_bytes_fn = (
+                lambda u=ufs: (u.device.total_blocks - u.allocator.free_blocks)
+                * u.block_size
+            )
             self.ufses.append(ufs)
             self.caches.append(cache)
             self.servers.append(server)
@@ -168,19 +175,27 @@ class Machine:
             art = AsyncRequestManager(
                 self.env, node, max_threads=cfg.art_threads, monitor=self.monitor
             )
-            self.clients.append(
-                PFSClient(
-                    self.env,
-                    node,
-                    endpoint,
-                    self.mesh,
-                    self.io_endpoints,
-                    self.coordinator_endpoint,
-                    art=art,
-                    monitor=self.monitor,
-                    faults=self.faults,
-                )
+            client = PFSClient(
+                self.env,
+                node,
+                endpoint,
+                self.mesh,
+                self.io_endpoints,
+                self.coordinator_endpoint,
+                art=art,
+                monitor=self.monitor,
+                faults=self.faults,
             )
+            if self.faults is not None:
+                windows = cfg.faults.crash_windows(f"node{node.node_id}")
+                if windows:
+                    client.crash_windows = windows
+                    # The RPC retry loop raises NodeCrashed while the
+                    # node is down instead of consuming replies.
+                    endpoint.halted_fn = (
+                        lambda c=client: c.crashed_at(self.env.now)
+                    )
+            self.clients.append(client)
 
         self.mounts: Dict[str, PFSMount] = {}
         # One machine-wide file-id counter shared by every mount: ids
@@ -192,6 +207,18 @@ class Machine:
         # process against the named arrays.
         if self.faults is not None:
             self.faults.start({array.name: array for array in self.arrays})
+            # Every node_crash/node_restart target must name a compute
+            # node this machine actually has (typos would otherwise
+            # silently never fire).
+            from repro.faults.plan import NODE_LIFECYCLE_KINDS, FaultError
+
+            known = {f"node{node.node_id}" for node in self.compute_nodes}
+            for spec in cfg.faults.specs:
+                if spec.kind in NODE_LIFECYCLE_KINDS and spec.target not in known:
+                    raise FaultError(
+                        f"{spec.kind} targets unknown compute node "
+                        f"{spec.target!r}; known: {sorted(known)}"
+                    )
 
         # -- node-level telemetry probes (nodes take no monitor handle) ----------
         telemetry = self.obs.telemetry
@@ -360,11 +387,15 @@ class Machine:
         for leak in leaked_resources(self.env):
             problems.append(str(leak))
 
-        # 7. Under fault injection, every byte range delivered to the
-        #    application is byte-identical to the fault-free content
-        #    (recovered reads -- retries, degraded-mode reconstruction --
-        #    must be transparent).  The client logs a digest of each
-        #    delivery; we recompute ground truth from the stripe files.
+        # 7. Under fault injection, every byte range delivered along an
+        #    audited path -- demand reads handed to the application,
+        #    prefetched data landed in client buffers, readahead blocks
+        #    pulled into server caches -- is byte-identical to the
+        #    fault-free content (recovered reads -- retries, degraded-mode
+        #    reconstruction, copy-back rebuild -- must be transparent).
+        #    Each path logs a digest; we recompute ground truth from the
+        #    stripe files.  Demand/prefetch offsets are PFS-file-space;
+        #    readahead offsets are UFS-stripe-space on their I/O node.
         if self.faults is not None:
             import hashlib
 
@@ -374,27 +405,36 @@ class Machine:
             for mount in self.mounts.values():
                 for pfs_file in mount.files.values():
                     attrs_by_id[pfs_file.file_id] = pfs_file.attrs
-            for file_id, offset, nbytes, digest in self.faults.deliveries:
-                attrs = attrs_by_id.get(file_id)
-                if attrs is None:
-                    problems.append(
-                        f"delivery audit: unknown file_id {file_id}"
+            for (
+                file_id, offset, nbytes, digest, kind, io_node,
+            ) in self.faults.deliveries:
+                if kind == "readahead":
+                    truth = (
+                        self.ufses[io_node]
+                        .content(file_id, offset, nbytes)
+                        .to_bytes()
                     )
-                    continue
-                pieces = sorted(
-                    decluster(attrs, offset, nbytes),
-                    key=lambda p: p.pfs_offset,
-                )
-                truth = b"".join(
-                    self.ufses[p.io_node]
-                    .content(file_id, p.ufs_offset, p.length)
-                    .to_bytes()
-                    for p in pieces
-                )
+                else:
+                    attrs = attrs_by_id.get(file_id)
+                    if attrs is None:
+                        problems.append(
+                            f"delivery audit: unknown file_id {file_id}"
+                        )
+                        continue
+                    pieces = sorted(
+                        decluster(attrs, offset, nbytes),
+                        key=lambda p: p.pfs_offset,
+                    )
+                    truth = b"".join(
+                        self.ufses[p.io_node]
+                        .content(file_id, p.ufs_offset, p.length)
+                        .to_bytes()
+                        for p in pieces
+                    )
                 expected = hashlib.sha256(truth).hexdigest()
                 if digest != expected:
                     problems.append(
-                        f"delivery audit: file {file_id} "
+                        f"delivery audit: file {file_id} {kind} "
                         f"[{offset}, {offset + nbytes}) delivered bytes "
                         f"differ from fault-free content"
                     )

@@ -93,6 +93,11 @@ class RPCEndpoint:
         #: Idempotency log: (source node, msg_id) -> state.  Only
         #: populated when a fault plan is active (no cost otherwise).
         self._request_log: Dict[Tuple[int, int], Dict] = {}
+        #: Optional ``() -> bool`` predicate: True while this endpoint's
+        #: node is crashed.  Checked in the retry loop so a dead node's
+        #: in-flight calls raise :class:`NodeCrashed` instead of
+        #: retrying, and late replies to a dead node are ignored.
+        self.halted_fn: Optional[Callable[[], bool]] = None
         self._dispatcher = env.process(
             self._dispatch_loop(), name=f"rpc-dispatch-{node.node_id}"
         )
@@ -149,6 +154,9 @@ class RPCEndpoint:
         policy = self.faults.plan.retry
         timeouts: List[float] = []
         for attempt in range(policy.max_attempts):
+            if self.halted_fn is not None and self.halted_fn():
+                self.tracer.end(span, attempts=attempt, outcome="node_crashed")
+                raise self._node_crashed(request)
             attempt_span = self.tracer.begin(
                 "rpc_attempt",
                 ctx=span.ctx,
@@ -167,6 +175,15 @@ class RPCEndpoint:
             timeout_event = self.env.timeout(limit)
             outcome = yield self.env.any_of([reply_event, timeout_event])
             if reply_event in outcome:
+                if self.halted_fn is not None and self.halted_fn():
+                    # The reply arrived while the node was down: a dead
+                    # node cannot consume it.  The server's idempotency
+                    # log replays it when the restarted node re-asks.
+                    self.tracer.end(attempt_span, outcome="node_crashed")
+                    self.tracer.end(
+                        span, attempts=attempt + 1, outcome="node_crashed"
+                    )
+                    raise self._node_crashed(request)
                 reply = outcome[reply_event]
                 self.tracer.end(attempt_span, outcome="reply")
                 self.tracer.end(span, attempts=attempt + 1)
@@ -185,6 +202,14 @@ class RPCEndpoint:
             f"after {policy.max_attempts} attempts (timeouts: {timeouts})",
             span_chain=chain,
             attempts=timeouts,
+        )
+
+    def _node_crashed(self, request: RPCMessage):
+        from repro.faults.plan import NodeCrashed
+
+        return NodeCrashed(
+            f"node {self.node.node_id} crashed with RPC "
+            f"{type(request).__name__} msg_id={request.msg_id} in flight"
         )
 
     def _transmit(self, target: "RPCEndpoint", request: RPCMessage, envelope):

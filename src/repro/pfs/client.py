@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.faults.plan import NodeCrashed
 from repro.hardware.mesh import Mesh, MeshMessage
 from repro.hardware.node import Node
 from repro.obs.telemetry import get_telemetry
@@ -107,6 +108,22 @@ class PFSFileHandle:
         self.record_base = 0
         self.closed = False
         self.stats = HandleStats()
+        #: Crash/restart bookkeeping (active only when the client's plan
+        #: carries node_crash windows).  ``_recovered_epoch`` counts the
+        #: crash onsets whose restart recovery has already run;
+        #: ``_read_epoch`` snapshots the epoch at read entry so delivery
+        #: can tell whether the node died mid-flight.
+        self._recovered_epoch = 0
+        self._read_epoch = 0
+        #: Coordination RPCs sent but not yet acknowledged, keyed by
+        #: msg_id.  On restart these are *replayed with the same msg_id*
+        #: so the server's idempotent request log applies each side
+        #: effect (pointer advance) at most once.
+        self._inflight_coord: Dict[int, object] = {}
+        #: ``(file_id, release_offset)`` while this handle holds the
+        #: shared-pointer token; the release offset tracks whether the
+        #: current record was delivered before the crash.
+        self._held_token: Optional[tuple] = None
 
     # -- conveniences ------------------------------------------------------
 
@@ -125,6 +142,89 @@ class PFSFileHandle:
     def _check_open(self) -> None:
         if self.closed:
             raise PFSClientError(f"operation on closed handle of {self.file.name!r}")
+
+    # -- crash/restart machinery ----------------------------------------------
+
+    def _crash_barrier(self):
+        """Generator: fail fast if the node is down; run restart
+        recovery once per crash epoch before admitting a new call.
+
+        Called at read() entry.  If the node is inside a crash window
+        the call raises :class:`NodeCrashed` immediately (a dead node
+        cannot start a read).  If the node restarted since this handle
+        last recovered, the shared-pointer coordination handshake is
+        replayed first: in-flight coordination RPCs are re-sent with
+        their original msg_ids (the coordinator's idempotent request
+        log coalesces or replays them without double-advancing the
+        pointer) and a still-held token is released at the correct
+        offset.
+        """
+        client = self.client
+        now = self.env.now
+        if client.crashed_at(now):
+            raise NodeCrashed(
+                f"node{self.node.node_id} is down at t={now:.6f}"
+            )
+        epoch = client.crash_epoch_at(now)
+        if epoch > self._recovered_epoch:
+            # Mark recovered *before* replaying: the replay RPCs route
+            # through self._coordinate/read paths that would otherwise
+            # re-enter recovery for the same epoch.
+            self._recovered_epoch = epoch
+            yield from self._recover_after_restart()
+
+    def _recover_after_restart(self):
+        """Generator: replay the coordination handshake after a restart.
+
+        Replays every in-flight coordination RPC (sorted by msg_id, the
+        order they were issued) so the server's request log settles each
+        one exactly once, then releases the shared-pointer token if this
+        handle still holds it.  Finally drops the prefetch buffer: a
+        crashed node loses its memory, so buffered prefetched data must
+        be re-fetched (and re-audited) after restart.
+        """
+        pending = sorted(self._inflight_coord.items())
+        self._inflight_coord.clear()
+        held = self._held_token
+        for _msg_id, request in pending:
+            # Same request object => same msg_id: the coordinator's
+            # request log coalesces a still-in-flight original or
+            # replays the recorded reply of a completed one.
+            reply = yield from self._coordinate(request)
+            if isinstance(request, TokenAcquire):
+                held = (request.file_id, reply.offset)
+            elif isinstance(request, TokenRelease):
+                held = None
+        if held is not None:
+            # The node died while holding the token.  Release it at the
+            # held offset: past the delivered record if _demand_read
+            # completed, at the grant offset otherwise -- so a delivered
+            # record advances the pointer exactly once and an
+            # undelivered one not at all.
+            file_id, release_offset = held
+            self._held_token = held
+            yield from self._coordinate(
+                TokenRelease(
+                    file_id=file_id, rank=self.rank, new_offset=release_offset
+                )
+            )
+        self._held_token = None
+        if self.prefetcher is not None:
+            self.prefetcher.on_crash(self)
+
+    def _coordinate(self, request, ctx: Optional[TraceContext] = None):
+        """Generator: coordination RPC, tracked for crash replay.
+
+        Registers the request as in-flight before transmission and
+        unregisters it when the reply lands; anything still registered
+        at restart is replayed by :meth:`_recover_after_restart`.
+        """
+        if not self.client.crash_windows:
+            return (yield from self.client._coordinate(request, ctx=ctx))
+        self._inflight_coord[request.msg_id] = request
+        reply = yield from self.client._coordinate(request, ctx=ctx)
+        self._inflight_coord.pop(request.msg_id, None)
+        return reply
 
     # -- offset prediction (used by the prefetcher) ---------------------------
 
@@ -153,6 +253,9 @@ class PFSFileHandle:
         self._check_open()
         if nbytes < 0:
             raise PFSClientError("negative read size")
+        if self.client.crash_windows:
+            yield from self._crash_barrier()
+            self._read_epoch = self.client.crash_epoch_at(self.env.now)
         start = self.env.now
         # Root span of the trace: one request ID per user read call.
         span = self.client.tracer.begin(
@@ -163,20 +266,27 @@ class PFSFileHandle:
         yield from self.node.busy(self.node.params.client_call_overhead_s)
 
         mode = self.iomode
-        if mode is IOMode.M_UNIX:
-            data = yield from self._read_m_unix(nbytes, ctx)
-        elif mode is IOMode.M_LOG:
-            data = yield from self._read_m_log(nbytes, ctx)
-        elif mode is IOMode.M_SYNC:
-            data = yield from self._read_m_sync(nbytes, ctx)
-        elif mode is IOMode.M_RECORD:
-            data = yield from self._read_m_record(nbytes, ctx)
-        elif mode is IOMode.M_GLOBAL:
-            data = yield from self._read_m_global(nbytes, ctx)
-        elif mode is IOMode.M_ASYNC:
-            data = yield from self._read_m_async(nbytes, ctx)
-        else:  # pragma: no cover - exhaustive over IOMode
-            raise PFSClientError(f"unsupported mode {mode}")
+        try:
+            if mode is IOMode.M_UNIX:
+                data = yield from self._read_m_unix(nbytes, ctx)
+            elif mode is IOMode.M_LOG:
+                data = yield from self._read_m_log(nbytes, ctx)
+            elif mode is IOMode.M_SYNC:
+                data = yield from self._read_m_sync(nbytes, ctx)
+            elif mode is IOMode.M_RECORD:
+                data = yield from self._read_m_record(nbytes, ctx)
+            elif mode is IOMode.M_GLOBAL:
+                data = yield from self._read_m_global(nbytes, ctx)
+            elif mode is IOMode.M_ASYNC:
+                data = yield from self._read_m_async(nbytes, ctx)
+            else:  # pragma: no cover - exhaustive over IOMode
+                raise PFSClientError(f"unsupported mode {mode}")
+        except NodeCrashed:
+            # The node died mid-call: close the span (the call never
+            # returns to the application) and let the workload's
+            # restart logic retry after the crash window.
+            self.client.tracer.end(span, crashed=True)
+            raise
 
         duration = self.env.now - start
         self.client.tracer.end(span, bytes_returned=len(data))
@@ -189,20 +299,27 @@ class PFSFileHandle:
 
     def _read_m_unix(self, nbytes: int, ctx: Optional[TraceContext] = None):
         # Atomic: hold the pointer token for the entire operation.
-        grant = yield from self.client._coordinate(
+        grant = yield from self._coordinate(
             TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
         )
         offset = grant.offset
+        # Held-token tracking: if the node crashes while we hold the
+        # token, restart recovery releases it at this offset -- bumped
+        # past the record the moment delivery succeeds, so a delivered
+        # record advances the pointer exactly once.
+        self._held_token = (self.file.file_id, offset)
         n = self._clamp(offset, nbytes)
         data = yield from self._demand_read(offset, n, ctx)
+        self._held_token = (self.file.file_id, offset + n)
         # Atomicity: completion bookkeeping happens inside the hold.
         yield from self.node.busy(self.node.params.client_call_overhead_s)
-        yield from self.client._coordinate(
+        yield from self._coordinate(
             TokenRelease(
                 file_id=self.file.file_id, rank=self.rank, new_offset=offset + n
             ),
             ctx=ctx,
         )
+        self._held_token = None
         return data
 
     def _read_m_log(self, nbytes: int, ctx: Optional[TraceContext] = None):
@@ -210,22 +327,25 @@ class PFSFileHandle:
         # the transfer lands (the Paragon implementation serialised
         # M_LOG operations almost as heavily as M_UNIX; only the final
         # client-side completion overlaps with the next grant).
-        grant = yield from self.client._coordinate(
+        grant = yield from self._coordinate(
             TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
         )
         offset = grant.offset
+        self._held_token = (self.file.file_id, offset)
         n = self._clamp(offset, nbytes)
         data = yield from self._demand_read(offset, n, ctx)
-        yield from self.client._coordinate(
+        self._held_token = (self.file.file_id, offset + n)
+        yield from self._coordinate(
             TokenRelease(
                 file_id=self.file.file_id, rank=self.rank, new_offset=offset + n
             ),
             ctx=ctx,
         )
+        self._held_token = None
         return data
 
     def _read_m_sync(self, nbytes: int, ctx: Optional[TraceContext] = None):
-        go = yield from self.client._coordinate(
+        go = yield from self._coordinate(
             SyncArrive(
                 file_id=self.file.file_id,
                 call_index=self.call_index,
@@ -243,12 +363,19 @@ class PFSFileHandle:
         self.record_base += self.nprocs * nbytes
         self.call_index += 1
         n = self._clamp(offset, nbytes)
-        return (yield from self._demand_read(offset, n, ctx))
+        try:
+            return (yield from self._demand_read(offset, n, ctx))
+        except NodeCrashed:
+            # The record was not delivered: roll back the record
+            # arithmetic so the post-restart retry re-reads it.
+            self.record_base -= self.nprocs * nbytes
+            self.call_index -= 1
+            raise
 
     def _read_m_global(self, nbytes: int, ctx: Optional[TraceContext] = None):
         call_index = self.call_index
         self.call_index += 1
-        go = yield from self.client._coordinate(
+        go = yield from self._coordinate(
             GlobalArrive(
                 file_id=self.file.file_id,
                 call_index=call_index,
@@ -289,7 +416,11 @@ class PFSFileHandle:
         # Advance before serving so the prefetcher's "next read" question
         # (next_read_offset) sees the post-read position.
         self.private_offset = offset + n
-        return (yield from self._demand_read(offset, n, ctx))
+        try:
+            return (yield from self._demand_read(offset, n, ctx))
+        except NodeCrashed:
+            self.private_offset = offset
+            raise
 
     def _global_state(self, call_index: int) -> dict:
         registry = self.file.__dict__.setdefault("_client_global", {})
@@ -313,11 +444,22 @@ class PFSFileHandle:
                                                          ctx=ctx)
         else:
             data = yield from self.transfer_read(offset, nbytes, ctx=ctx)
-        if self.client.faults is not None:
+        client = self.client
+        if client.crash_windows:
+            # The node must have stayed up for the whole flight for the
+            # bytes to count as delivered: not currently down, and no
+            # crash/restart cycle since read() entry.
+            now = self.env.now
+            if client.crashed_at(now) or client.crash_epoch_at(now) != self._read_epoch:
+                raise NodeCrashed(
+                    f"node{self.node.node_id} crashed before delivery of "
+                    f"[{offset}, {offset + nbytes})"
+                )
+        if client.faults is not None:
             # Audit what the application actually received; Machine.verify
             # (invariant 7) diffs these digests against ground truth.
-            self.client.faults.record_delivery(
-                self.file.file_id, offset, nbytes, data
+            client.faults.record_delivery(
+                self.file.file_id, offset, nbytes, data, kind="demand"
             )
         return data
 
@@ -479,14 +621,16 @@ class PFSFileHandle:
         if mode is IOMode.M_ASYNC:
             self.private_offset = offset
         elif mode in (IOMode.M_UNIX, IOMode.M_LOG):
-            yield from self.client._coordinate(
+            yield from self._coordinate(
                 TokenAcquire(file_id=self.file.file_id, rank=self.rank)
             )
-            yield from self.client._coordinate(
+            self._held_token = (self.file.file_id, offset)
+            yield from self._coordinate(
                 TokenRelease(
                     file_id=self.file.file_id, rank=self.rank, new_offset=offset
                 )
             )
+            self._held_token = None
         elif mode is IOMode.M_RECORD:
             self.record_base = offset
         else:
@@ -552,6 +696,12 @@ class PFSClient:
         #: for the delivery audit (Machine.verify invariant 7) and the
         #: prefetcher's retry budget.
         self.faults = faults
+        #: Sorted ``(crash_at, restart_at)`` windows from the fault
+        #: plan's node_crash/node_restart specs (empty when this node
+        #: never crashes).  Crashes are pure time predicates -- no
+        #: events are ever scheduled for them -- so fault-free runs are
+        #: bit-identical with or without the machinery.
+        self.crash_windows: tuple = ()
         self.tracer = get_tracer(monitor)
         #: Always-on per-rank read progress (probe source).
         self.bytes_read_total = 0
@@ -568,6 +718,29 @@ class PFSClient:
             "client_read_call_seconds", labels=label,
             help="User-visible duration of each read() call",
         )
+
+    # -- crash/restart predicates ---------------------------------------------
+
+    def crashed_at(self, now: float) -> bool:
+        """True while *now* falls inside a crash window (half-open:
+        the node is back up at exactly ``restart_at``)."""
+        return any(c <= now < r for c, r in self.crash_windows)
+
+    def crash_epoch_at(self, now: float) -> int:
+        """Number of crash onsets at or before *now*.
+
+        A delivery is suspect when the epoch changed between read entry
+        and completion -- the node died (and restarted) mid-flight.
+        """
+        return sum(1 for c, _r in self.crash_windows if c <= now)
+
+    def wait_restarted(self):
+        """Generator: block until the current crash window (if any)
+        ends.  No-op when the node is up."""
+        for c, r in self.crash_windows:
+            if c <= self.env.now < r:
+                yield self.env.timeout(r - self.env.now)
+                return
 
     # -- namespace ------------------------------------------------------------
 
@@ -628,14 +801,23 @@ class PFSClient:
                 )
                 if piece_span.ctx is not None:
                     request.ctx = piece_span.ctx
-                reply = yield from self.endpoint.call(
-                    self._io_endpoint(creq.io_node), request
-                )
-                # Land the reply into the destination buffer through the
-                # message co-processor.  This per-call data path (a few
-                # MB/s) is what bounds single-request latency on the
-                # real machine (paper Table 2's 0.4s for 1024KB).
-                yield from self.node.receive(creq.length)
+                try:
+                    reply = yield from self.endpoint.call(
+                        self._io_endpoint(creq.io_node), request
+                    )
+                    # Land the reply into the destination buffer through
+                    # the message co-processor.  This per-call data path
+                    # (a few MB/s) is what bounds single-request latency
+                    # on the real machine (paper Table 2's 0.4s for
+                    # 1024KB).
+                    yield from self.node.receive(creq.length)
+                except NodeCrashed:
+                    # A spawned piece process must not die with an
+                    # unhandled exception (the kernel treats un-waited
+                    # failed events as bugs); return a sentinel and let
+                    # the gathering parent raise once.
+                    self.tracer.end(piece_span, crashed=True)
+                    return None
                 self.tracer.end(piece_span)
                 return reply
 
@@ -650,6 +832,10 @@ class PFSClient:
             ]
             condition = yield self.env.all_of(procs)
             replies = [condition[p] for p in procs]
+        if any(reply is None for reply in replies):
+            raise NodeCrashed(
+                f"node{self.node.node_id} crashed during declustered read"
+            )
 
         # Reassemble in PFS offset order from the per-node replies.
         located: List[tuple] = []

@@ -14,6 +14,14 @@ round-trip to it whenever their I/O mode needs coordination:
 
 All of these cost a request/reply across the mesh, which is exactly why
 M_RECORD (no messages) is the fast, prefetchable mode.
+
+Crash safety: the coordinator itself needs no crash-specific logic.
+Every coordination request goes through the RPC layer's idempotent
+``(source node, msg_id)`` request log, so a client that crashed with a
+request in flight replays it *with the same msg_id* on restart -- the
+log coalesces a still-running original or replays the recorded reply
+without re-executing the handler, and the shared pointer advances at
+most once per logical operation (see ``PFSFileHandle._recover_after_restart``).
 """
 
 from __future__ import annotations

@@ -226,6 +226,18 @@ class PFSServer:
 
                 yield from self.cache.read_block((file_id, block), fetch)
                 self._count_extra("readahead_blocks")
+                if self.faults is not None:
+                    # Audit the block as it lands in the cache; offsets
+                    # are UFS-stripe-space on this I/O node (invariant 7
+                    # checks them against this node's stripe file).
+                    start = block * self.ufs.block_size
+                    inode = self.ufs.inode(file_id)
+                    length = min(self.ufs.block_size, inode.size_bytes - start)
+                    self.faults.record_delivery(
+                        file_id, start, length,
+                        self._block_content(file_id, start, length),
+                        kind="readahead", io_node=self.node.node_id,
+                    )
 
         self.env.process(
             readahead(), name=f"readahead-{self.node.node_id}-{file_id}"

@@ -106,10 +106,18 @@ class Environment:
         return Timeout(self, delay, value)
 
     def process(
-        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+        order_key: Optional[tuple] = None,
     ) -> Process:
-        """Start a new :class:`Process` running *generator*."""
-        return Process(self, generator, name=name)
+        """Start a new :class:`Process` running *generator*.
+
+        ``order_key`` overrides the causal spawn-tree key (see
+        :attr:`~repro.sim.process.Process.order_key`) -- use it when the
+        spawner's identity is itself tie-order-dependent.
+        """
+        return Process(self, generator, name=name, order_key=order_key)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when all *events* have fired."""

@@ -67,6 +67,7 @@ class Process(Event):
         env: "Environment",
         generator: Generator[Event, Any, Any],
         name: Optional[str] = None,
+        order_key: Optional[tuple] = None,
     ) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -81,14 +82,24 @@ class Process(Event):
         #: insertion order -- it is stable under permuted tie-breaking
         #: and is the default arbitration key for
         #: :class:`~repro.sim.resources.ArbitratedResource`.
+        #:
+        #: An explicit ``order_key`` bypasses both counters: neither the
+        #: parent's child index nor the root counter advances, so a
+        #: process whose *spawner identity* is tie-order-dependent (e.g.
+        #: a rebuild kicked off lazily from whichever access noticed the
+        #: repair time had passed) can still carry a canonical key
+        #: without perturbing its accidental parent's future children.
         self._children = 0
-        parent = env.active_process
-        if parent is None:
-            env._root_processes += 1
-            self.order_key = (env._root_processes,)
+        if order_key is not None:
+            self.order_key = order_key
         else:
-            parent._children += 1
-            self.order_key = parent.order_key + (parent._children,)
+            parent = env.active_process
+            if parent is None:
+                env._root_processes += 1
+                self.order_key = (env._root_processes,)
+            else:
+                parent._children += 1
+                self.order_key = parent.order_key + (parent._children,)
         #: The event this process is currently waiting on (None when
         #: running or finished).
         self._target: Optional[Event] = None

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.prefetcher import Prefetcher
+from repro.faults.plan import NodeCrashed
 from repro.machine import Machine
 from repro.metrics import BandwidthReport, report_from_handles
 from repro.pfs.client import PFSFileHandle
@@ -158,7 +159,16 @@ class CollectiveReadWorkload:
                 if not first and self.compute_delay > 0:
                     yield from handle.node.compute(self.compute_delay)
                 first = False
-                yield from handle.read(self.request_size)
+                while True:
+                    try:
+                        yield from handle.read(self.request_size)
+                        break
+                    except NodeCrashed:
+                        # The node died mid-call (node_crash fault): wait
+                        # out the crash window, then re-issue the same
+                        # read; the client's restart replay guarantees
+                        # exactly-once delivery of each record.
+                        yield from handle.client.wait_restarted()
 
         for handle in ready:
             machine.spawn(reader(handle), name=f"reader-{handle.rank}")
@@ -341,7 +351,12 @@ class SeparateFilesWorkload:
                 if not first and self.compute_delay > 0:
                     yield from handle.node.compute(self.compute_delay)
                 first = False
-                yield from handle.read(self.request_size)
+                while True:
+                    try:
+                        yield from handle.read(self.request_size)
+                        break
+                    except NodeCrashed:
+                        yield from handle.client.wait_restarted()
 
         for index, handle in enumerate(ready):
             machine.spawn(reader(index, handle), name=f"reader-{index}")

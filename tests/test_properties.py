@@ -453,6 +453,209 @@ class TestPFSContentProperty:
         assert len(box["data"]) == length
 
 
+class TestRebuildProperties:
+    """Copy-back rebuild: byte conservation and monotone recovery."""
+
+    @staticmethod
+    def _rebuild_plan(rate, disk_index=0, repair_at=0.01):
+        from repro.faults import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            specs=(
+                FaultSpec(kind="disk_failure", target="raid0", at_s=0.0,
+                          disk_index=disk_index),
+                FaultSpec(kind="disk_repair", target="raid0", at_s=repair_at,
+                          disk_index=disk_index, rebuild_rate=rate),
+            ),
+        )
+
+    @given(
+        st.sampled_from([0.25, 0.5, 1.0]),
+        st.sampled_from([0, 1, 3]),
+    )
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rebuild_byte_conservation(self, rate, disk_index):
+        """The copy-back writes exactly the failed spindle's share of the
+        live stripe region onto the replacement -- no more, no less --
+        regardless of throttle rate or which spindle died."""
+        from repro.experiments.common import run_collective, scaled_file_size
+
+        report = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, rounds=2),
+            rounds=2,
+            prefetch=True,
+            faults=self._rebuild_plan(rate, disk_index),
+            keep_machine=True,
+        )
+        machine = report.machine
+        raid0 = next(a for a in machine.arrays if a.name == "raid0")
+        # Run-to-quiescence completes the rebuild.
+        assert raid0.rebuilds_completed == 1
+        assert not raid0.degraded
+        live = int(raid0.live_bytes_fn())
+        assert live > 0 and live % raid0.data_disks == 0
+        assert raid0.rebuild_copied_bytes == live // raid0.data_disks
+        assert machine.verify() == []
+
+    @given(st.sampled_from([0.25, 0.5, 1.0]))
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rebuild_window_bandwidth_at_most_fault_free(self, rate):
+        """Rebuild traffic competes with demand I/O: bandwidth while the
+        copy-back runs never exceeds the fault-free run's, and the same
+        bytes are delivered."""
+        from repro.experiments.common import run_multipass, scaled_file_size
+
+        file_size = scaled_file_size(64 * KB, rounds=2)
+        fault_free = run_multipass(64 * KB, file_size, passes=3, rounds=2)
+        rebuild = run_multipass(
+            64 * KB, file_size, passes=3, rounds=2,
+            faults=self._rebuild_plan(rate), keep_machine=True,
+        )
+        assert rebuild.total_bytes == fault_free.total_bytes
+        assert (
+            rebuild.collective_bandwidth_mbps
+            <= fault_free.collective_bandwidth_mbps
+        )
+        raid0 = next(a for a in rebuild.machine.arrays if a.name == "raid0")
+        assert raid0.rebuilds_completed == 1
+        assert rebuild.machine.verify() == []
+
+    def test_post_rebuild_reads_pay_no_reconstruction(self):
+        """After the frontier reaches the live high-water mark the array
+        is healthy again: a fresh pass on the same machine reconstructs
+        nothing (monotone recovery's 'back to full speed' half)."""
+        from repro.experiments.common import run_multipass, scaled_file_size
+        from repro.workloads import CollectiveReadWorkload
+
+        file_size = scaled_file_size(64 * KB, rounds=2)
+        report = run_multipass(
+            64 * KB, file_size, passes=2, rounds=2,
+            faults=self._rebuild_plan(0.5), keep_machine=True,
+        )
+        machine = report.machine
+        raid0 = next(a for a in machine.arrays if a.name == "raid0")
+        assert not raid0.degraded
+        before = machine.monitor.counter_value("raid0.degraded_reads")
+        mount = machine.mounts["/pfs"]
+        extra = CollectiveReadWorkload(
+            machine, mount, "data", request_size=64 * KB, rounds=2,
+        )
+        extra.run()
+        assert machine.monitor.counter_value("raid0.degraded_reads") == before
+        assert machine.verify() == []
+
+
+class TestCrashRestartProperties:
+    """Crash/restart: exactly-once delivery under randomized windows."""
+
+    @staticmethod
+    def _windows(seed, n, horizon=0.4):
+        """Seeded, sorted, non-overlapping [crash, restart) windows."""
+        import random
+
+        rng = random.Random(seed)
+        t, out = 0.0, []
+        for _ in range(n):
+            t += rng.uniform(0.01, horizon / (2 * n))
+            crash_at = t
+            t += rng.uniform(0.005, horizon / (2 * n))
+            out.append((crash_at, t))
+        return tuple(out)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_crash_replay_never_double_delivers_or_skips(
+        self, seed, n_windows, prefetch
+    ):
+        """Any number of crash/restart cycles at seeded random points:
+        the demand audit log holds exactly one record per file record --
+        no duplicates (a crash-before-reply replayed, not re-executed)
+        and no gaps (every interrupted read was retried)."""
+        from repro.experiments.common import run_collective, scaled_file_size
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.crash_restart(
+            node="node0", windows=self._windows(seed, n_windows)
+        )
+        report = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, rounds=2),
+            rounds=2,
+            prefetch=prefetch,
+            faults=plan,
+            keep_machine=True,
+        )
+        machine = report.machine
+        assert machine.verify() == []
+        demand = [
+            (file_id, offset, nbytes)
+            for (file_id, offset, nbytes, _digest, kind, _io)
+            in machine.faults.deliveries
+            if kind == "demand"
+        ]
+        assert len(demand) == len(set(demand))  # never double-delivered
+        offsets = sorted(offset for _f, offset, _n in demand)
+        assert offsets == [i * 64 * KB for i in range(16)]  # never skipped
+        assert report.total_bytes == 16 * 64 * KB
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(["M_LOG", "M_UNIX"]),
+    )
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_crash_never_double_advances_shared_pointer(self, seed, mode):
+        """Shared-pointer modes: replaying the coordination handshake
+        after a crash advances the file pointer exactly once per logical
+        read -- the delivered offsets tile the file prefix with no gap
+        (double advance) and no overlap (lost advance)."""
+        from repro.experiments.common import run_collective, scaled_file_size
+        from repro.faults import FaultPlan
+        from repro.pfs import IOMode
+
+        plan = FaultPlan.crash_restart(
+            node="node0", windows=self._windows(seed, 2)
+        )
+        report = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, rounds=2),
+            iomode=IOMode[mode],
+            rounds=2,
+            faults=plan,
+            async_partition=False,
+            keep_machine=True,
+        )
+        machine = report.machine
+        assert machine.verify() == []
+        offsets = sorted(
+            offset
+            for (_f, offset, _n, _d, kind, _io) in machine.faults.deliveries
+            if kind == "demand"
+        )
+        assert offsets == [i * 64 * KB for i in range(16)]
+        assert report.total_bytes == 16 * 64 * KB
+
+
 class TestFaultPlaneProperties:
     """Pure properties of the fault plane's trigger/retry machinery."""
 

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.hardware.disk import Disk
+from repro.hardware.params import DiskParams
 from repro.sim import (
     Container,
     Environment,
@@ -10,6 +12,8 @@ from repro.sim import (
     Resource,
     Store,
 )
+
+MB = 1024 * 1024
 
 
 @pytest.fixture
@@ -188,6 +192,90 @@ class TestPriorityResource:
             env.process(proc(env, res, tag, i * 0.01))
         env.run()
         assert order == ["a", "b", "c"]
+
+
+class TestDiskArbitration:
+    """Single-spindle ``Disk`` dispatch is settled by arbitrated grants:
+    same-timestamp arrivals are ordered canonically (causal key for
+    FIFO, LOOK sweep position for the elevator), never by event-pop
+    order -- so service order is bit-identical under both kernel
+    tie-breaks."""
+
+    @staticmethod
+    def _service_order(tie_break, elevator, requests):
+        """Run reads of (tag, lba, issue_delay); return completion order."""
+        env = Environment(tie_break=tie_break)
+        disk = Disk(env, "d", params=DiskParams(), elevator=elevator,
+                    jitter=False)
+        order = []
+
+        def proc(tag, lba, delay):
+            if delay:
+                yield env.timeout(delay)
+            yield from disk.read(lba, 64 * 1024)
+            order.append(tag)
+
+        for tag, lba, delay in requests:
+            env.process(proc(tag, lba, delay))
+        env.run()
+        return order
+
+    def test_fifo_same_timestamp_arrivals_follow_causal_order(self):
+        # Spawn order defines the causal process keys; a pop-order
+        # dispatcher would reverse this under lifo.
+        requests = [("a", 30 * MB, 0.0), ("b", 10 * MB, 0.0),
+                    ("c", 50 * MB, 0.0), ("d", 20 * MB, 0.0)]
+        for tb in ("fifo", "lifo"):
+            assert self._service_order(tb, False, requests) == [
+                "a", "b", "c", "d",
+            ]
+
+    def test_fifo_arrival_time_dominates_key(self):
+        # A later arrival with a smaller causal key still waits its turn.
+        requests = [("late", 10 * MB, 0.001), ("early", 50 * MB, 0.0)]
+        # "late" is spawned first (smaller key) but arrives second.
+        for tb in ("fifo", "lifo"):
+            assert self._service_order(tb, False, requests) == ["early", "late"]
+
+    def test_elevator_sweeps_ascending_regardless_of_spawn_order(self):
+        requests = [("c", 30 * MB, 0.0), ("a", 10 * MB, 0.0),
+                    ("d", 50 * MB, 0.0), ("b", 20 * MB, 0.0)]
+        for tb in ("fifo", "lifo"):
+            assert self._service_order(tb, True, requests) == [
+                "a", "b", "c", "d",
+            ]
+
+    def test_elevator_look_reverses_only_when_nothing_ahead(self):
+        # "first" is served alone (head moves to ~50MB); the rest queue
+        # during its multi-ms service.  The upward sweep continues
+        # through 55MB and 60MB before reversing down to 10MB -- greedy
+        # nearest-first would starve the distant request differently.
+        requests = [("first", 50 * MB, 0.0), ("up1", 55 * MB, 0.001),
+                    ("down", 10 * MB, 0.001), ("up2", 60 * MB, 0.001)]
+        for tb in ("fifo", "lifo"):
+            assert self._service_order(tb, True, requests) == [
+                "first", "up1", "up2", "down",
+            ]
+
+    def test_elevator_exact_distance_tie_broken_by_key(self):
+        # Two same-timestamp requests for the same LBA: distance and LBA
+        # tie exactly, so the causal (spawn-order) key decides.
+        requests = [("x", 20 * MB, 0.0), ("y", 20 * MB, 0.0)]
+        for tb in ("fifo", "lifo"):
+            assert self._service_order(tb, True, requests) == ["x", "y"]
+
+    def test_busy_accounting_and_queue_depth(self, env):
+        disk = Disk(env, "d", params=DiskParams(), jitter=False)
+
+        def reader(lba):
+            yield from disk.read(lba, 64 * 1024)
+
+        env.process(reader(0))
+        env.process(reader(10 * MB))
+        env.run()
+        assert disk.queue_depth == 0
+        assert disk.busy_s > 0
+        assert disk.busy_s <= env.now
 
 
 class TestContainer:

@@ -107,6 +107,145 @@ class MemoryRegionMachine(RuleBasedStateMachine):
         assert 0 <= self.memory.used_bytes <= self.capacity
 
 
+class FaultPlanMachine(RuleBasedStateMachine):
+    """Randomly grown fault plans stay valid and fully recoverable.
+
+    Rules accumulate specs -- transient faults, one disk
+    failure/copy-back-rebuild pair, crash/restart windows -- under the
+    plan's own validity constraints; invariants check the plan always
+    constructs and its windows pair up.  One terminal rule drives a real
+    machine with the accumulated plan and asserts the PR-5 acceptance
+    invariants: ``Machine.verify()`` clean (including the invariant-7
+    delivery audit) and exactly-once demand delivery.
+    """
+
+    REQUEST = 64 * 1024
+    ROUNDS = 2
+    NPROCS = 8
+
+    def __init__(self):
+        super().__init__()
+        self.specs = []
+        self.repaired_raids = set()
+        self.crash_cursor = 0.01
+        self.ran = False
+
+    @rule(
+        kind=st.sampled_from(["media_error", "slow_sector", "server_stall"]),
+        after_n=st.integers(min_value=0, max_value=6),
+        count=st.integers(min_value=1, max_value=2),
+        duration=st.floats(min_value=0.01, max_value=0.3),
+    )
+    def add_transient(self, kind, after_n, count, duration):
+        from repro.faults import FaultSpec
+
+        self.specs.append(
+            FaultSpec(
+                kind=kind,
+                target="raid0" if kind != "server_stall" else "*",
+                after_n=after_n,
+                count=count,
+                # Always below the default first retry timeout (1.0s).
+                duration_s=duration if kind != "media_error" else 0.0,
+            )
+        )
+
+    @precondition(lambda self: "raid0" not in self.repaired_raids)
+    @rule(
+        # Early enough that the lazy scheduler (tick() at array accesses)
+        # always sees both specs while the workload is still reading.
+        fail_at=st.floats(min_value=0.0, max_value=0.02),
+        rate=st.sampled_from([0.25, 0.5, 1.0]),
+        disk_index=st.integers(min_value=0, max_value=3),
+    )
+    def add_failure_and_rebuild(self, fail_at, rate, disk_index):
+        from repro.faults import FaultSpec
+
+        # One failure/repair pair per array: a second concurrent failure
+        # would (correctly) exceed RAID-3 redundancy and lose data.
+        self.repaired_raids.add("raid0")
+        self.specs.append(
+            FaultSpec(kind="disk_failure", target="raid0", at_s=fail_at,
+                      disk_index=disk_index)
+        )
+        self.specs.append(
+            FaultSpec(kind="disk_repair", target="raid0",
+                      at_s=fail_at + 0.01, disk_index=disk_index,
+                      rebuild_rate=rate)
+        )
+
+    @rule(
+        gap=st.floats(min_value=0.01, max_value=0.1),
+        width=st.floats(min_value=0.005, max_value=0.05),
+        node=st.integers(min_value=0, max_value=1),
+    )
+    def add_crash_window(self, gap, width, node):
+        from repro.faults import FaultSpec
+
+        crash_at = self.crash_cursor + gap
+        restart_at = crash_at + width
+        # Windows on different nodes may overlap; the cursor only keeps
+        # each node's own windows ordered (shared for simplicity).
+        self.crash_cursor = restart_at
+        self.specs.append(
+            FaultSpec(kind="node_crash", target=f"node{node}", at_s=crash_at)
+        )
+        self.specs.append(
+            FaultSpec(kind="node_restart", target=f"node{node}",
+                      at_s=restart_at)
+        )
+
+    @invariant()
+    def plan_always_constructs(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(specs=tuple(self.specs))
+        for target in {s.target for s in plan.specs
+                       if s.kind in ("node_crash", "node_restart")}:
+            windows = plan.crash_windows(target)
+            assert all(c < r for c, r in windows)
+            assert windows == tuple(sorted(windows))
+
+    @precondition(lambda self: self.specs and not self.ran)
+    @rule()
+    def drive_machine(self):
+        from repro.experiments.common import run_collective, scaled_file_size
+        from repro.faults import FaultPlan
+
+        self.ran = True
+        plan = FaultPlan(specs=tuple(self.specs))
+        report = run_collective(
+            request_size=self.REQUEST,
+            file_size=scaled_file_size(self.REQUEST, rounds=self.ROUNDS),
+            rounds=self.ROUNDS,
+            prefetch=True,
+            faults=plan,
+            keep_machine=True,
+        )
+        machine = report.machine
+        assert machine.verify() == []
+        expected = self.REQUEST * self.NPROCS * self.ROUNDS
+        assert report.total_bytes == expected
+        demand = [
+            (file_id, offset, nbytes)
+            for (file_id, offset, nbytes, _d, kind, _io)
+            in machine.faults.deliveries
+            if kind == "demand"
+        ]
+        assert len(demand) == len(set(demand))
+        assert sorted(o for _f, o, _n in demand) == [
+            i * self.REQUEST for i in range(self.NPROCS * self.ROUNDS)
+        ]
+        repairs = machine.monitor.counter_value("faults.injected.disk_repair")
+        if "raid0" in self.repaired_raids and repairs == 1:
+            # The scheduler is lazy (tick() at array accesses), so the
+            # repair only applies if some access followed its at_s; once
+            # applied, the rebuild must run to completion.
+            raid0 = next(a for a in machine.arrays if a.name == "raid0")
+            assert raid0.rebuilds_completed == 1
+            assert not raid0.degraded
+
+
 TestAllocatorMachine = AllocatorMachine.TestCase
 TestAllocatorMachine.settings = settings(
     max_examples=60, stateful_step_count=40, deadline=None
@@ -114,4 +253,8 @@ TestAllocatorMachine.settings = settings(
 TestMemoryRegionMachine = MemoryRegionMachine.TestCase
 TestMemoryRegionMachine.settings = settings(
     max_examples=60, stateful_step_count=40, deadline=None
+)
+TestFaultPlanMachine = FaultPlanMachine.TestCase
+TestFaultPlanMachine.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None
 )
