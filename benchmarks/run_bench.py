@@ -1,10 +1,22 @@
 """Machine-readable bench trajectory: the Table 1 / Figure 2 points.
 
-Writes ``BENCH_5.json`` at the repo root: collective read bandwidth for
+Writes ``BENCH_6.json`` at the repo root: collective read bandwidth for
 every (request size, prefetch) Table 1 cell and every (mode, request
 size) Figure 2 cell, plus a per-cell telemetry summary naming the
 saturating resource.  The file is the perf baseline later PRs regress
 against -- scaling work that moves these numbers should move them *up*.
+
+Since PR 6 every cell also carries *simulator* speed columns:
+``wall_time_s`` (best-of-N wall seconds for the default-configuration
+run of that cell, stopwatch shared with :mod:`benchmarks.speed`) and
+``cells_per_s`` (its reciprocal).  When a pre-refactor capture
+(``benchmarks/baseline_pr6.json``) matches the current ``rounds``, each
+cell additionally reports ``baseline_wall_time_s`` and ``speedup``, and
+a top-level ``speed`` block aggregates them.  These are the only
+non-deterministic columns in the file -- bandwidth, bottleneck, and
+tie-check results stay byte-identical across reruns of an unchanged
+tree; wall times vary with the host.
+
 Each Table 1 cell also carries two fault-plane columns:
 
 - ``degraded_bandwidth_mbps``: the same workload with one spindle of
@@ -46,10 +58,10 @@ import os
 import sys
 import zlib
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-)
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import speed  # noqa: E402
 from repro.analysis.sanitizers import check_tie_order  # noqa: E402
 from repro.experiments.common import (  # noqa: E402
     KB,
@@ -61,8 +73,7 @@ from repro.experiments.common import (  # noqa: E402
 from repro.faults import FaultPlan, FaultSpec  # noqa: E402
 from repro.pfs import IOMode  # noqa: E402
 
-FIGURE2_MODES = (IOMode.M_UNIX, IOMode.M_LOG, IOMode.M_SYNC,
-                 IOMode.M_RECORD, IOMode.M_ASYNC)
+FIGURE2_MODES = (IOMode.M_UNIX, IOMode.M_LOG, IOMode.M_SYNC, IOMode.M_RECORD, IOMode.M_ASYNC)
 
 #: One in SAMPLE_MODULUS cells gets the full fifo/lifo check in
 #: ``--tie-check=sample`` mode.
@@ -98,10 +109,10 @@ def bench_table1(sizes_kb, rounds: int, tie_check: str) -> list:
     degraded_plan = FaultPlan.single_disk_failure(array="raid0", at_s=0.0)
     rebuild_plan = FaultPlan(
         specs=(
-            FaultSpec(kind="disk_failure", target="raid0", at_s=0.0,
-                      disk_index=0),
-            FaultSpec(kind="disk_repair", target="raid0", at_s=0.01,
-                      disk_index=0, rebuild_rate=0.5),
+            FaultSpec(kind="disk_failure", target="raid0", at_s=0.0, disk_index=0),
+            FaultSpec(
+                kind="disk_repair", target="raid0", at_s=0.01, disk_index=0, rebuild_rate=0.5
+            ),
         ),
     )
     points = []
@@ -226,7 +237,44 @@ def bench_figure2(sizes_kb, rounds: int, tie_check: str) -> list:
     return points
 
 
-def run_bench(quick: bool = False, tie_check: str = "sample") -> dict:
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline_pr6.json")
+
+
+def _load_baseline(rounds: int):
+    """Pre-refactor wall times, or None when absent / rounds mismatch."""
+    try:
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if baseline.get("rounds") != rounds:
+        # Captured for a different workload size: a speedup ratio
+        # against it would be meaningless (e.g. --quick uses rounds=8).
+        return None
+    return baseline.get("cells", None)
+
+
+def measure_speed(points: list, t1_sizes, f2_sizes, rounds: int, repeats: int) -> None:
+    """Attach wall_time_s / cells_per_s (and speedup vs the baseline
+    capture, when comparable) to every bench point, in place."""
+    runners = speed.default_cell_runners(t1_sizes, f2_sizes, rounds=rounds)
+    baseline = _load_baseline(rounds)
+    for point in points:
+        if "prefetch" in point:
+            key = f"table1:{point['request_kb']}kb:prefetch={point['prefetch']}"
+        else:
+            key = f"figure2:{point['request_kb']}kb:{point['mode']}"
+        wall = speed.time_runner(runners[key], repeats=repeats)
+        point["wall_time_s"] = _round(wall)
+        point["cells_per_s"] = _round(1.0 / wall, 2)
+        if baseline is not None and key in baseline:
+            point["baseline_wall_time_s"] = _round(baseline[key])
+            point["speedup"] = _round(baseline[key] / wall, 2)
+
+
+def run_bench(
+    quick: bool = False, tie_check: str = "sample", repeats: int = speed.DEFAULT_REPEATS
+) -> dict:
     if tie_check not in ("full", "sample"):
         raise ValueError("tie_check must be 'full' or 'sample'")
     if quick:
@@ -237,8 +285,26 @@ def run_bench(quick: bool = False, tie_check: str = "sample") -> dict:
         t1_sizes = DEFAULT_REQUEST_SIZES_KB
         f2_sizes = DEFAULT_REQUEST_SIZES_KB
         rounds = 16
+    table1 = bench_table1(t1_sizes, rounds, tie_check)
+    figure2 = bench_figure2(f2_sizes, rounds, tie_check)
+    all_points = table1 + figure2
+    measure_speed(all_points, t1_sizes, f2_sizes, rounds, repeats)
+    total_wall = sum(p["wall_time_s"] for p in all_points)
+    speed_block = {
+        "metric": "best-of-%d wall seconds per default-configuration "
+                  "(no-fault, no-trace, no-telemetry) cell run" % repeats,
+        "total_wall_time_s": _round(total_wall),
+        "cells_per_s": _round(len(all_points) / total_wall, 2),
+    }
+    if all("speedup" in p for p in all_points):
+        baseline_total = sum(p["baseline_wall_time_s"] for p in all_points)
+        speed_block["baseline"] = os.path.relpath(
+            BASELINE_PATH, os.path.join(os.path.dirname(BASELINE_PATH), "..")
+        )
+        speed_block["baseline_total_wall_time_s"] = _round(baseline_total)
+        speed_block["speedup"] = _round(baseline_total / total_wall, 2)
     return {
-        "bench": "pr5-fault-plane-complete",
+        "bench": "pr6-fast-kernel",
         "machine": {"n_compute": 8, "n_io": 8, "block_kb": 64},
         "settings": {"rounds": rounds, "quick": quick, "tie_check": tie_check},
         "metric": "collective read bandwidth (MB/s): total bytes / "
@@ -248,15 +314,15 @@ def run_bench(quick: bool = False, tie_check: str = "sample") -> dict:
         "rebuild_metric": "same workload while a rebuild_rate=0.5 copy-back "
                           "rebuild of the replaced raid0 spindle competes "
                           "for the arm and SCSI bus",
-        "table1": bench_table1(t1_sizes, rounds, tie_check),
-        "figure2": bench_figure2(f2_sizes, rounds, tie_check),
+        "speed": speed_block,
+        "table1": table1,
+        "figure2": figure2,
     }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true",
-                        help="fewer sizes/rounds (CI)")
+    parser.add_argument("--quick", action="store_true", help="fewer sizes/rounds (CI)")
     parser.add_argument(
         "--tie-check",
         choices=("full", "sample"),
@@ -266,13 +332,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=os.path.join(
-            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_5.json"
-        ),
-        help="output path (default: repo-root BENCH_5.json)",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_6.json"),
+        help="output path (default: repo-root BENCH_6.json)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=speed.DEFAULT_REPEATS,
+        help="wall-clock repeats per cell (best-of-N)",
     )
     args = parser.parse_args(argv)
-    results = run_bench(quick=args.quick, tie_check=args.tie_check)
+    results = run_bench(quick=args.quick, tie_check=args.tie_check, repeats=args.repeats)
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
@@ -299,6 +369,17 @@ def main(argv=None) -> int:
         f"tie-order sanitizer: {n_checked}/{len(all_points)} cells checked "
         f"({args.tie_check}), all bit-identical under fifo/lifo"
     )
+    sp = results["speed"]
+    line = (
+        f"simulator speed: {sp['total_wall_time_s']:.2f}s wall for "
+        f"{len(all_points)} cells ({sp['cells_per_s']:.2f} cells/s)"
+    )
+    if "speedup" in sp:
+        line += (
+            f", {sp['speedup']:.2f}x vs pre-refactor baseline "
+            f"({sp['baseline_total_wall_time_s']:.2f}s)"
+        )
+    print(line)
     return 0
 
 

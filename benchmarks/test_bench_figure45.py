@@ -20,8 +20,7 @@ def test_bench_figure45(benchmark, save_table):
 
     panels = run_once(benchmark, run_figure45)
     text = "\n\n".join(
-        panels[k].render() + "\n" + render_panel_chart(panels[k])
-        for k in sorted(panels)
+        panels[k].render() + "\n" + render_panel_chart(panels[k]) for k in sorted(panels)
     )
     save_table("figure45", text)
     problem = check_figure45_shape(panels)
@@ -34,9 +33,7 @@ def test_bench_figure45(benchmark, save_table):
     # Figure 5: "the read time itself is so large that no significant
     # overlap takes place ... no performance gains are observed."
     for size_kb in FIGURE5_SIZES_KB:
-        best_small = max(
-            max(panels[s].column("speedup")) for s in FIGURE4_SIZES_KB
-        )
+        best_small = max(max(panels[s].column("speedup")) for s in FIGURE4_SIZES_KB)
         assert max(panels[size_kb].column("speedup")) < best_small
     # At zero delay the prefetch case is a wash (within overheads).
     for size_kb, table in panels.items():

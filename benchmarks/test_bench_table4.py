@@ -15,9 +15,7 @@ def test_bench_table4(benchmark, save_table):
         return run_table4(prefetch=True), run_table4(prefetch=False)
 
     with_prefetch, without_prefetch = run_once(benchmark, run_both)
-    save_table(
-        "table4", with_prefetch.render() + "\n\n" + without_prefetch.render()
-    )
+    save_table("table4", with_prefetch.render() + "\n\n" + without_prefetch.render())
     problem = check_table4_shape(with_prefetch, without_prefetch)
     assert problem is None, problem
 

@@ -69,7 +69,11 @@ def restart(machine, mount, prefetch: bool):
     def reader(rank):
         prefetcher = Prefetcher(OneRequestAhead()) if prefetch else None
         handle = yield from machine.clients[rank].open(
-            mount, "checkpoint", IOMode.M_RECORD, rank=rank, nprocs=NPROCS,
+            mount,
+            "checkpoint",
+            IOMode.M_RECORD,
+            rank=rank,
+            nprocs=NPROCS,
             prefetcher=prefetcher,
         )
         handles[rank] = handle
@@ -92,8 +96,7 @@ def main() -> None:
     machine, mount = build()
     t_ckpt = checkpoint(machine, mount)
     total = NPROCS * STEPS * RECORD / MB
-    print(f"checkpoint: {total:.0f}MB written in {t_ckpt:.2f}s "
-          f"({total / t_ckpt:.2f} MB/s)\n")
+    print(f"checkpoint: {total:.0f}MB written in {t_ckpt:.2f}s " f"({total / t_ckpt:.2f} MB/s)\n")
 
     t_cold, _ = restart(machine, mount, prefetch=False)
     print(f"restart without prefetching: {t_cold:6.2f}s")

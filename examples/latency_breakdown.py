@@ -58,17 +58,13 @@ def main() -> None:
     )
 
     print()
-    for prefetch, label in ((False, "without prefetching"),
-                            (True, "with prefetching")):
+    for prefetch, label in ((False, "without prefetching"), (True, "with prefetching")):
         r = reports[prefetch]
         print(
             f"{label:>22}: {r.collective_bandwidth_mbps:.2f} MB/s collective "
             f"({r.read_time_s:.3f}s of read calls)"
         )
-    ratio = (
-        reports[True].collective_bandwidth_mbps
-        / reports[False].collective_bandwidth_mbps
-    )
+    ratio = reports[True].collective_bandwidth_mbps / reports[False].collective_bandwidth_mbps
     print(
         f"\nratio = {ratio:.2f} -- the paper's Table 1 point: prefetching "
         "neither helps nor hurts much when the workload is I/O-bound."

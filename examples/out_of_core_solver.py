@@ -48,9 +48,7 @@ def sweep(intensity_s_per_mb: float, prefetch: bool) -> tuple:
         request_size=PANEL_BYTES,
         compute_delay=compute_per_panel,
         iomode=IOMode.M_RECORD,
-        prefetcher_factory=(
-            (lambda rank: Prefetcher(OneRequestAhead())) if prefetch else None
-        ),
+        prefetcher_factory=((lambda rank: Prefetcher(OneRequestAhead())) if prefetch else None),
     )
     result = workload.run()
     return result.elapsed_s, result.report.collective_bandwidth_mbps
@@ -71,10 +69,7 @@ def main() -> None:
         saved = 1.0 - t_pf / t_base
         if crossover is None and saved > 0.10:
             crossover = intensity
-        print(
-            f"{intensity:>15.2f} {t_base:>15.2f} {t_pf:>13.2f} "
-            f"{saved:>6.0%} {bw_pf:>18.2f}"
-        )
+        print(f"{intensity:>15.2f} {t_base:>15.2f} {t_pf:>13.2f} " f"{saved:>6.0%} {bw_pf:>18.2f}")
     print()
     if crossover is not None:
         print(

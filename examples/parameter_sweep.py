@@ -47,17 +47,12 @@ def main() -> None:
         f"prefetch={best['prefetch']}\n"
     )
 
-    by_key = {
-        (r["request_kb"], r["delay_s"], r["prefetch"]): r["bw_mbps"]
-        for r in campaign.rows
-    }
+    by_key = {(r["request_kb"], r["delay_s"], r["prefetch"]): r["bw_mbps"] for r in campaign.rows}
     print("prefetching break-even frontier (first delay with >25% gain):")
     for request_kb in (64, 256, 1024):
         frontier = None
         for delay in (0.0, 0.05, 0.1, 0.2):
-            gain = by_key[(request_kb, delay, True)] / by_key[
-                (request_kb, delay, False)
-            ]
+            gain = by_key[(request_kb, delay, True)] / by_key[(request_kb, delay, False)]
             if gain > 1.25:
                 frontier = delay
                 break

@@ -84,7 +84,11 @@ def replay(lines, prefetch: bool):
     def run_rank(rank):
         prefetcher = Prefetcher(OneRequestAhead()) if prefetch else None
         handle = yield from machine.clients[rank].open(
-            mount, "data", IOMode.M_RECORD, rank=rank, nprocs=NPROCS,
+            mount,
+            "data",
+            IOMode.M_RECORD,
+            rank=rank,
+            nprocs=NPROCS,
             prefetcher=prefetcher,
         )
         handles.append(handle)

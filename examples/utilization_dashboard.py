@@ -33,9 +33,7 @@ def main() -> None:
     for size_kb in REQUEST_SIZES_KB:
         request = size_kb * KB
         file_size = scaled_file_size(request)
-        off = run_collective(
-            request_size=request, file_size=file_size, prefetch=False
-        )
+        off = run_collective(request_size=request, file_size=file_size, prefetch=False)
         on = run_collective(
             request_size=request,
             file_size=file_size,

@@ -23,12 +23,8 @@ def make_parser() -> argparse.ArgumentParser:
             "sites, impure observability hooks, unpaired resource requests."
         ),
     )
-    parser.add_argument(
-        "paths", nargs="*", help="files or directories to lint (default: src)"
-    )
-    parser.add_argument(
-        "--json", action="store_true", help="emit SARIF-lite JSON instead of text"
-    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true", help="emit SARIF-lite JSON instead of text")
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )

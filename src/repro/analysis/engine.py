@@ -31,9 +31,7 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                     yield os.path.join(root, name)
 
 
-def lint_source(
-    source: str, path: str, rules: Iterable[LintRule] = ALL_RULES
-) -> List[Finding]:
+def lint_source(source: str, path: str, rules: Iterable[LintRule] = ALL_RULES) -> List[Finding]:
     """Lint one module's source text; returns surviving findings."""
     try:
         tree = ast.parse(source, filename=path)
@@ -78,9 +76,7 @@ def lint_file(path: str, rules: Iterable[LintRule] = ALL_RULES) -> List[Finding]
     return lint_source(source, path, rules)
 
 
-def lint_paths(
-    paths: Sequence[str], rules: Iterable[LintRule] = ALL_RULES
-) -> List[Finding]:
+def lint_paths(paths: Sequence[str], rules: Iterable[LintRule] = ALL_RULES) -> List[Finding]:
     """Lint every Python file under *paths*; findings sorted by location."""
     findings: List[Finding] = []
     for path in iter_python_files(paths):

@@ -219,10 +219,7 @@ def _is_ordering_sensitive(func: ast.AST, aliases: Dict[str, str]) -> bool:
     if "merge" in name.lower():
         return True
     for call in _shallow_calls(func):
-        if (
-            isinstance(call.func, ast.Attribute)
-            and call.func.attr in _SCHEDULING_ATTRS
-        ):
+        if (isinstance(call.func, ast.Attribute) and call.func.attr in _SCHEDULING_ATTRS):
             return True
     return False
 
@@ -234,10 +231,7 @@ def _unordered_iterable(expr: ast.AST) -> Optional[str]:
     if isinstance(expr, ast.Call):
         if isinstance(expr.func, ast.Name) and expr.func.id in ("set", "frozenset"):
             return f"{expr.func.id}(...)"
-        if (
-            isinstance(expr.func, ast.Attribute)
-            and expr.func.attr in _UNORDERED_METHODS
-        ):
+        if (isinstance(expr.func, ast.Attribute) and expr.func.attr in _UNORDERED_METHODS):
             return f".{expr.func.attr}()"
     return None
 
@@ -246,8 +240,7 @@ def _iteration_sites(func: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
     for node in _walk_shallow(func):
         if isinstance(node, (ast.For, ast.AsyncFor)):
             yield node, node.iter
-        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
-                               ast.GeneratorExp)):
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
             for gen in node.generators:
                 yield node, gen.iter
 
@@ -287,7 +280,13 @@ class NoUnorderedIteration(LintRule):
 # -- R004: observability purity --------------------------------------------
 
 _MUTATING_ATTRS = {
-    "schedule", "process", "timeout", "succeed", "fail", "request", "acquire",
+    "schedule",
+    "process",
+    "timeout",
+    "succeed",
+    "fail",
+    "request",
+    "acquire",
 }
 
 
@@ -313,10 +312,7 @@ class ObservabilityPurity(LintRule):
             return []
         findings = []
         for call in _calls(tree):
-            if (
-                isinstance(call.func, ast.Attribute)
-                and call.func.attr in _MUTATING_ATTRS
-            ):
+            if (isinstance(call.func, ast.Attribute) and call.func.attr in _MUTATING_ATTRS):
                 findings.append(
                     self.finding(
                         path, call,
@@ -383,9 +379,7 @@ class ResourceLeakPairing(LintRule):
                     and id(value) not in with_requests
                 ):
                     continue
-                targets = [
-                    t.id for t in node.targets if isinstance(t, ast.Name)
-                ]
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
                 if not targets:
                     continue
                 if not any(name in released_names for name in targets):

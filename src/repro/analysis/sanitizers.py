@@ -41,9 +41,7 @@ def _canonical(value: Any) -> str:
         ]
         return f"{type(value).__name__}({', '.join(parts)})"
     if isinstance(value, dict):
-        items = ", ".join(
-            f"{_canonical(k)}: {_canonical(value[k])}" for k in sorted(value)
-        )
+        items = ", ".join(f"{_canonical(k)}: {_canonical(value[k])}" for k in sorted(value))
         return "{" + items + "}"
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_canonical(v) for v in value) + "]"
@@ -77,10 +75,7 @@ class TieOrderResult:
 
     def describe(self) -> str:
         if self.deterministic:
-            return (
-                "deterministic: results bit-identical under "
-                + "/".join(self.fingerprints)
-            )
+            return "deterministic: results bit-identical under " + "/".join(self.fingerprints)
         lines = ["TIE-ORDER RACE: results depend on same-timestamp event order"]
         for tie_break, digest in self.fingerprints.items():
             lines.append(f"  {tie_break}: {digest}")
@@ -105,9 +100,7 @@ def check_tie_order(
         reports[tie_break] = report
         fingerprints[tie_break] = report_fingerprint(report)
     deterministic = len(set(fingerprints.values())) == 1
-    return TieOrderResult(
-        deterministic=deterministic, fingerprints=fingerprints, reports=reports
-    )
+    return TieOrderResult(deterministic=deterministic, fingerprints=fingerprints, reports=reports)
 
 
 def assert_tie_order_deterministic(

@@ -102,11 +102,7 @@ class MachineConfig:
                 if spec.kind not in kinds:
                     continue
                 suffix = target[len(prefix):]
-                if (
-                    target.startswith(prefix)
-                    and suffix.isdigit()
-                    and int(suffix) >= limit
-                ):
+                if (target.startswith(prefix) and suffix.isdigit() and int(suffix) >= limit):
                     raise FaultError(
                         f"{spec.kind} targets {target!r} but the machine has "
                         f"only {limit} {what} nodes"

@@ -129,11 +129,7 @@ class StridedPolicy(PrefetchPolicy):
 
     def plan(self, handle, offset, nbytes, prefetcher):
         self.observe(offset)
-        if (
-            self._stride is None
-            or self._confirmations < self.min_confirmations
-            or nbytes <= 0
-        ):
+        if (self._stride is None or self._confirmations < self.min_confirmations or nbytes <= 0):
             return []
         plans: List[PlannedRange] = []
         size = handle.file.size_bytes

@@ -88,8 +88,7 @@ class PrefetchBuffer:
 
     def __repr__(self) -> str:
         return (
-            f"<PrefetchBuffer {self.buffer_id} [{self.offset}, {self.end}) "
-            f"{self.state.value}>"
+            f"<PrefetchBuffer {self.buffer_id} [{self.offset}, {self.end}) " f"{self.state.value}>"
         )
 
 
@@ -115,11 +114,7 @@ class PrefetchBufferList:
     @property
     def live_buffers(self) -> List[PrefetchBuffer]:
         """Buffers still holding memory (in-flight or ready)."""
-        return [
-            b
-            for b in self.buffers
-            if b.state in (BufferState.IN_FLIGHT, BufferState.READY)
-        ]
+        return [b for b in self.buffers if b.state in (BufferState.IN_FLIGHT, BufferState.READY)]
 
     @property
     def live_bytes(self) -> int:

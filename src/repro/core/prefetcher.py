@@ -90,12 +90,16 @@ class Prefetcher:
         label = {"node": str(handle.node.node_id), "rank": str(handle.rank)}
         blist = self._list
         telemetry.register_probe(
-            "prefetch_buffer_bytes", lambda: float(blist.live_bytes),
-            labels=label, help="Bytes held by in-flight + ready prefetch buffers",
+            "prefetch_buffer_bytes",
+            lambda: float(blist.live_bytes),
+            labels=label,
+            help="Bytes held by in-flight + ready prefetch buffers",
         )
         telemetry.register_probe(
-            "prefetch_buffers_live", lambda: float(len(blist.live_buffers)),
-            labels=label, help="Prefetch buffers currently holding memory",
+            "prefetch_buffers_live",
+            lambda: float(len(blist.live_buffers)),
+            labels=label,
+            help="Prefetch buffers currently holding memory",
         )
 
     def on_close(self, handle: "PFSFileHandle") -> None:
@@ -121,8 +125,9 @@ class Prefetcher:
 
     # -- the demand path ----------------------------------------------------
 
-    def serve_read(self, handle: "PFSFileHandle", offset: int, nbytes: int,
-                   ctx: Optional[TraceContext] = None):
+    def serve_read(
+        self, handle: "PFSFileHandle", offset: int, nbytes: int, ctx: Optional[TraceContext] = None
+    ):
         """Generator: serve a demand read through the prefetch cache.
 
         Hit: copy from the ready buffer.  Partial hit: wait for the
@@ -137,15 +142,16 @@ class Prefetcher:
         if buffer is None:
             self.stats.misses += 1
             self._count("misses")
-            data = yield from handle.transfer_read(offset, nbytes, cause="demand",
-                                                   ctx=ctx)
+            data = yield from handle.transfer_read(offset, nbytes, cause="demand", ctx=ctx)
         else:
             was_in_flight = buffer.state is BufferState.IN_FLIGHT
             if was_in_flight:
                 # Partial hit: wait out the remainder of the prefetch.
                 wait_span = tracer.begin(
-                    "prefetch_wait", ctx=ctx,
-                    node_id=handle.node.node_id, bytes=nbytes,
+                    "prefetch_wait",
+                    ctx=ctx,
+                    node_id=handle.node.node_id,
+                    bytes=nbytes,
                 )
                 wait_start = handle.env.now
                 yield buffer.complete
@@ -156,9 +162,7 @@ class Prefetcher:
                 # normal demand read.
                 self.stats.failed_fallbacks += 1
                 self._count("failed_fallbacks")
-                data = yield from handle.transfer_read(
-                    offset, nbytes, cause="demand", ctx=ctx
-                )
+                data = yield from handle.transfer_read(offset, nbytes, cause="demand", ctx=ctx)
             else:
                 if was_in_flight:
                     self.stats.partial_hits += 1
@@ -170,8 +174,10 @@ class Prefetcher:
                 data = buffer.data.slice(offset - buffer.offset, nbytes)
                 # The hit pays a prefetch-buffer -> user-buffer copy.
                 copy_span = tracer.begin(
-                    "prefetch_hit_copy", ctx=ctx,
-                    node_id=handle.node.node_id, bytes=nbytes,
+                    "prefetch_hit_copy",
+                    ctx=ctx,
+                    node_id=handle.node.node_id,
+                    bytes=nbytes,
                     partial=was_in_flight,
                 )
                 yield from handle.node.memcpy(nbytes)
@@ -190,8 +196,9 @@ class Prefetcher:
 
     # -- prefetch issue -------------------------------------------------------
 
-    def _issue_prefetches(self, handle: "PFSFileHandle", offset: int, nbytes: int,
-                          ctx: Optional[TraceContext] = None):
+    def _issue_prefetches(
+        self, handle: "PFSFileHandle", offset: int, nbytes: int, ctx: Optional[TraceContext] = None
+    ):
         tracer = handle.client.tracer
         blist = self.buffer_list
         for start, length in self.policy.plan(handle, offset, nbytes, self):
@@ -212,8 +219,11 @@ class Prefetcher:
             # which is what links prefetch-caused disk accesses back to
             # the user read that triggered them.
             issue_span = tracer.begin(
-                "prefetch_issue", ctx=ctx, node_id=handle.node.node_id,
-                offset=start, bytes=length,
+                "prefetch_issue",
+                ctx=ctx,
+                node_id=handle.node.node_id,
+                offset=start,
+                bytes=length,
             )
             issue_ctx = issue_span.ctx
             # Allocating the buffer costs compute-node CPU.
@@ -222,12 +232,9 @@ class Prefetcher:
             self.stats.bytes_prefetched += length
             self._count("issued")
 
-            def operation(buffer=buffer, start=start, length=length,
-                          issue_ctx=issue_ctx):
+            def operation(buffer=buffer, start=start, length=length, issue_ctx=issue_ctx):
                 faults = getattr(handle.client, "faults", None)
-                max_retries = (
-                    faults.plan.retry.prefetch_retries if faults is not None else 0
-                )
+                max_retries = faults.plan.retry.prefetch_retries if faults is not None else 0
                 attempts = 0
                 while True:
                     try:
@@ -236,10 +243,7 @@ class Prefetcher:
                         )
                         break
                     except Exception:
-                        if (
-                            attempts < max_retries
-                            and buffer.state is BufferState.IN_FLIGHT
-                        ):
+                        if (attempts < max_retries and buffer.state is BufferState.IN_FLIGHT):
                             # Transient fault: re-issue the same range into
                             # the same buffer.  Only `retried` moves --
                             # issued/bytes_prefetched already counted this
@@ -270,8 +274,10 @@ class Prefetcher:
                 # copy -- prefetch buffer to user buffer -- is paid on
                 # the hit.)
                 land_span = tracer.begin(
-                    "prefetch_land", ctx=issue_ctx,
-                    node_id=handle.node.node_id, bytes=length,
+                    "prefetch_land",
+                    ctx=issue_ctx,
+                    node_id=handle.node.node_id,
+                    bytes=length,
                 )
                 yield from handle.node.landing_copy(length)
                 tracer.end(land_span)
@@ -281,13 +287,15 @@ class Prefetcher:
                     # bytes against ground truth even if no demand read
                     # ever consumes the buffer.
                     faults.record_delivery(
-                        handle.file.file_id, start, length, data,
+                        handle.file.file_id,
+                        start,
+                        length,
+                        data,
                         kind="prefetch",
                     )
                 return None
 
-            yield from handle.client.art.submit(operation, tag="prefetch",
-                                                ctx=issue_ctx)
+            yield from handle.client.art.submit(operation, tag="prefetch", ctx=issue_ctx)
             tracer.end(issue_span)
         return None
 

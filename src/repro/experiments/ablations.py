@@ -96,8 +96,7 @@ def run_mode_ablation(
     one-request-ahead policy never fires and they are unchanged.
     """
     table = ExperimentTable(
-        title=f"Ablation: prefetching per I/O mode ({request_kb}KB, "
-        f"{compute_delay}s delay)",
+        title=f"Ablation: prefetching per I/O mode ({request_kb}KB, " f"{compute_delay}s delay)",
         columns=["mode", "bw_no_prefetch", "bw_prefetch", "speedup", "issued"],
     )
     request = request_kb * KB
@@ -171,7 +170,11 @@ def _pattern_run(
 
     def opener(rank):
         handles[rank] = yield from machine.clients[rank].open(
-            mount, "data", IOMode.M_ASYNC, rank=0, nprocs=1,
+            mount,
+            "data",
+            IOMode.M_ASYNC,
+            rank=0,
+            nprocs=1,
             prefetcher=prefetchers[rank] if policy_name != "none" else None,
         )
 
@@ -231,9 +234,7 @@ def run_policy_ablation(compute_delay: float = 0.05) -> ExperimentTable:
     return table
 
 
-def run_buffering_ablation(
-    request_kb: int = 64, rounds: int = 24
-) -> ExperimentTable:
+def run_buffering_ablation(request_kb: int = 64, rounds: int = 24) -> ExperimentTable:
     """Fast Path vs buffered transfers, cold and re-read.
 
     Fast Path wins cold sequential reads (no cache copies); the buffer
@@ -247,9 +248,7 @@ def run_buffering_ablation(
     file_size = scaled_file_size(request, 8, rounds)
     for buffered in (False, True):
         machine = Machine(MachineConfig(cache_blocks=file_size // (64 * KB) + 16))
-        mount = machine.mount(
-            "/pfs", PFSConfig(buffered=buffered)
-        )
+        mount = machine.mount("/pfs", PFSConfig(buffered=buffered))
         machine.create_file(mount, "data", file_size)
         cold = CollectiveReadWorkload(
             machine, mount, "data", request_size=request, rounds=rounds
@@ -292,13 +291,9 @@ def run_prefetch_location_ablation(
         ("both", True, 4),
     ]
     for name, client_prefetch, readahead in configs:
-        machine = Machine(
-            MachineConfig(server_readahead_blocks=readahead, cache_blocks=256)
-        )
+        machine = Machine(MachineConfig(server_readahead_blocks=readahead, cache_blocks=256))
         mount = machine.mount("/pfs", PFSConfig(buffered=True))
-        machine.create_file(
-            mount, "data", scaled_file_size(request, 8, rounds)
-        )
+        machine.create_file(mount, "data", scaled_file_size(request, 8, rounds))
         workload = CollectiveReadWorkload(
             machine,
             mount,
@@ -307,9 +302,7 @@ def run_prefetch_location_ablation(
             compute_delay=compute_delay,
             rounds=rounds,
             prefetcher_factory=(
-                (lambda rank: Prefetcher(OneRequestAhead()))
-                if client_prefetch
-                else None
+                (lambda rank: Prefetcher(OneRequestAhead())) if client_prefetch else None
             ),
         )
         report = workload.run().report
@@ -393,8 +386,7 @@ def run_write_strategy_ablation(
         ("write-back", True, True),
     ):
         machine = Machine(
-            MachineConfig(write_back=write_back, cache_blocks=512,
-                          sync_interval_s=30.0)
+            MachineConfig(write_back=write_back, cache_blocks=512, sync_interval_s=30.0)
         )
         mount = machine.mount("/pfs", PFSConfig(buffered=buffered))
         machine.create_file(mount, "out", 0)
@@ -402,9 +394,7 @@ def run_write_strategy_ablation(
             machine, mount, "out", request_size=request, rounds=rounds
         ).run()
         report = result.report
-        disk_writes = sum(
-            machine.monitor.counter_value(f"raid{i}.writes") for i in range(8)
-        )
+        disk_writes = sum(machine.monitor.counter_value(f"raid{i}.writes") for i in range(8))
         table.add_row(
             name,
             report.collective_bandwidth_mbps,
@@ -448,7 +438,11 @@ def run_multiprogramming_ablation(
 
         def open_a(rank):
             handles_a[rank] = yield from machine.clients[rank].open(
-                mount, "fileA", IOMode.M_RECORD, rank=rank, nprocs=4,
+                mount,
+                "fileA",
+                IOMode.M_RECORD,
+                rank=rank,
+                nprocs=4,
                 prefetcher=prefetchers[rank] if a_prefetch else None,
             )
 
@@ -523,9 +517,7 @@ def check_ablation_shapes(
         if issued.get("M_RECORD", 0) == 0:
             return "no prefetches issued under M_RECORD"
     if policies is not None:
-        rows = {
-            (r[0], r[1]): r[2] for r in policies.rows
-        }
+        rows = {(r[0], r[1]): r[2] for r in policies.rows}
         if rows[("sequential", "one-ahead")] <= rows[("sequential", "none")]:
             return "one-ahead did not help sequential access"
         if rows[("strided", "strided")] <= rows[("strided", "one-ahead")]:

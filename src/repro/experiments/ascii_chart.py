@@ -39,9 +39,7 @@ def plot_series(
         raise ValueError("need at least one x value")
     for name, ys in series.items():
         if len(ys) != len(x):
-            raise ValueError(
-                f"series {name!r} has {len(ys)} points for {len(x)} x values"
-            )
+            raise ValueError(f"series {name!r} has {len(ys)} points for {len(x)} x values")
     if not series:
         raise ValueError("need at least one series")
 
@@ -88,9 +86,7 @@ def plot_series(
     lines.append(f"{' ' * label_width}  {x_axis}")
     if x_label or y_label:
         lines.append(f"{' ' * label_width}  x: {x_label}   y: {y_label}")
-    lines.append(
-        "  legend: " + "  ".join(f"{marker}={name}" for marker, name in legend)
-    )
+    lines.append("  legend: " + "  ".join(f"{marker}={name}" for marker, name in legend))
     return "\n".join(lines)
 
 

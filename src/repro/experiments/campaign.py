@@ -59,8 +59,7 @@ class Campaign:
         """All parameter combinations, in axis-major order."""
         names = list(self.axes)
         return [
-            dict(zip(names, combo))
-            for combo in itertools.product(*(self.axes[n] for n in names))
+            dict(zip(names, combo)) for combo in itertools.product(*(self.axes[n] for n in names))
         ]
 
     def run_all(self, progress: Optional[Callable[[Dict], None]] = None) -> List[Dict]:

@@ -46,9 +46,7 @@ class ExperimentTable:
 
     def add_row(self, *values) -> None:
         if len(values) != len(self.columns):
-            raise ValueError(
-                f"row has {len(values)} values for {len(self.columns)} columns"
-            )
+            raise ValueError(f"row has {len(values)} values for {len(self.columns)} columns")
         self.rows.append(list(values))
 
     def column(self, name: str) -> List:
@@ -124,17 +122,20 @@ def build_machine(
 ):
     """Machine + mount with the paper's defaults (8C/8IO, 64KB blocks)."""
     config_kwargs = dict(
-        n_compute=n_compute, n_io=n_io, cache_blocks=cache_blocks, trace=trace,
-        telemetry=telemetry, tie_break=tie_break, faults=faults,
+        n_compute=n_compute,
+        n_io=n_io,
+        cache_blocks=cache_blocks,
+        trace=trace,
+        telemetry=telemetry,
+        tie_break=tie_break,
+        faults=faults,
     )
     if hardware is not None:
         config_kwargs["hardware"] = hardware
     machine = Machine(MachineConfig(**config_kwargs))
     mount = machine.mount(
         "/pfs",
-        PFSConfig(
-            stripe_unit=stripe_unit, stripe_factor=stripe_factor, buffered=buffered
-        ),
+        PFSConfig(stripe_unit=stripe_unit, stripe_factor=stripe_factor, buffered=buffered),
     )
     return machine, mount
 
@@ -237,8 +238,11 @@ def run_separate_files(
 ) -> BandwidthReport:
     """Figure 2's "Separate Files" case: one rotated file per node."""
     machine, mount = build_machine(
-        n_compute=n_compute, n_io=n_io, stripe_unit=stripe_unit,
-        tie_break=tie_break, faults=faults,
+        n_compute=n_compute,
+        n_io=n_io,
+        stripe_unit=stripe_unit,
+        tie_break=tie_break,
+        faults=faults,
     )
     for rank in range(n_compute):
         machine.create_file(mount, f"data{rank}", file_size_per_node, rotate=True)
@@ -284,7 +288,10 @@ def run_multipass(
     slowest-rank read-call time (each pass re-opens fresh handles).
     """
     machine, mount = build_machine(
-        n_compute=n_compute, n_io=n_io, tie_break=tie_break, faults=faults,
+        n_compute=n_compute,
+        n_io=n_io,
+        tie_break=tie_break,
+        faults=faults,
     )
     machine.create_file(mount, "data", file_size)
     total_bytes = 0

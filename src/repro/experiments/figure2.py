@@ -83,9 +83,7 @@ def run_figure2(
             )
             row.append(report.collective_bandwidth_mbps)
         table.add_row(*row)
-    table.notes.append(
-        "64KB file-system blocks, stripe unit 64KB, stripe factor = all I/O nodes"
-    )
+    table.notes.append("64KB file-system blocks, stripe unit 64KB, stripe factor = all I/O nodes")
     return table
 
 
@@ -99,9 +97,7 @@ def check_figure2_shape(table: ExperimentTable) -> Optional[str]:
     """
     sizes = table.column("request_kb")
     for mode in ("M_LOG", "M_SYNC", "M_RECORD", "M_ASYNC"):
-        for unix_value, other, size in zip(
-            table.column("M_UNIX"), table.column(mode), sizes
-        ):
+        for unix_value, other, size in zip(table.column("M_UNIX"), table.column(mode), sizes):
             if other < unix_value * 0.98:
                 return f"{mode} below M_UNIX at {size}KB"
     for mode in ("M_RECORD", "M_ASYNC"):
@@ -118,9 +114,7 @@ def render_figure2_chart(table: ExperimentTable) -> str:
     """ASCII line chart: throughput vs request size, one line per mode."""
     from repro.experiments.ascii_chart import plot_table
 
-    return plot_table(
-        table, "request_kb", x_label="request size (KB)", y_label="MB/s"
-    )
+    return plot_table(table, "request_kb", x_label="request size (KB)", y_label="MB/s")
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -83,8 +83,7 @@ def run_figure45(
                 delay,
                 without.collective_bandwidth_mbps,
                 with_pf.collective_bandwidth_mbps,
-                with_pf.collective_bandwidth_mbps
-                / without.collective_bandwidth_mbps,
+                with_pf.collective_bandwidth_mbps / without.collective_bandwidth_mbps,
             )
         panels[size_kb] = table
     return panels
@@ -112,9 +111,7 @@ def check_figure45_shape(panels: Dict[int, ExperimentTable]) -> Optional[str]:
             return f"{size_kb}KB: max speedup {max(speedups):.2f} < 1.5"
         if speedups[-1] < speedups[0]:
             return f"{size_kb}KB: speedup does not grow with delay"
-    small_gain = max(
-        max(panels[s].column("speedup")) for s in FIGURE4_SIZES_KB if s in panels
-    )
+    small_gain = max(max(panels[s].column("speedup")) for s in FIGURE4_SIZES_KB if s in panels)
     for size_kb in FIGURE5_SIZES_KB:
         if size_kb not in panels:
             continue

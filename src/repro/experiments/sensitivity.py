@@ -68,20 +68,34 @@ def run_sensitivity(
     for scale in io_scales:
         hardware = scaled_hardware(scale)
         iob_base = run_collective(
-            request_size=request, file_size=file_size, prefetch=False,
-            rounds=rounds, hardware=hardware,
+            request_size=request,
+            file_size=file_size,
+            prefetch=False,
+            rounds=rounds,
+            hardware=hardware,
         )
         iob_pf = run_collective(
-            request_size=request, file_size=file_size, prefetch=True,
-            rounds=rounds, hardware=hardware,
+            request_size=request,
+            file_size=file_size,
+            prefetch=True,
+            rounds=rounds,
+            hardware=hardware,
         )
         bal_base = run_collective(
-            request_size=request, file_size=file_size, prefetch=False,
-            compute_delay=compute_delay, rounds=rounds, hardware=hardware,
+            request_size=request,
+            file_size=file_size,
+            prefetch=False,
+            compute_delay=compute_delay,
+            rounds=rounds,
+            hardware=hardware,
         )
         bal_pf = run_collective(
-            request_size=request, file_size=file_size, prefetch=True,
-            compute_delay=compute_delay, rounds=rounds, hardware=hardware,
+            request_size=request,
+            file_size=file_size,
+            prefetch=True,
+            compute_delay=compute_delay,
+            rounds=rounds,
+            hardware=hardware,
         )
         table.add_row(
             scale,

@@ -75,9 +75,7 @@ def run_table1(
             with_pf.collective_bandwidth_mbps,
             with_pf.collective_bandwidth_mbps / without.collective_bandwidth_mbps,
         )
-    table.notes.append(
-        "no computation between reads: prefetches get no head start"
-    )
+    table.notes.append("no computation between reads: prefetches get no head start")
     return table
 
 

@@ -46,9 +46,7 @@ def run_table2(
         request = size_kb * KB
         machine = Machine(MachineConfig(n_compute=n_compute, n_io=n_io))
         mount = machine.mount("/pfs", PFSConfig())
-        machine.create_file(
-            mount, "data", scaled_file_size(request, n_compute, rounds)
-        )
+        machine.create_file(mount, "data", scaled_file_size(request, n_compute, rounds))
         workload = CollectiveReadWorkload(
             machine,
             mount,
@@ -58,13 +56,9 @@ def run_table2(
             iomode=IOMode.M_RECORD,
         )
         result = workload.run()
-        durations = [
-            d for h in result.handles for d in h.stats.call_durations if d > 0
-        ]
+        durations = [d for h in result.handles for d in h.stats.call_durations if d > 0]
         table.add_row(size_kb, min(durations), sum(durations) / len(durations))
-    table.notes.append(
-        "paper anchor: 1024KB request takes ~0.4s (all other cells lost to OCR)"
-    )
+    table.notes.append("paper anchor: 1024KB request takes ~0.4s (all other cells lost to OCR)")
     return table
 
 
@@ -82,9 +76,7 @@ def check_table2_shape(table: ExperimentTable) -> Optional[str]:
     return None
 
 
-def prefetch_access_time_appears_shorter(
-    request_kb: int = 64, compute_delay: float = 0.05
-) -> bool:
+def prefetch_access_time_appears_shorter(request_kb: int = 64, compute_delay: float = 0.05) -> bool:
     """Section 4's observation: "prefetching makes the read access time
     appear less than it actually is"."""
     request = request_kb * KB
@@ -106,10 +98,7 @@ def prefetch_access_time_appears_shorter(
         compute_delay=compute_delay,
         prefetcher_factory=lambda rank: Prefetcher(OneRequestAhead()),
     ).run()
-    return (
-        prefetched.report.mean_read_access_time_s
-        < base.report.mean_read_access_time_s
-    )
+    return prefetched.report.mean_read_access_time_s < base.report.mean_read_access_time_s
 
 
 def main() -> None:  # pragma: no cover

@@ -92,9 +92,7 @@ def run_table3_baseline(
     return table
 
 
-def check_table3_shape(
-    with_prefetch: ExperimentTable, baseline: ExperimentTable
-) -> Optional[str]:
+def check_table3_shape(with_prefetch: ExperimentTable, baseline: ExperimentTable) -> Optional[str]:
     """Prefetch results track the no-prefetch sweep within tolerance."""
     su_columns = [c for c in with_prefetch.columns if c.startswith("bw_su=")]
     for column in su_columns:

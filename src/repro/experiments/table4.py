@@ -81,9 +81,7 @@ def check_table4_shape(
     - With prefetching, the speedup at 64KB is *less* than the
       no-prefetch speedup at 64KB (overhead most pronounced there).
     """
-    for size, sp in zip(
-        with_prefetch.column("request_kb"), with_prefetch.column("speedup_R2/R1")
-    ):
+    for size, sp in zip(with_prefetch.column("request_kb"), with_prefetch.column("speedup_R2/R1")):
         if sp <= 1.0:
             return f"stripe group 8 not faster than 1 at {size}KB (speedup {sp:.2f})"
     sp_with = with_prefetch.column("speedup_R2/R1")[0]

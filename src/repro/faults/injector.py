@@ -127,10 +127,7 @@ class FaultInjector:
         the post-tick disk state is a pure function of ``env.now`` and
         the plan's ``(at_s, plan position)`` order.
         """
-        while (
-            self._scheduled_pending
-            and self._scheduled_pending[0].at_s <= self.env.now
-        ):
+        while (self._scheduled_pending and self._scheduled_pending[0].at_s <= self.env.now):
             spec = self._scheduled_pending.pop(0)
             array = self._arrays[spec.target]
             if spec.kind == "disk_failure":

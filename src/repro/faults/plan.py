@@ -183,9 +183,7 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
-            raise ValueError(
-                f"unknown fault kind {self.kind!r}; valid: {sorted(FAULT_KINDS)}"
-            )
+            raise ValueError(f"unknown fault kind {self.kind!r}; valid: {sorted(FAULT_KINDS)}")
         if self.after_n < 0 or self.count < 0:
             raise ValueError("after_n and count must be non-negative")
         if self.window_s < 0 or self.duration_s < 0:
@@ -258,9 +256,7 @@ class FaultPlan:
         for spec in self.specs:
             if not isinstance(spec, FaultSpec):
                 raise TypeError(f"specs must be FaultSpec, got {spec!r}")
-        for target in sorted(
-            {s.target for s in self.specs if s.kind in NODE_LIFECYCLE_KINDS}
-        ):
+        for target in sorted({s.target for s in self.specs if s.kind in NODE_LIFECYCLE_KINDS}):
             self.crash_windows(target)  # raises on unpaired/overlapping specs
 
     def by_kind(self, kind: str) -> Tuple[FaultSpec, ...]:
@@ -277,12 +273,10 @@ class FaultPlan:
         ``crashed(now)`` would otherwise be ambiguous.
         """
         crashes = sorted(
-            s.at_s for s in self.specs
-            if s.kind == "node_crash" and s.target == target
+            s.at_s for s in self.specs if s.kind == "node_crash" and s.target == target
         )
         restarts = sorted(
-            s.at_s for s in self.specs
-            if s.kind == "node_restart" and s.target == target
+            s.at_s for s in self.specs if s.kind == "node_restart" and s.target == target
         )
         if len(crashes) != len(restarts):
             raise FaultError(
@@ -299,8 +293,7 @@ class FaultPlan:
                 )
             if crash_at < last_restart:
                 raise FaultError(
-                    f"{target}: crash window starting at {crash_at} overlaps "
-                    "the previous one"
+                    f"{target}: crash window starting at {crash_at} overlaps " "the previous one"
                 )
             last_restart = restart_at
         return windows
@@ -350,9 +343,7 @@ class FaultPlan:
         specs = []
         for crash_at, restart_at in windows:
             specs.append(FaultSpec(kind="node_crash", target=node, at_s=crash_at))
-            specs.append(
-                FaultSpec(kind="node_restart", target=node, at_s=restart_at)
-            )
+            specs.append(FaultSpec(kind="node_restart", target=node, at_s=restart_at))
         return cls(specs=tuple(specs), retry=retry or RetryPolicy())
 
     @classmethod

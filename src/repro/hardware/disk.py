@@ -100,16 +100,21 @@ class Disk:
         telemetry = get_telemetry(monitor)
         label = {"device": name}
         telemetry.register_probe(
-            "disk_busy_seconds", lambda: self.busy_s, labels=label,
+            "disk_busy_seconds",
+            lambda: self.busy_s,
+            labels=label,
             help="Seconds the arm was held (busy fraction = value / elapsed)",
             kind="counter",
         )
         telemetry.register_probe(
-            "disk_queue_depth", lambda: float(self.queue_depth), labels=label,
+            "disk_queue_depth",
+            lambda: float(self.queue_depth),
+            labels=label,
             help="Requests waiting for the arm",
         )
         self._service_hist = telemetry.histogram(
-            "disk_service_seconds", labels=label,
+            "disk_service_seconds",
+            labels=label,
             help="Queue + positioning + transfer time per request",
         )
 
@@ -160,7 +165,8 @@ class Disk:
         if self.elevator:
             head = self._head_lba
             ahead = [
-                i for i, (_a, lba, _k, _s, _g) in enumerate(self._pending)
+                i
+                for i, (_a, lba, _k, _s, _g) in enumerate(self._pending)
                 if (lba >= head if self._sweep_up else lba <= head)
             ]
             if not ahead:
@@ -203,12 +209,15 @@ class Disk:
                 f"{self.params.capacity_bytes}"
             )
 
-    def _access(self, lba: int, nbytes: int, kind: str,
-                ctx: Optional[TraceContext] = None):
+    def _access(self, lba: int, nbytes: int, kind: str, ctx: Optional[TraceContext] = None):
         self._validate(lba, nbytes)
         span = self.tracer.begin(
-            "disk_service", ctx=ctx, device=self.name, op=kind,
-            lba=lba, bytes=nbytes,
+            "disk_service",
+            ctx=ctx,
+            device=self.name,
+            op=kind,
+            lba=lba,
+            bytes=nbytes,
         )
         grant = self.env.event()
         proc = self.env.active_process
@@ -236,9 +245,7 @@ class Disk:
                     # retry re-reads the sector successfully).
                     if self.monitor is not None:
                         self.monitor.counter(f"{self.name}.media_errors").add(1)
-                    raise DiskError(
-                        f"media error on {self.name} at lba {lba} (transient)"
-                    )
+                    raise DiskError(f"media error on {self.name} at lba {lba} (transient)")
             cache_hit = kind == "read" and self.cached(lba, nbytes)
             if cache_hit:
                 # Served from the drive buffer: controller time only.
@@ -250,9 +257,7 @@ class Disk:
                 self._head_lba = lba + nbytes
                 self._last_end_lba = lba + nbytes
                 if kind == "read":
-                    self._cached_start = max(
-                        lba, lba + nbytes - self.params.track_cache_bytes
-                    )
+                    self._cached_start = max(lba, lba + nbytes - self.params.track_cache_bytes)
                     self._cached_end = lba + nbytes
         finally:
             if started_at is not None:

@@ -67,8 +67,7 @@ class MemoryRegion:
         held = self._by_class.get(alloc_class, 0)
         if nbytes > held:
             raise ValueError(
-                f"freeing {nbytes} bytes from {alloc_class!r} but only "
-                f"{held} allocated"
+                f"freeing {nbytes} bytes from {alloc_class!r} but only " f"{held} allocated"
             )
         self._by_class[alloc_class] = held - nbytes
         self._used -= nbytes
@@ -77,7 +76,4 @@ class MemoryRegion:
         return self._used + nbytes <= self.capacity_bytes
 
     def __repr__(self) -> str:
-        return (
-            f"<MemoryRegion {self._used}/{self.capacity_bytes} bytes "
-            f"(peak {self._peak})>"
-        )
+        return f"<MemoryRegion {self._used}/{self.capacity_bytes} bytes " f"(peak {self._peak})>"

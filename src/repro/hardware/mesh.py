@@ -25,13 +25,14 @@ if TYPE_CHECKING:
 from repro.obs.telemetry import get_telemetry
 from repro.obs.trace import get_tracer
 from repro.sim import ArbitratedResource, Environment
+from repro.sim.events import Event, Timeout
 from repro.obs.monitor import Monitor
 
 Coord = Tuple[int, int]
 Link = Tuple[Coord, Coord]
 
 
-@dataclass
+@dataclass(slots=True)
 class MeshMessage:
     """A message in flight on the mesh."""
 
@@ -48,6 +49,122 @@ class MeshMessage:
     dropped: bool = False
     #: Set by fault injection: the message was delivered twice.
     duplicated: bool = False
+
+
+class _FastWorm:
+    """Event-callback worm: one mesh transmission without a generator.
+
+    The stepped/merged ``Mesh.send`` body resumes the *caller's whole
+    generator chain* once per hop grant just to request the next link.
+    When nothing can observe the interior of a transmission (no fault
+    plan, no trace span, no telemetry probe), this state machine drives
+    the identical event sequence -- same software-overhead timeout, same
+    per-hop merged grants at the same times with the same queue ids --
+    through flat callbacks, and wakes the caller exactly once.
+
+    The caller waits on ``proxy``, an event that is never scheduled: the
+    final grant's pop runs :meth:`advance` -> :meth:`_finish`, which
+    invokes the proxy's callbacks synchronously on that same pop --
+    exactly when the generator version would have resumed the caller.
+    """
+
+    __slots__ = (
+        "mesh",
+        "message",
+        "pairs",
+        "route_key",
+        "per_hop",
+        "body_time",
+        "idx",
+        "requests",
+        "granted",
+        "requested_at",
+        "body_waited",
+        "proxy",
+    )
+
+    def __init__(self, mesh: "Mesh", message: MeshMessage, proxy: Event) -> None:
+        self.mesh = mesh
+        self.message = message
+        self.proxy = proxy
+        p = mesh.params
+        self.pairs = mesh._route_pairs(message.src, message.dst)
+        self.route_key = (message.src, message.dst)
+        self.per_hop = p.per_hop_s
+        self.body_time = message.size_bytes / p.link_bandwidth_bps
+        self.idx = -1
+        self.requests: list = []
+        self.granted: list = []
+        self.requested_at = 0.0
+        self.body_waited = False
+        # Software send overhead: the same Timeout the generator path
+        # yields first, with the worm itself as the continuation.
+        sw = Timeout(mesh.env, p.sw_overhead_s)
+        sw.callbacks.append(self.advance)
+
+    def advance(self, event: Event) -> None:
+        """Continuation run by each hop's merged grant (and the sw timeout)."""
+        mesh = self.mesh
+        env = mesh.env
+        idx = self.idx
+        if idx < 0:
+            mesh._in_flight += 1
+        else:
+            granted_at = event._value
+            if granted_at is None:
+                granted_at = env._now
+            mesh.wait_s += granted_at - self.requested_at
+            self.granted.append(granted_at)
+        pairs = self.pairs
+        nxt = idx + 1
+        self.idx = nxt
+        last = len(pairs) - 1
+        if nxt <= last:
+            res = pairs[nxt][1]
+            delay = (self.per_hop, self.body_time) if nxt == last else self.per_hop
+            self.requested_at = env._now
+            req = res.request(  # sim-ok: R005 -- every hold is released in _finish, which runs on the final grant of this same worm
+                key=self.route_key, resume_delay=delay
+            )
+            self.requests.append(req)
+            req.callbacks.append(self.advance)
+            return
+        if last < 0 and self.body_time > 0 and not self.body_waited:
+            # Zero-hop message: stream the body with a plain timeout.
+            self.body_waited = True
+            body = Timeout(env, self.body_time)
+            body.callbacks.append(self.advance)
+            return
+        self._finish(env)
+
+    def _finish(self, env: Environment) -> None:
+        mesh = self.mesh
+        pairs = self.pairs
+        released_at = env._now
+        requests = self.requests
+        for i in range(len(pairs)):
+            pairs[i][1].release(requests[i])
+        busy = mesh._link_busy_s
+        granted = self.granted
+        for i in range(len(pairs)):
+            link = pairs[i][0]
+            busy[link] = busy.get(link, 0.0) + (released_at - granted[i])
+        mesh._in_flight -= 1
+        message = self.message
+        message.delivered_at = released_at
+        if mesh._c_messages is not None:
+            mesh._c_messages.add(1)
+            mesh._c_bytes.add(message.size_bytes)
+            mesh._s_latency.record(released_at - message.enqueued_at)
+        # Wake the caller on this same event pop (no extra event), just
+        # as the generator version's single resume would have.
+        proxy = self.proxy
+        proxy._ok = True
+        proxy._value = message
+        callbacks = proxy.callbacks
+        proxy.callbacks = None
+        for callback in callbacks:
+            callback(proxy)
 
 
 class Mesh:
@@ -72,20 +189,46 @@ class Mesh:
         self.faults = faults
         self.tracer = get_tracer(monitor)
         self._links: Dict[Link, ArbitratedResource] = {}
+        #: (src, dst) -> [(link, link resource), ...] -- XY routes are
+        #: static, so each pair's route is computed and resolved once.
+        self._route_cache: Dict[Tuple[Coord, Coord], List[Tuple[Link, ArbitratedResource]]] = {}
         #: Per-directed-link seconds held by a streaming worm.
         self._link_busy_s: Dict[Link, float] = {}
         #: Total seconds senders spent blocked on link acquisition
         #: (contention: zero on an idle mesh by construction).
         self.wait_s = 0.0
         self._in_flight = 0
+        # Hot-path monitor objects, resolved once instead of per message.
+        if monitor is not None:
+            self._c_messages = monitor.counter("mesh.messages")
+            self._c_bytes = monitor.counter("mesh.bytes")
+            self._s_latency = monitor.series("mesh.latency")
+        else:
+            self._c_messages = None
         self.telemetry = get_telemetry(monitor)
+        #: Merged per-hop grants collapse each link's grant + hold
+        #: timeout into one scheduled event.  Timing-identical, but the
+        #: sender's ``wait_s`` bookkeeping then lands at the end of the
+        #: hold instead of at the grant -- observable only by a telemetry
+        #: sampler, so the merge is disabled when telemetry is on (the
+        #: ISSUE's "probe overlaps the batch" fallback).
+        self._merge_grants = not self.telemetry.enabled
+        #: Callback-worm transmissions (see :class:`_FastWorm`): same
+        #: event sequence as the merged path but without per-hop
+        #: generator resumes.  Requires that nothing can observe or
+        #: perturb a transmission's interior: fault plans decide
+        #: drop/duplicate at delivery and trace spans record hop
+        #: interiors, so both fall back to the generator paths.
+        self._fast_sends = faults is None and not self.tracer.enabled and self._merge_grants
         self.telemetry.register_probe(
-            "mesh_wait_seconds", lambda: self.wait_s,
+            "mesh_wait_seconds",
+            lambda: self.wait_s,
             help="Cumulative seconds senders blocked on busy links (contention)",
             kind="counter",
         )
         self.telemetry.register_probe(
-            "mesh_messages_in_flight", lambda: float(self._in_flight),
+            "mesh_messages_in_flight",
+            lambda: float(self._in_flight),
             help="Messages currently crossing the mesh",
         )
 
@@ -135,15 +278,22 @@ class Mesh:
             )
         return res
 
+    def _route_pairs(self, src: Coord, dst: Coord) -> List[Tuple[Link, ArbitratedResource]]:
+        """Cached [(link, resource), ...] along the XY route."""
+        key = (src, dst)
+        pairs = self._route_cache.get(key)
+        if pairs is None:
+            pairs = [(link, self._link(link)) for link in self.route(src, dst)]
+            self._route_cache[key] = pairs
+        return pairs
+
     # -- transmission -------------------------------------------------------
 
     def transfer_time(self, src: Coord, dst: Coord, size_bytes: int) -> float:
         """Uncontended latency of a message."""
         p = self.params
         return (
-            p.sw_overhead_s
-            + self.hops(src, dst) * p.per_hop_s
-            + size_bytes / p.link_bandwidth_bps
+            p.sw_overhead_s + self.hops(src, dst) * p.per_hop_s + size_bytes / p.link_bandwidth_bps
         )
 
     def send(self, message: MeshMessage):
@@ -156,44 +306,74 @@ class Mesh:
         message.enqueued_at = env.now
         if message.size_bytes < 0:
             raise ValueError("message size must be non-negative")
+        if self._fast_sends:
+            proxy = Event(env)
+            _FastWorm(self, message, proxy)
+            return (yield proxy)
         p = self.params
-        span = self.tracer.begin(
-            "mesh_xfer",
-            ctx=message.ctx,
-            bytes=message.size_bytes,
-            src=message.src,
-            dst=message.dst,
-        )
+        tracer = self.tracer
+        traced = tracer.enabled
+        span = None
+        if traced:
+            span = tracer.begin(
+                "mesh_xfer",
+                ctx=message.ctx,
+                bytes=message.size_bytes,
+                src=message.src,
+                dst=message.dst,
+            )
 
         # Software send overhead (charged regardless of distance).
         yield env.timeout(p.sw_overhead_s)
 
-        links = self.route(message.src, message.dst)
+        pairs = self._route_pairs(message.src, message.dst)
+        route_key = (message.src, message.dst)
+        per_hop = p.per_hop_s
+        body_time = message.size_bytes / p.link_bandwidth_bps
         requests = []
         acquired = []
         self._in_flight += 1
         try:
-            for link in links:
-                req = self._link(link).request(key=(message.src, message.dst))
-                requests.append((link, req))
-                requested_at = env.now
-                yield req
-                self.wait_s += env.now - requested_at
-                acquired.append((link, env.now))
-                if p.per_hop_s > 0:
-                    yield env.timeout(p.per_hop_s)
-            # Path reserved end-to-end; stream the body.
-            body_time = message.size_bytes / p.link_bandwidth_bps
-            if body_time > 0:
-                yield env.timeout(body_time)
+            if self._merge_grants:
+                # Fast path: each link's grant + hold timeout is one
+                # scheduled event (the last link also absorbs the body
+                # streaming time).  Grant instants, hold windows and
+                # release times are identical to the stepped path.
+                last = len(pairs) - 1
+                for i, (link, res) in enumerate(pairs):
+                    # The tuple makes the resume time's float arithmetic
+                    # identical to the stepped per-hop + body timeouts.
+                    delay = (per_hop, body_time) if i == last else per_hop
+                    requested_at = env.now
+                    req = res.request(key=route_key, resume_delay=delay)
+                    requests.append((link, res, req))
+                    granted_at = yield req
+                    if granted_at is None:
+                        granted_at = env.now
+                    self.wait_s += granted_at - requested_at
+                    acquired.append((link, granted_at))
+                if not pairs and body_time > 0:
+                    yield env.timeout(body_time)
+            else:
+                for link, res in pairs:
+                    req = res.request(key=route_key)
+                    requests.append((link, res, req))
+                    requested_at = env.now
+                    yield req
+                    self.wait_s += env.now - requested_at
+                    acquired.append((link, env.now))
+                    if per_hop > 0:
+                        yield env.timeout(per_hop)
+                # Path reserved end-to-end; stream the body.
+                if body_time > 0:
+                    yield env.timeout(body_time)
         finally:
             released_at = env.now
-            for link, req in requests:
-                self._link(link).release(req)
+            for _link, res, req in requests:
+                res.release(req)
+            busy = self._link_busy_s
             for link, granted_at in acquired:
-                self._link_busy_s[link] = (
-                    self._link_busy_s.get(link, 0.0) + (released_at - granted_at)
-                )
+                busy[link] = busy.get(link, 0.0) + (released_at - granted_at)
             self._in_flight -= 1
 
         message.delivered_at = env.now
@@ -202,25 +382,19 @@ class Mesh:
             # sends have no canonical global order, so drop/dup decisions
             # depend on sim time alone and are tie-break-invariant.  The
             # worm still paid full route occupancy + streaming time.
-            pair = (
-                f"{message.src[0]},{message.src[1]}->"
-                f"{message.dst[0]},{message.dst[1]}"
-            )
+            pair = f"{message.src[0]},{message.src[1]}->" f"{message.dst[0]},{message.dst[1]}"
             if self.faults.decide("mesh_drop", pair) is not None:
                 message.dropped = True
             elif self.faults.decide("mesh_dup", pair) is not None:
                 message.duplicated = True
-            self.tracer.end(
-                span, dropped=message.dropped, duplicated=message.duplicated
-            )
-        else:
-            self.tracer.end(span)
-        if self.monitor is not None:
-            self.monitor.counter("mesh.messages").add(1)
-            self.monitor.counter("mesh.bytes").add(message.size_bytes)
-            self.monitor.series("mesh.latency").record(
-                message.delivered_at - message.enqueued_at
-            )
+            if traced:
+                tracer.end(span, dropped=message.dropped, duplicated=message.duplicated)
+        elif traced:
+            tracer.end(span)
+        if self._c_messages is not None:
+            self._c_messages.add(1)
+            self._c_bytes.add(message.size_bytes)
+            self._s_latency.record(message.delivered_at - message.enqueued_at)
         return message
 
     def __repr__(self) -> str:

@@ -76,11 +76,15 @@ class Node:
     # -- CPU time helpers (generators to be yielded from processes) ------
 
     def busy(self, seconds: float):
-        """Occupy the CPU for *seconds* (software path, bookkeeping)."""
-        with self.cpu.request() as req:
+        """Occupy the CPU for *seconds* (software path, bookkeeping).
+
+        Uses a merged grant (``resume_delay``): the CPU is held for the
+        same window as a grant-then-timeout pair, with one scheduled
+        event instead of two.
+        """
+        with self.cpu.request(resume_delay=seconds) as req:
             yield req
             if seconds > 0:
-                yield self.env.timeout(seconds)
                 self.cpu_busy_s += seconds
 
     def memcpy(self, nbytes: int):
@@ -105,11 +109,10 @@ class Node:
         not with application compute)."""
         if nbytes < 0:
             raise ValueError("cannot receive a negative size")
-        with self.msgproc.request() as req:
+        seconds = nbytes / self.params.receive_bps
+        with self.msgproc.request(resume_delay=seconds) as req:
             yield req
-            seconds = nbytes / self.params.receive_bps
             if seconds > 0:
-                yield self.env.timeout(seconds)
                 self.msgproc_busy_s += seconds
 
     def landing_copy(self, nbytes: int):
@@ -117,11 +120,10 @@ class Node:
         buffer) on the message co-processor at memcpy speed."""
         if nbytes < 0:
             raise ValueError("cannot copy a negative size")
-        with self.msgproc.request() as req:
+        seconds = nbytes / self.params.memcpy_bps
+        with self.msgproc.request(resume_delay=seconds) as req:
             yield req
-            seconds = nbytes / self.params.memcpy_bps
             if seconds > 0:
-                yield self.env.timeout(seconds)
                 self.msgproc_busy_s += seconds
 
     def __repr__(self) -> str:

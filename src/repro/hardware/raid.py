@@ -140,18 +140,46 @@ class RAID3Array:
             kind="counter",
         )
         telemetry.register_probe(
-            "disk_busy_seconds", lambda: self.busy_s, labels=label,
+            "disk_busy_seconds",
+            lambda: self.busy_s,
+            labels=label,
             help="Seconds the array arm was held (busy fraction = value / elapsed)",
             kind="counter",
         )
         telemetry.register_probe(
-            "disk_queue_depth", lambda: float(len(self._pending)), labels=label,
+            "disk_queue_depth",
+            lambda: float(len(self._pending)),
+            labels=label,
             help="Requests waiting for the array arm",
         )
         self._service_hist = telemetry.histogram(
-            "disk_service_seconds", labels=label,
+            "disk_service_seconds",
+            labels=label,
             help="Queue + positioning + transfer time per request",
         )
+        #: Closed-form fast path: when no fault plan, trace span, or
+        #: telemetry probe can observe the interior of an access, the
+        #: whole service (controller overhead, positioning, pipelined
+        #: bus stream) is computed at the arm grant and the requester is
+        #: resumed once, at the completion time -- one scheduled event
+        #: instead of the stepped timeout/bus chain.  Exact by
+        #: construction: the arm hold serialises every reader/writer of
+        #: the head, track-cache and RNG state, and the completion time
+        #: is built with the same successive float additions the stepped
+        #: path performs.
+        self._fast_mode = faults is None and not self.tracer.enabled and not telemetry.enabled
+        bus.attach_client()
+        # Hot-path monitor objects, resolved once instead of per access.
+        if monitor is not None:
+            self._c_reads = monitor.counter(f"{name}.reads")
+            self._c_writes = monitor.counter(f"{name}.writes")
+            self._c_bytes_read = monitor.counter(f"{name}.bytes_read")
+            self._c_bytes_write = monitor.counter(f"{name}.bytes_write")
+            self._c_sequential = monitor.counter(f"{name}.sequential_hits")
+            self._c_cache_hits = monitor.counter(f"{name}.track_cache_hits")
+            self._s_latency = monitor.series(f"{name}.latency")
+        else:
+            self._c_reads = None
 
     # -- geometry ------------------------------------------------------------
 
@@ -212,8 +240,7 @@ class RAID3Array:
             raise RAIDError(f"negative transfer size {nbytes}")
         if lba < 0 or lba + nbytes > self.capacity_bytes:
             raise RAIDError(
-                f"request [{lba}, {lba + nbytes}) outside array capacity "
-                f"{self.capacity_bytes}"
+                f"request [{lba}, {lba + nbytes}) outside array capacity " f"{self.capacity_bytes}"
             )
 
     def _grant_next(self) -> None:
@@ -224,30 +251,89 @@ class RAID3Array:
         ahead.  (Greedy nearest-first -- SSTF -- starves distant
         requests under saturation.)
         """
-        if self._busy or not self._pending:
+        pending = self._pending
+        if self._busy or not pending:
             return
-        if self.elevator:
+        if len(pending) == 1:
+            # Sole entry always wins; only the LOOK sweep-direction flip
+            # (which steers future multi-entry picks) must still happen.
+            if self.elevator:
+                lba0 = pending[0][0]
+                head = self._head_lba
+                if not (lba0 >= head if self._sweep_up else lba0 <= head):
+                    self._sweep_up = not self._sweep_up
+            best = 0
+        elif self.elevator:
             head = self._head_lba
-            ahead = [i for i, (lba, _k, _g) in enumerate(self._pending)
-                     if (lba >= head if self._sweep_up else lba <= head)]
+            ahead = [
+                i
+                for i, entry in enumerate(pending)
+                if (entry[0] >= head if self._sweep_up else entry[0] <= head)
+            ]
             if not ahead:
                 self._sweep_up = not self._sweep_up
-                ahead = list(range(len(self._pending)))
+                ahead = list(range(len(pending)))
             best = min(
                 ahead,
                 key=lambda i: (
-                    abs(self._pending[i][0] - head),
-                    self._pending[i][0],
-                    self._pending[i][1],
+                    abs(pending[i][0] - head),
+                    pending[i][0],
+                    pending[i][1],
                 ),
             )
         else:
             best = min(
-                range(len(self._pending)),
-                key=lambda i: (self._pending[i][1], i),
+                range(len(pending)),
+                key=lambda i: (pending[i][1], i),
             )
-        _lba, _key, grant = self._pending.pop(best)
+        lba, _key, grant, fast = pending.pop(best)
         self._busy = True
+        if fast is not None and not (
+            self._fail_next or self._failed_disks or self._data_lost or self._rebuilding
+        ):
+            # Closed-form service: the arm is held for the whole interval
+            # and nothing observable happens inside it, so the completion
+            # time is computed here and the requester resumed once.  Every
+            # addition below mirrors a timeout the stepped path would have
+            # taken, in the same order, so the resulting float is
+            # bit-identical (successive addition, never summed deltas).
+            nbytes, kind = fast
+            env = self.env
+            now = env.now
+            when = now + self.raid_params.controller_overhead_s
+            bus_params = self.bus.params
+            bandwidth = bus_params.bandwidth_bps
+            sequential = False
+            if kind == "read" and self._cached_start <= lba \
+                    and lba + nbytes <= self._cached_end:
+                cache_hit = True
+                duration = bus_params.arbitration_s + nbytes / bandwidth
+            else:
+                cache_hit = False
+                end = lba + nbytes
+                sequential = self._last_end_lba == lba
+                if not sequential:
+                    # Same single-expression sum (and same RNG draw
+                    # order) as positioning_time in the stepped path.
+                    positioning = self.seek_time(self._head_lba, lba) + self._rotational_latency()
+                    when += positioning
+                media = self.disk_params.media_rate_bps * self.raid_params.data_disks
+                if media < bandwidth:
+                    bandwidth = media
+                duration = bus_params.arbitration_s + nbytes / bandwidth
+                # Head / track-cache updates land at completion in the
+                # stepped path, but the arm hold makes them unreadable
+                # until then -- eager update is unobservable.
+                self._head_lba = end
+                self._last_end_lba = end
+                if kind == "read":
+                    window = self.disk_params.track_cache_bytes * self.data_disks
+                    self._cached_start = max(lba, end - window)
+                    self._cached_end = end
+            grant._ok = True
+            grant._value = (now, duration, sequential, cache_hit)
+            env.schedule_at(grant, when + duration)
+            return
         grant.succeed()
 
     def _settle(self) -> None:
@@ -268,31 +354,81 @@ class RAID3Array:
             return False
         return True
 
-    def _access(self, lba: int, nbytes: int, kind: str,
-                ctx: Optional[TraceContext] = None):
+    def _access(self, lba: int, nbytes: int, kind: str, ctx: Optional[TraceContext] = None):
         self._validate(lba, nbytes)
         if lba + nbytes > self._high_water:
             self._high_water = lba + nbytes
         if self.faults is not None:
             self.faults.tick()
-        queued_at = self.env.now
+        env = self.env
+        queued_at = env.now
         sequential = False
         cache_hit = False
-        # The disk_service span covers queueing + positioning + transfer:
-        # the full time the request spent at the storage layer.
-        span = self.tracer.begin(
-            "disk_service", ctx=ctx, device=self.name, op=kind,
-            lba=lba, bytes=nbytes,
-        )
-        span_ctx = span.ctx if span.ctx is not None else ctx
-        grant = self.env.event()
-        proc = self.env.active_process
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            # The disk_service span covers queueing + positioning +
+            # transfer: the full time the request spent at the storage
+            # layer.
+            span = tracer.begin(
+                "disk_service",
+                ctx=ctx,
+                device=self.name,
+                op=kind,
+                lba=lba,
+                bytes=nbytes,
+            )
+            span_ctx = span.ctx if span.ctx is not None else ctx
+        else:
+            span = None
+            span_ctx = ctx
+        grant = env.event()
+        proc = env._active_process
         key = proc.order_key if proc is not None else ()
-        self._pending.append((lba, key, grant))
-        self.env._mark_arbiter_dirty(self)
+        fast = (
+            self._fast_mode
+            and self.bus.clients == 1
+            and not self._fail_next
+            and not self._failed_disks
+            and not self._data_lost
+            and not self._rebuilding
+        )
+        self._pending.append((lba, key, grant, (nbytes, kind) if fast else None))
+        env._mark_arbiter_dirty(self)
+        granted = False
+        if fast:
+            done = yield grant
+            if done is not None:
+                # Closed-form completion (see _grant_next): everything
+                # between grant and now was computed there; book the
+                # accounting the stepped path would have accrued.
+                started_at, duration, sequential, cache_hit = done
+                now = env.now
+                self.bus.account_bypass(nbytes, duration)
+                self.busy_s += now - started_at
+                self._busy = False
+                if self._pending:
+                    env._mark_arbiter_dirty(self)
+                if self._c_reads is not None:
+                    if kind == "read":
+                        self._c_reads.add(1)
+                        self._c_bytes_read.add(nbytes)
+                    else:
+                        self._c_writes.add(1)
+                        self._c_bytes_write.add(nbytes)
+                    if sequential:
+                        self._c_sequential.add(1)
+                    if cache_hit:
+                        self._c_cache_hits.add(1)
+                    self._s_latency.record(now - queued_at)
+                return nbytes
+            # State changed while queued; the grant fell back to the
+            # stepped path (already held -- do not yield again).
+            granted = True
         started_at = None
         try:
-            yield grant
+            if not granted:
+                yield grant
             started_at = self.env.now
             yield self.env.timeout(self.raid_params.controller_overhead_s)
             if self.faults is not None:
@@ -303,9 +439,7 @@ class RAID3Array:
                 self._fail_next -= 1
                 if self.monitor is not None:
                     self.monitor.counter(f"{self.name}.injected_errors").add(1)
-                raise RAIDError(
-                    f"injected media error on {self.name} at lba {lba}"
-                )
+                raise RAIDError(f"injected media error on {self.name} at lba {lba}")
             if self._data_lost:
                 raise RAIDError(
                     f"data lost on {self.name}: more than one spindle failed "
@@ -325,14 +459,11 @@ class RAID3Array:
                 # The bad sector's spindle has no redundancy left behind
                 # it -- this access is unrecoverable at the array layer.
                 raise RAIDError(
-                    f"unrecoverable media error on degraded {self.name} "
-                    f"at lba {lba}"
+                    f"unrecoverable media error on degraded {self.name} " f"at lba {lba}"
                 )
             # A transient media error forces a platter re-read plus
             # parity reconstruction, so it bypasses the track cache.
-            cache_hit = (
-                kind == "read" and media_error is None and self.cached(lba, nbytes)
-            )
+            cache_hit = kind == "read" and media_error is None and self.cached(lba, nbytes)
             degraded_now = self._degraded_range(lba, nbytes)
             if cache_hit:
                 # Served from the drive buffer: bus transfer only.
@@ -360,15 +491,11 @@ class RAID3Array:
                     )
                     yield self.env.timeout(nbytes / self.raid_params.xor_rate_bps)
                     if self.monitor is not None:
-                        self.monitor.counter(
-                            f"{self.name}.reconstructed_bytes"
-                        ).add(nbytes)
+                        self.monitor.counter(f"{self.name}.reconstructed_bytes").add(nbytes)
                         if degraded_now:
                             self.monitor.counter(f"{self.name}.degraded_reads").add(1)
                         if media_error is not None:
-                            self.monitor.counter(
-                                f"{self.name}.media_errors_recovered"
-                            ).add(1)
+                            self.monitor.counter(f"{self.name}.media_errors_recovered").add(1)
                 elif kind == "write" and degraded_now and nbytes > 0:
                     # Degraded write: parity must absorb the missing
                     # spindle's contribution (XOR only; the parity
@@ -388,24 +515,29 @@ class RAID3Array:
             self._busy = False
             if self._pending:
                 self.env._mark_arbiter_dirty(self)
-        if self.faults is not None or degraded_now:
-            self.tracer.end(
-                span,
-                sequential=sequential,
-                track_cache_hit=cache_hit,
-                degraded=degraded_now,
-            )
-        else:
-            self.tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
+        if traced:
+            if self.faults is not None or degraded_now:
+                tracer.end(
+                    span,
+                    sequential=sequential,
+                    track_cache_hit=cache_hit,
+                    degraded=degraded_now,
+                )
+            else:
+                tracer.end(span, sequential=sequential, track_cache_hit=cache_hit)
         self._service_hist.observe(self.env.now - queued_at)
-        if self.monitor is not None:
-            self.monitor.counter(f"{self.name}.{kind}s").add(1)
-            self.monitor.counter(f"{self.name}.bytes_{kind}").add(nbytes)
+        if self._c_reads is not None:
+            if kind == "read":
+                self._c_reads.add(1)
+                self._c_bytes_read.add(nbytes)
+            else:
+                self._c_writes.add(1)
+                self._c_bytes_write.add(nbytes)
             if sequential:
-                self.monitor.counter(f"{self.name}.sequential_hits").add(1)
+                self._c_sequential.add(1)
             if cache_hit:
-                self.monitor.counter(f"{self.name}.track_cache_hits").add(1)
-            self.monitor.series(f"{self.name}.latency").record(self.env.now - queued_at)
+                self._c_cache_hits.add(1)
+            self._s_latency.record(self.env.now - queued_at)
         return nbytes
 
     def read(self, lba: int, nbytes: int, ctx: Optional[TraceContext] = None):
@@ -509,9 +641,7 @@ class RAID3Array:
                 if self._rebuild_rate < 1.0 and hold_s > 0:
                     # Throttle: idle so the rebuild consumes only
                     # rebuild_rate of the arm's time.
-                    yield self.env.timeout(
-                        hold_s * (1.0 - self._rebuild_rate) / self._rebuild_rate
-                    )
+                    yield self.env.timeout(hold_s * (1.0 - self._rebuild_rate) / self._rebuild_rate)
             self._failed_disks.discard(self._rebuild_index)
             self.rebuilds_completed += 1
             if self.monitor is not None:
@@ -532,7 +662,7 @@ class RAID3Array:
         grant = self.env.event()
         # (-1, seq): sorts before every causal process key, so an exact
         # (distance, lba) tie goes to the rebuild deterministically.
-        self._pending.append((lba, (-1, chunk_seq), grant))
+        self._pending.append((lba, (-1, chunk_seq), grant, None))
         self.env._mark_arbiter_dirty(self)
         started_at = None
         try:

@@ -64,8 +64,9 @@ class Machine:
         )
 
         width = max(cfg.n_compute, cfg.n_io, 1)
-        self.mesh = Mesh(self.env, width, 3, params=cfg.hardware.mesh,
-                         monitor=self.monitor, faults=self.faults)
+        self.mesh = Mesh(
+            self.env, width, 3, params=cfg.hardware.mesh, monitor=self.monitor, faults=self.faults
+        )
 
         # -- nodes ---------------------------------------------------------
         self.compute_nodes: List[Node] = [
@@ -99,8 +100,7 @@ class Machine:
         self.sync_daemons: List[SyncDaemon] = []
         self.io_endpoints: Dict[int, RPCEndpoint] = {}
         for i, node in enumerate(self.io_nodes):
-            bus = SCSIBus(self.env, name=f"scsi{i}", params=cfg.hardware.scsi,
-                          monitor=self.monitor)
+            bus = SCSIBus(self.env, name=f"scsi{i}", params=cfg.hardware.scsi, monitor=self.monitor)
             array = RAID3Array(
                 self.env,
                 bus,
@@ -123,8 +123,9 @@ class Machine:
                 name=f"bcache{i}",
                 monitor=self.monitor,
             )
-            endpoint = RPCEndpoint(self.env, node, self.mesh, monitor=self.monitor,
-                                   faults=self.faults)
+            endpoint = RPCEndpoint(
+                self.env, node, self.mesh, monitor=self.monitor, faults=self.faults
+            )
             server = PFSServer(
                 self.env,
                 node,
@@ -152,8 +153,7 @@ class Machine:
             # the array up to the bytes the UFS has actually allocated
             # (free space holds no live data to reconstruct).
             array.live_bytes_fn = (
-                lambda u=ufs: (u.device.total_blocks - u.allocator.free_blocks)
-                * u.block_size
+                lambda u=ufs: (u.device.total_blocks - u.allocator.free_blocks) * u.block_size
             )
             self.ufses.append(ufs)
             self.caches.append(cache)
@@ -162,7 +162,10 @@ class Machine:
 
         # -- coordination service on the service node -----------------------------
         self.coordinator_endpoint = RPCEndpoint(
-            self.env, self.service_node, self.mesh, monitor=self.monitor,
+            self.env,
+            self.service_node,
+            self.mesh,
+            monitor=self.monitor,
             faults=self.faults,
         )
         self.coordinator = CoordinatorService(self.env, self.coordinator_endpoint)
@@ -170,8 +173,9 @@ class Machine:
         # -- PFS clients on the compute nodes ------------------------------------------
         self.clients: List[PFSClient] = []
         for node in self.compute_nodes:
-            endpoint = RPCEndpoint(self.env, node, self.mesh, monitor=self.monitor,
-                                   faults=self.faults)
+            endpoint = RPCEndpoint(
+                self.env, node, self.mesh, monitor=self.monitor, faults=self.faults
+            )
             art = AsyncRequestManager(
                 self.env, node, max_threads=cfg.art_threads, monitor=self.monitor
             )
@@ -192,9 +196,7 @@ class Machine:
                     client.crash_windows = windows
                     # The RPC retry loop raises NodeCrashed while the
                     # node is down instead of consuming replies.
-                    endpoint.halted_fn = (
-                        lambda c=client: c.crashed_at(self.env.now)
-                    )
+                    endpoint.halted_fn = lambda c=client: c.crashed_at(self.env.now)
             self.clients.append(client)
 
         self.mounts: Dict[str, PFSMount] = {}
@@ -252,12 +254,8 @@ class Machine:
         """Resolve a :class:`PFSConfig` against this machine's I/O nodes."""
         factor = pfs.stripe_factor or self.config.n_io
         if factor > self.config.n_io:
-            raise ValueError(
-                f"stripe factor {factor} exceeds {self.config.n_io} I/O nodes"
-            )
-        return StripeAttributes(
-            stripe_unit=pfs.stripe_unit, stripe_group=tuple(range(factor))
-        )
+            raise ValueError(f"stripe factor {factor} exceeds {self.config.n_io} I/O nodes")
+        return StripeAttributes(stripe_unit=pfs.stripe_unit, stripe_group=tuple(range(factor)))
 
     def mount(self, name: str = "/pfs", pfs: Optional[PFSConfig] = None) -> PFSMount:
         """Create a PFS mount with the given striping/buffering defaults."""
@@ -265,7 +263,9 @@ class Machine:
             raise ValueError(f"mount {name!r} already exists")
         pfs = pfs or PFSConfig()
         mount = PFSMount(
-            name, self.stripe_attributes(pfs), buffered=pfs.buffered,
+            name,
+            self.stripe_attributes(pfs),
+            buffered=pfs.buffered,
             file_ids=self._file_ids,
         )
         self.mounts[name] = mount
@@ -321,9 +321,7 @@ class Machine:
 
         # 1. Block conservation on every UFS.
         for ufs in self.ufses:
-            allocated = sum(
-                inode.nblocks for inode in ufs._inodes.values()
-            )
+            allocated = sum(inode.nblocks for inode in ufs._inodes.values())
             total = ufs.allocator.free_blocks + allocated
             if total != ufs.device.total_blocks:
                 problems.append(
@@ -345,15 +343,11 @@ class Machine:
         for mount in self.mounts.values():
             for pfs_file in mount.files.values():
                 if pfs_file.file_id not in self.coordinator._files:
-                    problems.append(
-                        f"{pfs_file.name!r} not registered with the coordinator"
-                    )
+                    problems.append(f"{pfs_file.name!r} not registered with the coordinator")
                 stripe_total = 0
                 for io_index in pfs_file.attrs.stripe_group:
                     if self.ufses[io_index].exists(pfs_file.file_id):
-                        stripe_total += self.ufses[io_index].inode(
-                            pfs_file.file_id
-                        ).size_bytes
+                        stripe_total += self.ufses[io_index].inode(pfs_file.file_id).size_bytes
                 if stripe_total > pfs_file.size_bytes:
                     problems.append(
                         f"{pfs_file.name!r}: stripe files hold {stripe_total} "
@@ -370,8 +364,7 @@ class Machine:
         # 5. Servers never delivered fewer bytes than clients demanded.
         client_bytes = self.monitor.counter_value("pfs_client.demand_bytes")
         server_bytes = sum(
-            self.monitor.counter_value(f"pfs_server.{n.node_id}.bytes_reads")
-            for n in self.io_nodes
+            self.monitor.counter_value(f"pfs_server.{n.node_id}.bytes_reads") for n in self.io_nodes
         )
         if server_bytes < client_bytes:
             problems.append(
@@ -409,26 +402,18 @@ class Machine:
                 file_id, offset, nbytes, digest, kind, io_node,
             ) in self.faults.deliveries:
                 if kind == "readahead":
-                    truth = (
-                        self.ufses[io_node]
-                        .content(file_id, offset, nbytes)
-                        .to_bytes()
-                    )
+                    truth = self.ufses[io_node].content(file_id, offset, nbytes).to_bytes()
                 else:
                     attrs = attrs_by_id.get(file_id)
                     if attrs is None:
-                        problems.append(
-                            f"delivery audit: unknown file_id {file_id}"
-                        )
+                        problems.append(f"delivery audit: unknown file_id {file_id}")
                         continue
                     pieces = sorted(
                         decluster(attrs, offset, nbytes),
                         key=lambda p: p.pfs_offset,
                     )
                     truth = b"".join(
-                        self.ufses[p.io_node]
-                        .content(file_id, p.ufs_offset, p.length)
-                        .to_bytes()
+                        self.ufses[p.io_node].content(file_id, p.ufs_offset, p.length).to_bytes()
                         for p in pieces
                     )
                 expected = hashlib.sha256(truth).hexdigest()

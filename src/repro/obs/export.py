@@ -59,9 +59,7 @@ def chrome_trace_events(tracer: Tracer) -> List[dict]:
     line up on one row within its node.
     """
     events: List[dict] = []
-    nodes = sorted(
-        {s.node_id for s in tracer.spans if s.node_id is not None}
-    )
+    nodes = sorted({s.node_id for s in tracer.spans if s.node_id is not None})
     for node_id in nodes:
         events.append(
             {
@@ -129,11 +127,7 @@ def _attribute(
     """
     if hi <= lo:
         return
-    kids = [
-        c
-        for c in children.get(span.span_id, ())
-        if c.end > lo and c.start < hi
-    ]
+    kids = [c for c in children.get(span.span_id, ()) if c.end > lo and c.start < hi]
     if not kids:
         acc[span.kind] = acc.get(span.kind, 0.0) + (hi - lo)
         return

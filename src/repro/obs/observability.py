@@ -63,9 +63,7 @@ class Observability:
         self.env = env
         self.monitor = Monitor(env)
         self.tracer = Tracer(env, enabled=trace)
-        self.telemetry = Telemetry(
-            env, enabled=telemetry, interval_s=telemetry_interval_s
-        )
+        self.telemetry = Telemetry(env, enabled=telemetry, interval_s=telemetry_interval_s)
 
     # -- Monitor interface (delegation) -----------------------------------
 

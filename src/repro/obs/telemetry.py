@@ -39,8 +39,20 @@ LabelsKey = Tuple[Tuple[str, str], ...]
 #: Default histogram bounds for simulated-time durations (seconds).
 #: Spans 0.1 ms (a memcpy) to 2.5 s (a saturated collective read call).
 DEFAULT_TIME_BUCKETS_S: Tuple[float, ...] = (
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
-    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
 )
 
 
@@ -193,9 +205,7 @@ class MetricRegistry:
             family = MetricFamily(name, kind, help=help, buckets=buckets)
             self.families[name] = family
         elif family.kind != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {family.kind}, not {kind}"
-            )
+            raise ValueError(f"metric {name!r} already registered as {family.kind}, not {kind}")
         return family
 
     def counter(
@@ -328,6 +338,15 @@ class Telemetry:
     # -- sampling -----------------------------------------------------------
 
     def _on_tick(self, now: float) -> None:
+        if not self.enabled:
+            # Defensive: the hook is only ever installed when enabled
+            # (see __init__), so this cannot fire on a disabled run --
+            # but sampling from a stray hook would silently tax every
+            # event pop, so guard it structurally anyway.  The
+            # zero-overhead contract (env._tick_hooks stays empty when
+            # telemetry is off) is asserted in
+            # tests/test_kernel_perf_safety.py.
+            return
         if now < self._next_due and self.sample_times:
             return
         self.sample(now)
@@ -380,11 +399,7 @@ class Telemetry:
 
     def series_by_name(self, name: str) -> Dict[LabelsKey, List[Tuple[float, float]]]:
         """All sampled series of family *name*, keyed by label set."""
-        return {
-            labels: pts
-            for (fam, labels), pts in self.samples.items()
-            if fam == name
-        }
+        return {labels: pts for (fam, labels), pts in self.samples.items() if fam == name}
 
     @property
     def n_samples(self) -> int:

@@ -81,16 +81,10 @@ def prometheus_text(telemetry: Telemetry) -> str:
                     lines.append(f"{family.name}_bucket{le} {count}")
                 le_inf = _label_str(labels, [("le", "+Inf")])
                 lines.append(f"{family.name}_bucket{le_inf} {cumulative[-1]}")
-                lines.append(
-                    f"{family.name}_sum{_label_str(labels)} {_fmt(metric.sum)}"
-                )
-                lines.append(
-                    f"{family.name}_count{_label_str(labels)} {metric.count}"
-                )
+                lines.append(f"{family.name}_sum{_label_str(labels)} {_fmt(metric.sum)}")
+                lines.append(f"{family.name}_count{_label_str(labels)} {metric.count}")
             else:
-                lines.append(
-                    f"{family.name}{_label_str(labels)} {_fmt(metric.value)}"
-                )
+                lines.append(f"{family.name}{_label_str(labels)} {_fmt(metric.value)}")
     return "\n".join(lines) + "\n"
 
 
@@ -197,9 +191,7 @@ def utilization_heatmap(
     lines = [header]
     top = len(HEATMAP_SHADES) - 1
     for name, row in zip(names, rows):
-        shades = "".join(
-            HEATMAP_SHADES[min(top, int(value * top + 0.5))] for value in row
-        )
+        shades = "".join(HEATMAP_SHADES[min(top, int(value * top + 0.5))] for value in row)
         lines.append(f"{name.rjust(width)} |{shades}|")
     t0 = mids[0] - (mids[1] - mids[0]) / 2 if len(mids) > 1 else mids[0]
     t1 = mids[-1] + (mids[1] - mids[0]) / 2 if len(mids) > 1 else mids[-1]
@@ -233,8 +225,12 @@ def utilization_timeline(
     names, mids, rows = matrix
     series = {name: [100.0 * v for v in row] for name, row in zip(names, rows)}
     return plot_series(
-        mids, series, title=header,
-        x_label="sim time (s)", y_label="% busy", **plot_kwargs,
+        mids,
+        series,
+        title=header,
+        x_label="sim time (s)",
+        y_label="% busy",
+        **plot_kwargs,
     )
 
 

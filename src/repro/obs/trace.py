@@ -50,8 +50,7 @@ class TraceContext(NamedTuple):
 class Span:
     """One named interval of simulated time."""
 
-    __slots__ = ("span_id", "trace_id", "parent_id", "kind", "node_id",
-                 "start", "end", "attrs")
+    __slots__ = ("span_id", "trace_id", "parent_id", "kind", "node_id", "start", "end", "attrs")
 
     def __init__(
         self,
@@ -196,11 +195,7 @@ class Tracer:
 
     def roots(self, kind: Optional[str] = None) -> List[Span]:
         """Spans with no parent, optionally filtered by kind."""
-        return [
-            s
-            for s in self.spans
-            if s.parent_id is None and (kind is None or s.kind == kind)
-        ]
+        return [s for s in self.spans if s.parent_id is None and (kind is None or s.kind == kind)]
 
     def __len__(self) -> int:
         return len(self.spans)

@@ -143,7 +143,10 @@ class AsyncRequestManager:
         """
         request = AsyncRequest(self.env, operation, tag, ctx=ctx)
         span = self.tracer.begin(
-            "art_setup", ctx=ctx, node_id=self.node.node_id, tag=tag,
+            "art_setup",
+            ctx=ctx,
+            node_id=self.node.node_id,
+            tag=tag,
             request_id=request.request_id,
         )
         yield from self.node.busy(self.node.params.async_setup_overhead_s)
@@ -175,8 +178,11 @@ class AsyncRequestManager:
                 continue
             request.started_at = self.env.now
             span = self.tracer.begin(
-                "art_io", ctx=request.ctx, node_id=self.node.node_id,
-                tag=request.tag, request_id=request.request_id,
+                "art_io",
+                ctx=request.ctx,
+                node_id=self.node.node_id,
+                tag=request.tag,
+                request_id=request.request_id,
                 worker=worker_index,
             )
             try:

@@ -70,23 +70,29 @@ class BufferCache:
         telemetry = get_telemetry(monitor)
         label = {"cache": name}
         telemetry.register_probe(
-            "bcache_occupancy_blocks", lambda: float(len(self._blocks)),
-            labels=label, help="Blocks resident in the cache",
+            "bcache_occupancy_blocks",
+            lambda: float(len(self._blocks)),
+            labels=label,
+            help="Blocks resident in the cache",
         )
         telemetry.register_probe(
-            "bcache_dirty_blocks", lambda: float(self.dirty_count),
-            labels=label, help="Resident blocks awaiting write-back",
+            "bcache_dirty_blocks",
+            lambda: float(self.dirty_count),
+            labels=label,
+            help="Resident blocks awaiting write-back",
         )
         telemetry.register_probe(
-            "bcache_hits_total", lambda: float(self.counts.get("hits", 0)),
-            labels=label, help="Block lookups served from the cache",
+            "bcache_hits_total",
+            lambda: float(self.counts.get("hits", 0)),
+            labels=label,
+            help="Block lookups served from the cache",
             kind="counter",
         )
         telemetry.register_probe(
             "bcache_misses_total",
-            lambda: float(self.counts.get("misses", 0)
-                          + self.counts.get("collapsed_misses", 0)),
-            labels=label, help="Block lookups that missed (incl. collapsed)",
+            lambda: float(self.counts.get("misses", 0) + self.counts.get("collapsed_misses", 0)),
+            labels=label,
+            help="Block lookups that missed (incl. collapsed)",
             kind="counter",
         )
 

@@ -98,9 +98,7 @@ class RPCEndpoint:
         #: in-flight calls raise :class:`NodeCrashed` instead of
         #: retrying, and late replies to a dead node are ignored.
         self.halted_fn: Optional[Callable[[], bool]] = None
-        self._dispatcher = env.process(
-            self._dispatch_loop(), name=f"rpc-dispatch-{node.node_id}"
-        )
+        self._dispatcher = env.process(self._dispatch_loop(), name=f"rpc-dispatch-{node.node_id}")
         get_telemetry(monitor).register_probe(
             "rpc_inbox_depth",
             lambda: float(len(self._inbox.items)),
@@ -108,9 +106,7 @@ class RPCEndpoint:
             help="Requests delivered but not yet picked up by the dispatcher",
         )
 
-    def register(
-        self, request_type: Type[RPCMessage], handler: Callable[..., Generator]
-    ) -> None:
+    def register(self, request_type: Type[RPCMessage], handler: Callable[..., Generator]) -> None:
         """Register *handler* (a generator function) for *request_type*.
 
         The handler is called as ``handler(request)`` and must return the
@@ -180,9 +176,7 @@ class RPCEndpoint:
                     # node cannot consume it.  The server's idempotency
                     # log replays it when the restarted node re-asks.
                     self.tracer.end(attempt_span, outcome="node_crashed")
-                    self.tracer.end(
-                        span, attempts=attempt + 1, outcome="node_crashed"
-                    )
+                    self.tracer.end(span, attempts=attempt + 1, outcome="node_crashed")
                     raise self._node_crashed(request)
                 reply = outcome[reply_event]
                 self.tracer.end(attempt_span, outcome="reply")
@@ -224,6 +218,12 @@ class RPCEndpoint:
         yield from self.mesh.send(message)
         if message.dropped:
             # Lost after occupying its route; the retry timeout recovers.
+            return
+        if self.faults is None:
+            # Admission into an unbounded inbox cannot block and nothing
+            # can drop or duplicate the message: fire and forget (the
+            # put still settles in canonical key order).
+            target._inbox.put(envelope)
             return
         yield target._inbox.put(envelope)
         if message.duplicated:

@@ -60,8 +60,15 @@ class HandleStats:
     excluded), so we record each call's duration.
     """
 
-    __slots__ = ("bytes_read", "bytes_written", "read_call_time", "read_calls",
-                 "write_call_time", "write_calls", "call_durations")
+    __slots__ = (
+        "bytes_read",
+        "bytes_written",
+        "read_call_time",
+        "read_calls",
+        "write_call_time",
+        "write_calls",
+        "call_durations",
+    )
 
     def __init__(self) -> None:
         self.bytes_read = 0
@@ -124,6 +131,14 @@ class PFSFileHandle:
         #: shared-pointer token; the release offset tracks whether the
         #: current record was delivered before the crash.
         self._held_token: Optional[tuple] = None
+        #: Token-mode record delivered (and audited) but not yet
+        #: returned to the application: a crash during the release
+        #: handshake kills the read call *after* the pointer advanced,
+        #: so the post-restart retry must hand back this completed
+        #: result instead of re-reading -- re-reading would fetch the
+        #: *next* record and silently drop this one, and re-fetching
+        #: this one would double-deliver an audited record.
+        self._delivered_unreturned: Optional[tuple] = None
 
     # -- conveniences ------------------------------------------------------
 
@@ -162,9 +177,7 @@ class PFSFileHandle:
         client = self.client
         now = self.env.now
         if client.crashed_at(now):
-            raise NodeCrashed(
-                f"node{self.node.node_id} is down at t={now:.6f}"
-            )
+            raise NodeCrashed(f"node{self.node.node_id} is down at t={now:.6f}")
         epoch = client.crash_epoch_at(now)
         if epoch > self._recovered_epoch:
             # Mark recovered *before* replaying: the replay RPCs route
@@ -204,9 +217,7 @@ class PFSFileHandle:
             file_id, release_offset = held
             self._held_token = held
             yield from self._coordinate(
-                TokenRelease(
-                    file_id=file_id, rank=self.rank, new_offset=release_offset
-                )
+                TokenRelease(file_id=file_id, rank=self.rank, new_offset=release_offset)
             )
         self._held_token = None
         if self.prefetcher is not None:
@@ -259,11 +270,27 @@ class PFSFileHandle:
         start = self.env.now
         # Root span of the trace: one request ID per user read call.
         span = self.client.tracer.begin(
-            "client_call", node_id=self.node.node_id, op="read",
-            rank=self.rank, nbytes=nbytes, mode=self.iomode.name,
+            "client_call",
+            node_id=self.node.node_id,
+            op="read",
+            rank=self.rank,
+            nbytes=nbytes,
+            mode=self.iomode.name,
         )
         ctx = span.ctx
         yield from self.node.busy(self.node.params.client_call_overhead_s)
+
+        if self._delivered_unreturned is not None:
+            # The previous call on this handle died after its record was
+            # delivered and the shared pointer advanced; complete that
+            # call's hand-off instead of consuming a new record.
+            _offset, _n, data = self._delivered_unreturned
+            self._delivered_unreturned = None
+            duration = self.env.now - start
+            self.client.tracer.end(span, bytes_returned=len(data), replayed=True)
+            self.stats.record_read(len(data), duration)
+            self.client._record_read(len(data), duration)
+            return data
 
         mode = self.iomode
         try:
@@ -311,15 +338,16 @@ class PFSFileHandle:
         n = self._clamp(offset, nbytes)
         data = yield from self._demand_read(offset, n, ctx)
         self._held_token = (self.file.file_id, offset + n)
+        if self.client.crash_windows:
+            self._delivered_unreturned = (offset, n, data)
         # Atomicity: completion bookkeeping happens inside the hold.
         yield from self.node.busy(self.node.params.client_call_overhead_s)
         yield from self._coordinate(
-            TokenRelease(
-                file_id=self.file.file_id, rank=self.rank, new_offset=offset + n
-            ),
+            TokenRelease(file_id=self.file.file_id, rank=self.rank, new_offset=offset + n),
             ctx=ctx,
         )
         self._held_token = None
+        self._delivered_unreturned = None
         return data
 
     def _read_m_log(self, nbytes: int, ctx: Optional[TraceContext] = None):
@@ -335,13 +363,14 @@ class PFSFileHandle:
         n = self._clamp(offset, nbytes)
         data = yield from self._demand_read(offset, n, ctx)
         self._held_token = (self.file.file_id, offset + n)
+        if self.client.crash_windows:
+            self._delivered_unreturned = (offset, n, data)
         yield from self._coordinate(
-            TokenRelease(
-                file_id=self.file.file_id, rank=self.rank, new_offset=offset + n
-            ),
+            TokenRelease(file_id=self.file.file_id, rank=self.rank, new_offset=offset + n),
             ctx=ctx,
         )
         self._held_token = None
+        self._delivered_unreturned = None
         return data
 
     def _read_m_sync(self, nbytes: int, ctx: Optional[TraceContext] = None):
@@ -434,14 +463,12 @@ class PFSFileHandle:
             }
         return state
 
-    def _demand_read(self, offset: int, nbytes: int,
-                     ctx: Optional[TraceContext] = None):
+    def _demand_read(self, offset: int, nbytes: int, ctx: Optional[TraceContext] = None):
         """Serve a demand read, through the prefetcher when present."""
         if nbytes == 0:
             return LiteralData(b"")
         if self.prefetcher is not None:
-            data = yield from self.prefetcher.serve_read(self, offset, nbytes,
-                                                         ctx=ctx)
+            data = yield from self.prefetcher.serve_read(self, offset, nbytes, ctx=ctx)
         else:
             data = yield from self.transfer_read(offset, nbytes, ctx=ctx)
         client = self.client
@@ -458,19 +485,15 @@ class PFSFileHandle:
         if client.faults is not None:
             # Audit what the application actually received; Machine.verify
             # (invariant 7) diffs these digests against ground truth.
-            client.faults.record_delivery(
-                self.file.file_id, offset, nbytes, data, kind="demand"
-            )
+            client.faults.record_delivery(self.file.file_id, offset, nbytes, data, kind="demand")
         return data
 
-    def transfer_read(self, offset: int, nbytes: int, cause: str = "demand",
-                      ctx: Optional[TraceContext] = None):
+    def transfer_read(
+        self, offset: int, nbytes: int, cause: str = "demand", ctx: Optional[TraceContext] = None
+    ):
         """Generator: declustered fetch of [offset, offset+nbytes) from the
         I/O nodes; no pointer coordination, no prefetching."""
-        return (
-            yield from self.client.transfer_read(self.file, offset, nbytes, cause,
-                                                 ctx=ctx)
-        )
+        return (yield from self.client.transfer_read(self.file, offset, nbytes, cause, ctx=ctx))
 
     # -- write -----------------------------------------------------------------------
 
@@ -479,8 +502,12 @@ class PFSFileHandle:
         self._check_open()
         start = self.env.now
         span = self.client.tracer.begin(
-            "client_call", node_id=self.node.node_id, op="write",
-            rank=self.rank, nbytes=len(data), mode=self.iomode.name,
+            "client_call",
+            node_id=self.node.node_id,
+            op="write",
+            rank=self.rank,
+            nbytes=len(data),
+            mode=self.iomode.name,
         )
         ctx = span.ctx
         yield from self.node.busy(self.node.params.client_call_overhead_s)
@@ -545,8 +572,7 @@ class PFSFileHandle:
                 ctx=ctx,
             )
             if go.leader:
-                yield from self.client.transfer_write(self.file, go.offset, data,
-                                                      ctx=ctx)
+                yield from self.client.transfer_write(self.file, go.offset, data, ctx=ctx)
         elif mode is IOMode.M_ASYNC:
             offset = self.private_offset
             yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
@@ -621,14 +647,10 @@ class PFSFileHandle:
         if mode is IOMode.M_ASYNC:
             self.private_offset = offset
         elif mode in (IOMode.M_UNIX, IOMode.M_LOG):
-            yield from self._coordinate(
-                TokenAcquire(file_id=self.file.file_id, rank=self.rank)
-            )
+            yield from self._coordinate(TokenAcquire(file_id=self.file.file_id, rank=self.rank))
             self._held_token = (self.file.file_id, offset)
             yield from self._coordinate(
-                TokenRelease(
-                    file_id=self.file.file_id, rank=self.rank, new_offset=offset
-                )
+                TokenRelease(file_id=self.file.file_id, rank=self.rank, new_offset=offset)
             )
             self._held_token = None
         elif mode is IOMode.M_RECORD:
@@ -715,7 +737,8 @@ class PFSClient:
             kind="counter",
         )
         self._read_call_hist = telemetry.histogram(
-            "client_read_call_seconds", labels=label,
+            "client_read_call_seconds",
+            labels=label,
             help="User-visible duration of each read() call",
         )
 
@@ -772,8 +795,14 @@ class PFSClient:
 
     # -- transfers --------------------------------------------------------------
 
-    def transfer_read(self, pfs_file: PFSFile, offset: int, nbytes: int, cause: str,
-                      ctx: Optional[TraceContext] = None):
+    def transfer_read(
+        self,
+        pfs_file: PFSFile,
+        offset: int,
+        nbytes: int,
+        cause: str,
+        ctx: Optional[TraceContext] = None,
+    ):
         """Generator: declustered read returning assembled Data.
 
         Pieces contiguous in one I/O node's stripe file are coalesced
@@ -789,8 +818,12 @@ class PFSClient:
                 # One stripe_piece span per coalesced per-I/O-node request;
                 # concurrent pieces are concurrent child spans.
                 piece_span = self.tracer.begin(
-                    "stripe_piece", ctx=ctx, node_id=self.node.node_id,
-                    io_node=creq.io_node, bytes=creq.length, cause=cause,
+                    "stripe_piece",
+                    ctx=ctx,
+                    node_id=self.node.node_id,
+                    io_node=creq.io_node,
+                    bytes=creq.length,
+                    cause=cause,
                 )
                 request = ReadRequest(
                     file_id=pfs_file.file_id,
@@ -802,9 +835,7 @@ class PFSClient:
                 if piece_span.ctx is not None:
                     request.ctx = piece_span.ctx
                 try:
-                    reply = yield from self.endpoint.call(
-                        self._io_endpoint(creq.io_node), request
-                    )
+                    reply = yield from self.endpoint.call(self._io_endpoint(creq.io_node), request)
                     # Land the reply into the destination buffer through
                     # the message co-processor.  This per-call data path
                     # (a few MB/s) is what bounds single-request latency
@@ -833,18 +864,14 @@ class PFSClient:
             condition = yield self.env.all_of(procs)
             replies = [condition[p] for p in procs]
         if any(reply is None for reply in replies):
-            raise NodeCrashed(
-                f"node{self.node.node_id} crashed during declustered read"
-            )
+            raise NodeCrashed(f"node{self.node.node_id} crashed during declustered read")
 
         # Reassemble in PFS offset order from the per-node replies.
         located: List[tuple] = []
         for creq, reply in zip(requests, replies):
             assert isinstance(reply, ReadReply)
             for piece in creq.pieces:
-                chunk = reply.data.slice(
-                    piece.ufs_offset - creq.ufs_offset, piece.length
-                )
+                chunk = reply.data.slice(piece.ufs_offset - creq.ufs_offset, piece.length)
                 located.append((piece.pfs_offset, chunk))
         located.sort(key=lambda item: item[0])
         data = concat_data([chunk for _pos, chunk in located])
@@ -853,8 +880,9 @@ class PFSClient:
             self.monitor.counter(f"pfs_client.{cause}_bytes").add(len(data))
         return data
 
-    def transfer_write(self, pfs_file: PFSFile, offset: int, data: Data,
-                       ctx: Optional[TraceContext] = None):
+    def transfer_write(
+        self, pfs_file: PFSFile, offset: int, data: Data, ctx: Optional[TraceContext] = None
+    ):
         """Generator: declustered write of *data* at *offset*."""
         nbytes = len(data)
         if nbytes == 0:
@@ -865,15 +893,16 @@ class PFSClient:
         def put(creq):
             def gen():
                 piece_span = self.tracer.begin(
-                    "stripe_piece", ctx=ctx, node_id=self.node.node_id,
-                    io_node=creq.io_node, bytes=creq.length, cause="write",
+                    "stripe_piece",
+                    ctx=ctx,
+                    node_id=self.node.node_id,
+                    io_node=creq.io_node,
+                    bytes=creq.length,
+                    cause="write",
                 )
                 # Gather the UFS-contiguous run from the PFS-ordered data.
                 chunk = concat_data(
-                    [
-                        data.slice(piece.pfs_offset - offset, piece.length)
-                        for piece in creq.pieces
-                    ]
+                    [data.slice(piece.pfs_offset - offset, piece.length) for piece in creq.pieces]
                 )
                 request = WriteRequest(
                     file_id=pfs_file.file_id,
@@ -883,9 +912,7 @@ class PFSClient:
                 )
                 if piece_span.ctx is not None:
                     request.ctx = piece_span.ctx
-                yield from self.endpoint.call(
-                    self._io_endpoint(creq.io_node), request
-                )
+                yield from self.endpoint.call(self._io_endpoint(creq.io_node), request)
                 self.tracer.end(piece_span)
 
             return gen
@@ -921,8 +948,7 @@ class PFSClient:
         # but never more.
         if total > pfs_file.size_bytes:
             raise PFSClientError(
-                f"stripe files hold {total} bytes but metadata says "
-                f"{pfs_file.size_bytes}"
+                f"stripe files hold {total} bytes but metadata says " f"{pfs_file.size_bytes}"
             )
         return pfs_file.size_bytes
 
@@ -937,9 +963,7 @@ class PFSClient:
                 io_node, ControlRequest(op="unlink", file_id=pfs_file.file_id)
             )
             if reply.error:
-                raise PFSClientError(
-                    f"unlink failed on node {io_node}: {reply.error}"
-                )
+                raise PFSClientError(f"unlink failed on node {io_node}: {reply.error}")
         mount.remove(name)
         return None
 
@@ -959,9 +983,7 @@ class PFSClient:
                 ControlRequest(op="truncate", file_id=pfs_file.file_id, arg=target),
             )
             if reply.error:
-                raise PFSClientError(
-                    f"truncate failed on node {io_node}: {reply.error}"
-                )
+                raise PFSClientError(f"truncate failed on node {io_node}: {reply.error}")
         pfs_file.size_bytes = new_size
         if pfs_file.shared_offset > new_size:
             pfs_file.shared_offset = new_size
@@ -991,7 +1013,9 @@ class PFSClient:
     def _coordinate(self, request, ctx: Optional[TraceContext] = None):
         """Generator: RPC to the coordination service."""
         span = self.tracer.begin(
-            "coordinate", ctx=ctx, node_id=self.node.node_id,
+            "coordinate",
+            ctx=ctx,
+            node_id=self.node.node_id,
             msg=type(request).__name__,
         )
         if span.ctx is not None:
@@ -1008,9 +1032,7 @@ class PFSClient:
         self.bytes_read_total += nbytes
         self._read_call_hist.observe(duration)
         if self.monitor is not None:
-            self.monitor.series(f"pfs_client.{self.node.node_id}.read_call").record(
-                duration
-            )
+            self.monitor.series(f"pfs_client.{self.node.node_id}.read_call").record(duration)
 
     def __repr__(self) -> str:
         return f"<PFSClient node={self.node.node_id}>"

@@ -158,9 +158,7 @@ class CoordinatorService:
         pfs_file = self._file(request.file_id)
         token = self._tokens[request.file_id]
         if token.holder != request.rank:
-            raise RuntimeError(
-                f"rank {request.rank} releasing token held by {token.holder}"
-            )
+            raise RuntimeError(f"rank {request.rank} releasing token held by {token.holder}")
         pfs_file.shared_offset = request.new_offset
         if token.waiters:
             next_rank, waiter = token.waiters.pop(0)
@@ -178,8 +176,7 @@ class CoordinatorService:
         call = pfs_file.collective(request.call_index)
         if request.rank in call.sizes:
             raise RuntimeError(
-                f"rank {request.rank} arrived twice at M_SYNC call "
-                f"{request.call_index}"
+                f"rank {request.rank} arrived twice at M_SYNC call " f"{request.call_index}"
             )
         call.sizes[request.rank] = request.nbytes
         call.arrived += 1
@@ -197,9 +194,7 @@ class CoordinatorService:
         offset = call.base_offset + sum(
             size for rank, size in sorted(call.sizes.items()) if rank < request.rank
         )
-        return SyncGo(
-            file_id=request.file_id, call_index=request.call_index, offset=offset
-        )
+        return SyncGo(file_id=request.file_id, call_index=request.call_index, offset=offset)
 
     # -- global (M_GLOBAL) --------------------------------------------------------------
 

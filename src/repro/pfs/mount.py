@@ -42,9 +42,7 @@ class PFSMount:
         #: all of its mounts (ids key UFS inodes machine-wide); a mount
         #: built standalone gets its own, starting at 1 either way so
         #: ids never depend on unrelated machines in the same process.
-        self._file_ids: Iterator[int] = (
-            file_ids if file_ids is not None else itertools.count(1)
-        )
+        self._file_ids: Iterator[int] = file_ids if file_ids is not None else itertools.count(1)
 
     @property
     def fastpath(self) -> bool:

@@ -92,7 +92,8 @@ class PFSServer:
             help="Read/write requests currently in service on this server",
         )
         self._read_hist = telemetry.histogram(
-            "pfs_server_read_seconds", labels=label,
+            "pfs_server_read_seconds",
+            labels=label,
             help="Server-side handling time per read request",
         )
         if cache is not None:
@@ -133,8 +134,12 @@ class PFSServer:
 
     def _handle_read(self, request: ReadRequest):
         span = self.tracer.begin(
-            "server_io", ctx=request.ctx, node_id=self.node.node_id,
-            op="read", bytes=request.nbytes, cause=request.cause,
+            "server_io",
+            ctx=request.ctx,
+            node_id=self.node.node_id,
+            op="read",
+            bytes=request.nbytes,
+            cause=request.cause,
         )
         if span.ctx is not None:
             request.ctx = span.ctx
@@ -143,9 +148,7 @@ class PFSServer:
         try:
             yield from self.node.busy(self.node.params.server_request_overhead_s)
             if self.faults is not None:
-                stall = self.faults.decide(
-                    "server_stall", f"node{self.node.node_id}"
-                )
+                stall = self.faults.decide("server_stall", f"node{self.node.node_id}")
                 if stall is not None:
                     # The server thread wedges (page fault storm, driver
                     # hiccup) before touching storage; the client's RPC
@@ -171,7 +174,10 @@ class PFSServer:
     def _read_fastpath(self, request: ReadRequest):
         """Direct disk -> reply transfer with block coalescing."""
         data = yield from self.ufs.read(
-            request.file_id, request.ufs_offset, request.nbytes, coalesce=True,
+            request.file_id,
+            request.ufs_offset,
+            request.nbytes,
+            coalesce=True,
             ctx=request.ctx,
         )
         if self._unaligned(request.ufs_offset, request.nbytes):
@@ -234,21 +240,25 @@ class PFSServer:
                     inode = self.ufs.inode(file_id)
                     length = min(self.ufs.block_size, inode.size_bytes - start)
                     self.faults.record_delivery(
-                        file_id, start, length,
+                        file_id,
+                        start,
+                        length,
                         self._block_content(file_id, start, length),
-                        kind="readahead", io_node=self.node.node_id,
+                        kind="readahead",
+                        io_node=self.node.node_id,
                     )
 
-        self.env.process(
-            readahead(), name=f"readahead-{self.node.node_id}-{file_id}"
-        )
+        self.env.process(readahead(), name=f"readahead-{self.node.node_id}-{file_id}")
 
     # -- write ------------------------------------------------------------------
 
     def _handle_write(self, request: WriteRequest):
         span = self.tracer.begin(
-            "server_io", ctx=request.ctx, node_id=self.node.node_id,
-            op="write", bytes=len(request.data),
+            "server_io",
+            ctx=request.ctx,
+            node_id=self.node.node_id,
+            op="write",
+            bytes=len(request.data),
         )
         if span.ctx is not None:
             request.ctx = span.ctx
@@ -260,16 +270,15 @@ class PFSServer:
         nbytes = len(request.data)
         self.tracer.end(span)
         self._count("writes", nbytes, "demand")
-        return WriteReply(
-            file_id=request.file_id, ufs_offset=request.ufs_offset, nbytes=nbytes
-        )
+        return WriteReply(file_id=request.file_id, ufs_offset=request.ufs_offset, nbytes=nbytes)
 
     def _handle_write_body(self, request: WriteRequest):
         yield from self.node.busy(self.node.params.server_request_overhead_s)
         nbytes = len(request.data)
         if request.fastpath or self.cache is None:
-            yield from self.ufs.write(request.file_id, request.ufs_offset, request.data,
-                                      ctx=request.ctx)
+            yield from self.ufs.write(
+                request.file_id, request.ufs_offset, request.data, ctx=request.ctx
+            )
             if self._unaligned(request.ufs_offset, nbytes):
                 yield from self.node.memcpy(nbytes)
                 self._count_extra("partial_block_writes")
@@ -278,8 +287,9 @@ class PFSServer:
         else:
             # Write-through: install in cache and persist to the UFS.
             yield from self.node.memcpy(nbytes)
-            yield from self.ufs.write(request.file_id, request.ufs_offset, request.data,
-                                      ctx=request.ctx)
+            yield from self.ufs.write(
+                request.file_id, request.ufs_offset, request.data, ctx=request.ctx
+            )
             bs = self.ufs.block_size
             first = request.ufs_offset // bs
             last = (request.ufs_offset + max(nbytes, 1) - 1) // bs
@@ -289,9 +299,7 @@ class PFSServer:
                     start = block * bs
                     inode = self.ufs.inode(request.file_id)
                     length = min(bs, inode.size_bytes - start)
-                    self.cache.write_block(
-                        key, self.ufs.content(request.file_id, start, length)
-                    )
+                    self.cache.write_block(key, self.ufs.content(request.file_id, start, length))
                     # Content now persisted; the cached copy is clean.
                     self.cache._blocks[key].dirty = False
 
@@ -376,9 +384,7 @@ class PFSServer:
                     yield from self.cache.flush()
                 result = None
             else:
-                return ControlReply(
-                    op=op, file_id=request.file_id, error=f"unknown op {op!r}"
-                )
+                return ControlReply(op=op, file_id=request.file_id, error=f"unknown op {op!r}")
         except Exception as exc:
             return ControlReply(op=op, file_id=request.file_id, error=str(exc))
         return ControlReply(op=op, file_id=request.file_id, result=result)

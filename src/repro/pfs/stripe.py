@@ -79,9 +79,7 @@ class StripePiece:
     length: int
 
 
-def decluster(
-    attrs: StripeAttributes, offset: int, nbytes: int
-) -> List[StripePiece]:
+def decluster(attrs: StripeAttributes, offset: int, nbytes: int) -> List[StripePiece]:
     """Split a PFS byte range into per-I/O-node pieces.
 
     Adjacent stripe units that land on the *same* I/O node contiguously
@@ -173,9 +171,7 @@ def coalesce_pieces(pieces: Sequence[StripePiece]) -> List[CoalescedRequest]:
 def _make_request(io_node: int, run: List[StripePiece]) -> CoalescedRequest:
     start = run[0].ufs_offset
     length = run[-1].ufs_offset + run[-1].length - start
-    return CoalescedRequest(
-        io_node=io_node, ufs_offset=start, length=length, pieces=tuple(run)
-    )
+    return CoalescedRequest(io_node=io_node, ufs_offset=start, length=length, pieces=tuple(run))
 
 
 def ufs_file_size(attrs: StripeAttributes, pfs_size: int, group_index: int) -> int:

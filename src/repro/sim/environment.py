@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.events import (
     PENDING,
-    PRIORITY_NORMAL,
-    PRIORITY_URGENT,
     AllOf,
     AnyOf,
     Event,
@@ -19,6 +17,17 @@ from repro.sim.process import Process
 
 class EmptySchedule(Exception):
     """Raised internally when the event queue runs dry."""
+
+
+#: Heap entries are ``(time, key, event)`` with ``key`` packing priority
+#: and tie-break rank into one integer: ``priority * 2**53 +
+#: tie_sign * eid``.  Urgent events (priority 0) sort below normal ones
+#: (priority 1) at the same time regardless of eid, and within a
+#: priority the eid term reproduces fifo (+eid) or lifo (-eid) popping
+#: exactly as the old ``(time, priority, tie_sign*eid, event)`` 4-tuple
+#: did -- one tuple slot and one comparison fewer per push/pop.  2**53
+#: leaves room for 9e15 events, far beyond any run.
+_NORMAL_BASE = 1 << 53
 
 
 class StopSimulation(Exception):
@@ -43,11 +52,9 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0, tie_break: str = "fifo") -> None:
         if tie_break not in self.TIE_BREAKS:
-            raise ValueError(
-                f"tie_break must be one of {self.TIE_BREAKS}, got {tie_break!r}"
-            )
+            raise ValueError(f"tie_break must be one of {self.TIE_BREAKS}, got {tie_break!r}")
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._eid = 0
         #: Tie-breaking among events with equal (time, priority).  The
         #: default ("fifo") pops them in scheduling order; "lifo" pops
@@ -155,9 +162,14 @@ class Environment:
         quiescent before letting the clock advance.
         """
         while self._dirty_arbiters:
-            arbiter = self._dirty_arbiters.pop(0)
-            arbiter._settle_queued = False
-            arbiter._settle()
+            # Swap the batch out so settles that re-dirty arbiters append
+            # to a fresh list; processing order matches the one-at-a-time
+            # FIFO exactly (current batch in order, then the new batch).
+            batch = self._dirty_arbiters
+            self._dirty_arbiters = []
+            for arbiter in batch:
+                arbiter._settle_queued = False
+                arbiter._settle()
 
     def add_tick_hook(self, hook) -> None:
         """Register *hook* to observe the clock after every :meth:`step`.
@@ -178,11 +190,32 @@ class Environment:
         priority_urgent: bool = False,
     ) -> None:
         """Put *event* on the queue to be processed after *delay*."""
-        priority = PRIORITY_URGENT if priority_urgent else PRIORITY_NORMAL
-        self._eid += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._tie_sign * self._eid, event)
-        )
+        eid = self._eid + 1
+        self._eid = eid
+        key = self._tie_sign * eid
+        if not priority_urgent:
+            key += _NORMAL_BASE
+        heappush(self._queue, (self._now + delay, key, event))
+
+    def schedule_at(
+        self,
+        event: Event,
+        when: float,
+        priority_urgent: bool = False,
+    ) -> None:
+        """Put *event* on the queue at absolute time *when* (>= now).
+
+        Merged-grant fast paths use this to reproduce the *exact* float
+        a chain of successive timeouts would have produced (``(g + a) +
+        b`` is not bit-identical to ``g + (a + b)``); callers pass the
+        successively-added absolute time rather than a summed delay.
+        """
+        eid = self._eid + 1
+        self._eid = eid
+        key = self._tie_sign * eid
+        if not priority_urgent:
+            key += _NORMAL_BASE
+        heappush(self._queue, (when, key, event))
 
     def step(self) -> None:
         """Process the next scheduled event, advancing the clock.
@@ -192,12 +225,11 @@ class Environment:
         same-timestamp acquisition order is decided by canonical keys,
         never by event insertion order.
         """
-        if self._dirty_arbiters and (
-            not self._queue or self._queue[0][0] > self._now
-        ):
+        queue = self._queue
+        if self._dirty_arbiters and (not queue or queue[0][0] > self._now):
             self._settle_arbiters()
         try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
+            when, _key, event = heappop(queue)
         except IndexError:
             raise EmptySchedule() from None
 
@@ -216,7 +248,7 @@ class Environment:
 
         if self._tick_hooks:
             for hook in self._tick_hooks:
-                hook(self._now)
+                hook(when)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -251,9 +283,27 @@ class Environment:
                 stop_event.callbacks = [StopSimulation.callback]
                 self.schedule(stop_event, delay=at - self._now, priority_urgent=True)
 
+        # Inlined event loop: identical to calling step() repeatedly but
+        # without the per-event method call and re-resolved globals.
+        queue = self._queue
+        pop = heappop
         try:
             while True:
-                self.step()
+                if self._dirty_arbiters and (not queue or queue[0][0] > self._now):
+                    self._settle_arbiters()
+                if not queue:
+                    raise EmptySchedule()
+                when, _key, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if self._tick_hooks:
+                    for hook in self._tick_hooks:
+                        hook(when)
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:

@@ -119,11 +119,7 @@ class Event:
         return AnyOf(self.env, [self, other])
 
     def __repr__(self) -> str:
-        state = (
-            "processed"
-            if self.processed
-            else ("triggered" if self.triggered else "pending")
-        )
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
@@ -135,7 +131,11 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__ -- timeouts are the hottest event type,
+        # and they are born already triggered.
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value

@@ -146,7 +146,15 @@ class Process(Event):
                 # Process finished normally.
                 self._ok = True
                 self._value = stop.value
-                env.schedule(self)
+                if self.callbacks or env._tick_hooks:
+                    # Someone is waiting (or a telemetry sampler counts
+                    # event pops): deliver the terminal event normally.
+                    env.schedule(self)
+                else:
+                    # Un-joined process: mark processed without an event.
+                    # A later ``yield proc`` sees the processed state and
+                    # resumes immediately -- same sim time either way.
+                    self.callbacks = None
                 break
             except BaseException as exc:
                 # Process crashed; fail the process event.
@@ -159,9 +167,7 @@ class Process(Event):
                 # Invalid yield: feed the error back into the generator.
                 event = Event(env)
                 event._ok = False
-                event._value = TypeError(
-                    f"process {self.name!r} yielded non-event {next_event!r}"
-                )
+                event._value = TypeError(f"process {self.name!r} yielded non-event {next_event!r}")
                 event._defused = False
                 continue
 

@@ -27,15 +27,59 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.environment import Environment
 
 
+def _deferred_grant(event: Event, delay: Any) -> None:
+    """Trigger *event* as a merged grant resuming after *delay*.
+
+    The slot is held from now (``users.append`` happened in the caller);
+    the waiter's frame runs later.  The resume time is built by
+    successive addition -- a tuple of delays yields the exact same float
+    a chain of timeouts would have -- and the event's value is set to
+    the grant time so the waiter's bookkeeping stays bit-identical.
+    """
+    env = event.env
+    now = env.now
+    if type(delay) is tuple:
+        when = now
+        for leg in delay:
+            when += leg
+    else:
+        when = now + delay
+    event._ok = True
+    event._value = now
+    env.schedule_at(event, when)
+
+
 class Request(Event):
-    """A request to hold one slot of a :class:`Resource`."""
+    """A request to hold one slot of a :class:`Resource`.
 
-    __slots__ = ("resource",)
+    ``resume_delay`` is the merged-grant fast path: a request carrying a
+    positive delay (or a tuple of delays) is granted at the same instant
+    it would otherwise be (the slot is held from the grant time), but
+    the requester is resumed after the delay(s) -- one scheduled event
+    instead of a grant event plus follow-on
+    :class:`~repro.sim.events.Timeout` chain.  A tuple reproduces the
+    exact float arithmetic of successive timeouts (``(g + a) + b``).
+    The event's value is the grant time, so the resumed process can do
+    its wait/hold bookkeeping bit-identically to the stepped path;
+    a plain (unmerged) grant yields ``None`` and the grant time is
+    simply ``env.now``.
+    """
 
-    def __init__(self, resource: "Resource") -> None:
+    __slots__ = ("resource", "resume_delay")
+
+    def __init__(self, resource: "Resource", resume_delay: Any = 0.0) -> None:
         super().__init__(resource.env)
         self.resource = resource
+        self.resume_delay = resume_delay
         resource._do_request(self)
+
+    def _grant(self) -> None:
+        """Trigger the grant, deferring the resume by ``resume_delay``."""
+        delay = self.resume_delay
+        if delay:
+            _deferred_grant(self, delay)
+        else:
+            self.succeed()
 
     def cancel(self) -> None:
         """Withdraw an unfulfilled request from the wait queue."""
@@ -82,8 +126,8 @@ class Resource:
         """Number of slots currently held."""
         return len(self.users)
 
-    def request(self) -> Request:
-        return Request(self)
+    def request(self, resume_delay: float = 0.0) -> Request:
+        return Request(self, resume_delay)
 
     def release(self, request: Request) -> None:
         """Release a slot previously granted to *request*."""
@@ -102,7 +146,7 @@ class Resource:
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self._capacity:
             self.users.append(request)
-            request.succeed()
+            request._grant()
         else:
             self.queue.append(request)
 
@@ -116,7 +160,7 @@ class Resource:
         while self.queue and len(self.users) < self._capacity:
             nxt = self.queue.pop(0)
             self.users.append(nxt)
-            nxt.succeed()
+            nxt._grant()
 
 
 class PriorityResource(Resource):
@@ -181,16 +225,42 @@ class _CanonKey:
 
 
 class ArbitratedRequest(Event):
-    """A request to hold one slot of an :class:`ArbitratedResource`."""
+    """A request to hold one slot of an :class:`ArbitratedResource`.
 
-    __slots__ = ("resource", "key", "arrived_at", "_seq")
+    ``resume_delay`` works exactly as on :class:`Request`: the slot is
+    held from the (canonically settled) grant instant, but the waiter's
+    frame resumes after the delay(s) -- merging the grant and its
+    follow-on timeout chain into one scheduled event.  The event's
+    value is the exact grant time (``None`` for a plain grant).
+    """
 
-    def __init__(self, resource: "ArbitratedResource", key: Any) -> None:
-        super().__init__(resource.env)
+    __slots__ = ("resource", "key", "arrived_at", "resume_delay", "_seq")
+
+    def __init__(
+        self,
+        resource: "ArbitratedResource",
+        key: Any,
+        resume_delay: Any = 0.0,
+    ) -> None:
+        # Inlined Event.__init__ + queue insertion -- arbitrated requests
+        # are the hottest request type (every mesh hop makes one).
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.key = key
-        self.arrived_at = resource.env.now
-        resource._do_request(self)
+        self.arrived_at = env._now
+        self.resume_delay = resume_delay
+        seq = resource._seq + 1
+        resource._seq = seq
+        self._seq = seq
+        resource.queue.append(self)
+        if not resource._settle_queued:
+            resource._settle_queued = True
+            env._dirty_arbiters.append(resource)
 
     def cancel(self) -> None:
         """Withdraw an unfulfilled request from the wait queue."""
@@ -251,11 +321,11 @@ class ArbitratedResource:
         """Number of slots currently held."""
         return len(self.users)
 
-    def request(self, key: Any = None) -> ArbitratedRequest:
+    def request(self, key: Any = None, resume_delay: Any = 0.0) -> ArbitratedRequest:
         if key is None:
-            proc = self.env.active_process
+            proc = self.env._active_process
             key = proc.order_key if proc is not None else ()
-        return ArbitratedRequest(self, key)
+        return ArbitratedRequest(self, key, resume_delay)
 
     def release(self, request: ArbitratedRequest) -> None:
         """Release a slot previously granted to *request*."""
@@ -270,12 +340,6 @@ class ArbitratedResource:
 
     # -- internals -------------------------------------------------------
 
-    def _do_request(self, request: ArbitratedRequest) -> None:
-        self._seq += 1
-        request._seq = self._seq
-        self.queue.append(request)
-        self.env._mark_arbiter_dirty(self)
-
     def _cancel(self, request: ArbitratedRequest) -> None:
         try:
             self.queue.remove(request)
@@ -287,13 +351,26 @@ class ArbitratedResource:
 
     def _settle(self) -> None:
         """Grant free slots to waiters in canonical order."""
-        if not self.queue or len(self.users) >= self._capacity:
+        queue = self.queue
+        if not queue:
             return
-        self.queue.sort(key=self._order)
-        while self.queue and len(self.users) < self._capacity:
-            nxt = self.queue.pop(0)
-            self.users.append(nxt)
-            nxt.succeed()
+        users = self.users
+        free = self._capacity - len(users)
+        if free <= 0:
+            return
+        if len(queue) > 1:
+            queue.sort(key=self._order)
+        while queue and free > 0:
+            nxt = queue.pop(0)
+            users.append(nxt)
+            free -= 1
+            delay = nxt.resume_delay
+            if delay:
+                # Merged grant: hold the slot from now, resume the
+                # waiter after the delay(s) with one scheduled event.
+                _deferred_grant(nxt, delay)
+            else:
+                nxt.succeed()
 
 
 class ArbitratedStorePut(Event):
@@ -413,14 +490,23 @@ class ArbitratedStore:
         while progressed:
             progressed = False
             if self._put_queue and len(self.items) < self._capacity:
-                self._put_queue.sort(key=self._order)
+                if len(self._put_queue) > 1:
+                    self._put_queue.sort(key=self._order)
                 while self._put_queue and len(self.items) < self._capacity:
                     put = self._put_queue.pop(0)
                     self.items.append(put.item)
-                    put.succeed()
+                    if put.callbacks or self.env._tick_hooks:
+                        put.succeed()
+                    else:
+                        # Fire-and-forget put (nobody yielded it): admit
+                        # without scheduling a wake-up event.
+                        put._ok = True
+                        put._value = None
+                        put.callbacks = None
                     progressed = True
             if self._get_queue and self.items:
-                self._get_queue.sort(key=self._order)
+                if len(self._get_queue) > 1:
+                    self._get_queue.sort(key=self._order)
                 while self._get_queue and self.items:
                     get = self._get_queue.pop(0)
                     get.succeed(self.items.pop(0))

@@ -67,9 +67,7 @@ class ExtentAllocator:
         if nblocks <= 0:
             raise ValueError("must allocate a positive number of blocks")
         if nblocks > self.free_blocks:
-            raise AllocationError(
-                f"requested {nblocks} blocks but only {self.free_blocks} free"
-            )
+            raise AllocationError(f"requested {nblocks} blocks but only {self.free_blocks} free")
 
         # First fit: one extent that covers the whole request.
         for i, extent in enumerate(self._free):

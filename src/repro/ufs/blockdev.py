@@ -28,16 +28,14 @@ class BlockDevice:
     def total_blocks(self) -> int:
         return self.array.capacity_bytes // self.block_size
 
-    def read_extent(self, start_block: int, nblocks: int,
-                    ctx: Optional[TraceContext] = None):
+    def read_extent(self, start_block: int, nblocks: int, ctx: Optional[TraceContext] = None):
         """Generator: read *nblocks* contiguous blocks in one disk request."""
         self._validate(start_block, nblocks)
         nbytes = nblocks * self.block_size
         yield from self.array.read(start_block * self.block_size, nbytes, ctx=ctx)
         return nbytes
 
-    def write_extent(self, start_block: int, nblocks: int,
-                     ctx: Optional[TraceContext] = None):
+    def write_extent(self, start_block: int, nblocks: int, ctx: Optional[TraceContext] = None):
         """Generator: write *nblocks* contiguous blocks in one disk request."""
         self._validate(start_block, nblocks)
         nbytes = nblocks * self.block_size

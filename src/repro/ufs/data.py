@@ -52,8 +52,7 @@ class Data:
     def _check_slice(self, start: int, length: int) -> None:
         if start < 0 or length < 0 or start + length > len(self):
             raise ValueError(
-                f"slice [{start}, {start + length}) out of range for "
-                f"data of length {len(self)}"
+                f"slice [{start}, {start + length}) out of range for " f"data of length {len(self)}"
             )
 
     def __eq__(self, other: object) -> bool:

@@ -90,20 +90,12 @@ class UFS:
         keep_blocks = -(-new_size // self.block_size) if new_size else 0
         if keep_blocks < inode.nblocks:
             # Free the physical extents of the dropped tail.
-            dropped = inode.physical_runs(
-                keep_blocks, inode.nblocks - keep_blocks
-            )
+            dropped = inode.physical_runs(keep_blocks, inode.nblocks - keep_blocks)
             from repro.ufs.allocator import Extent
 
-            self.allocator.free(
-                [Extent(phys, length) for _log, phys, length in dropped]
-            )
+            self.allocator.free([Extent(phys, length) for _log, phys, length in dropped])
             del inode.block_map[keep_blocks:]
-            for key in [
-                k
-                for k in self._written
-                if k[0] == file_id and k[1] >= keep_blocks
-            ]:
+            for key in [k for k in self._written if k[0] == file_id and k[1] >= keep_blocks]:
                 del self._written[key]
         inode.size_bytes = new_size
         return inode
@@ -156,8 +148,14 @@ class UFS:
 
     # -- timed operations ------------------------------------------------------
 
-    def read(self, file_id: int, offset: int, nbytes: int, coalesce: bool = True,
-             ctx: Optional[TraceContext] = None):
+    def read(
+        self,
+        file_id: int,
+        offset: int,
+        nbytes: int,
+        coalesce: bool = True,
+        ctx: Optional[TraceContext] = None,
+    ):
         """Generator: read a byte range, spending disk time; returns Data.
 
         Whole file-system blocks covering the range are transferred from
@@ -186,8 +184,14 @@ class UFS:
             self.monitor.counter(f"{self.name}.bytes_read").add(nbytes)
         return self.content(file_id, offset, nbytes)
 
-    def write(self, file_id: int, offset: int, data: Data, coalesce: bool = True,
-              ctx: Optional[TraceContext] = None):
+    def write(
+        self,
+        file_id: int,
+        offset: int,
+        data: Data,
+        coalesce: bool = True,
+        ctx: Optional[TraceContext] = None,
+    ):
         """Generator: write *data* at *offset*, growing the file as needed.
 
         Partially covered edge blocks require a read-modify-write: the
@@ -227,8 +231,7 @@ class UFS:
             self.monitor.counter(f"{self.name}.bytes_written").add(nbytes)
         return nbytes
 
-    def read_block(self, file_id: int, block_index: int,
-                   ctx: Optional[TraceContext] = None):
+    def read_block(self, file_id: int, block_index: int, ctx: Optional[TraceContext] = None):
         """Generator: read exactly one file-system block (cache fill path)."""
         inode = self.inode(file_id)
         physical = inode.physical_block(block_index)
@@ -237,8 +240,9 @@ class UFS:
         length = min(self.block_size, inode.size_bytes - start)
         return self.content(file_id, start, length)
 
-    def write_block(self, file_id: int, block_index: int, data: Data,
-                    ctx: Optional[TraceContext] = None):
+    def write_block(
+        self, file_id: int, block_index: int, data: Data, ctx: Optional[TraceContext] = None
+    ):
         """Generator: write exactly one file-system block."""
         if len(data) > self.block_size:
             raise UFSError("block write larger than block size")

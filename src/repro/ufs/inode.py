@@ -36,8 +36,7 @@ class Inode:
     def physical_block(self, logical: int) -> int:
         if logical < 0 or logical >= len(self.block_map):
             raise IndexError(
-                f"logical block {logical} out of range (file has "
-                f"{len(self.block_map)} blocks)"
+                f"logical block {logical} out of range (file has " f"{len(self.block_map)} blocks)"
             )
         return self.block_map[logical]
 

@@ -99,8 +99,7 @@ class CollectiveReadWorkload:
         self.nprocs = nprocs or len(machine.clients)
         if self.nprocs > len(machine.clients):
             raise ValueError(
-                f"{self.nprocs} processes but only "
-                f"{len(machine.clients)} compute nodes"
+                f"{self.nprocs} processes but only " f"{len(machine.clients)} compute nodes"
             )
         self.prefetcher_factory = prefetcher_factory
         self.async_partition = async_partition
@@ -115,9 +114,7 @@ class CollectiveReadWorkload:
 
         # Open from every node (simulated time: open overheads).
         def opener(rank: int):
-            prefetcher = (
-                self.prefetcher_factory(rank) if self.prefetcher_factory else None
-            )
+            prefetcher = self.prefetcher_factory(rank) if self.prefetcher_factory else None
             if prefetcher is not None and prefetcher.monitor is None:
                 # Factory-built prefetchers inherit the machine's handle so
                 # their counters and telemetry probes register.
@@ -147,11 +144,7 @@ class CollectiveReadWorkload:
         result.started_at = machine.env.now
 
         def reader(handle: PFSFileHandle):
-            if (
-                self.iomode is IOMode.M_ASYNC
-                and self.async_partition
-                and self.nprocs > 1
-            ):
+            if (self.iomode is IOMode.M_ASYNC and self.async_partition and self.nprocs > 1):
                 slice_bytes = handle.file.size_bytes // self.nprocs
                 yield from handle.lseek(handle.rank * slice_bytes)
             first = True
@@ -238,8 +231,11 @@ class CollectiveWriteWorkload:
 
         def opener(rank: int):
             handles[rank] = yield from machine.clients[rank].open(
-                self.mount, self.filename, self.iomode,
-                rank=rank, nprocs=self.nprocs,
+                self.mount,
+                self.filename,
+                self.iomode,
+                rank=rank,
+                nprocs=self.nprocs,
             )
 
         for rank in range(self.nprocs):
@@ -320,9 +316,7 @@ class SeparateFilesWorkload:
         result = WorkloadResult(report=None)  # type: ignore[arg-type]
 
         def opener(rank: int):
-            prefetcher = (
-                self.prefetcher_factory(rank) if self.prefetcher_factory else None
-            )
+            prefetcher = self.prefetcher_factory(rank) if self.prefetcher_factory else None
             if prefetcher is not None and prefetcher.monitor is None:
                 prefetcher.monitor = machine.monitor
             handle = yield from machine.clients[rank].open(
@@ -394,7 +388,5 @@ def merged_prefetch_stats(handles: List[PFSFileHandle]):
     stats = None
     for h in handles:
         if h.prefetcher is not None:
-            stats = (
-                h.prefetcher.stats if stats is None else stats.merge(h.prefetcher.stats)
-            )
+            stats = h.prefetcher.stats if stats is None else stats.merge(h.prefetcher.stats)
     return stats

@@ -291,9 +291,7 @@ class TestSuppressions:
         """
 
     def test_same_line_suppression(self):
-        findings = lint(
-            self.BAD.format(comment="  # sim-ok: R001 -- host-side benchmark timer")
-        )
+        findings = lint(self.BAD.format(comment="  # sim-ok: R001 -- host-side benchmark timer"))
         assert findings == []
 
     def test_line_above_suppression(self):
@@ -309,15 +307,11 @@ class TestSuppressions:
         assert findings == []
 
     def test_wildcard_suppression(self):
-        findings = lint(
-            self.BAD.format(comment="  # sim-ok: * -- fixture exercises everything")
-        )
+        findings = lint(self.BAD.format(comment="  # sim-ok: * -- fixture exercises everything"))
         assert findings == []
 
     def test_wrong_rule_does_not_suppress(self):
-        findings = lint(
-            self.BAD.format(comment="  # sim-ok: R002 -- wrong rule id")
-        )
+        findings = lint(self.BAD.format(comment="  # sim-ok: R002 -- wrong rule id"))
         assert rule_ids(findings) == ["R001"]
 
     def test_missing_justification_reported(self):

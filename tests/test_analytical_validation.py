@@ -23,9 +23,7 @@ def single_read(machine, mount, nbytes, offset=0):
     box = {}
 
     def proc():
-        handle = yield from machine.clients[0].open(
-            mount, "data", IOMode.M_ASYNC, rank=0, nprocs=1
-        )
+        handle = yield from machine.clients[0].open(mount, "data", IOMode.M_ASYNC, rank=0, nprocs=1)
         if offset:
             yield from handle.lseek(offset)
         t0 = machine.env.now
@@ -42,9 +40,7 @@ class TestSingleReadLatency:
         """Closed form for an uncontended one-piece read."""
         node = HW.node
         mesh = HW.mesh
-        stream = nbytes / min(
-            HW.scsi.bandwidth_bps, HW.raid.data_disks * HW.disk.media_rate_bps
-        )
+        stream = nbytes / min(HW.scsi.bandwidth_bps, HW.raid.data_disks * HW.disk.media_rate_bps)
         return (
             node.client_call_overhead_s
             + 2 * mesh.sw_overhead_s  # request + inbox handoff (send side)
@@ -107,12 +103,8 @@ class TestSingleReadLatency:
         machine = Machine(MachineConfig())
         mount = machine.mount("/pfs", PFSConfig())
         machine.create_file(mount, "data", 8 * 8 * MB)
-        result = CollectiveReadWorkload(
-            machine, mount, "data", request_size=1 * MB, rounds=8
-        ).run()
-        durations = [
-            d for h in result.handles for d in h.stats.call_durations
-        ]
+        result = CollectiveReadWorkload(machine, mount, "data", request_size=1 * MB, rounds=8).run()
+        durations = [d for h in result.handles for d in h.stats.call_durations]
         assert 0.3 <= min(durations) <= 0.5
 
 
@@ -127,9 +119,7 @@ class TestTokenCosts:
             box = {}
 
             def proc():
-                handle = yield from machine.clients[0].open(
-                    mount, "data", mode, rank=0, nprocs=1
-                )
+                handle = yield from machine.clients[0].open(mount, "data", mode, rank=0, nprocs=1)
                 yield from handle.read(64 * KB)  # warm positioning
                 t0 = machine.env.now
                 yield from handle.read(64 * KB)
@@ -147,11 +137,7 @@ class TestTokenCosts:
         # Two coordination ops + the atomic completion bookkeeping, plus
         # four mesh crossings; no token migration (same holder).
         mesh_rt = 4 * HW.mesh.sw_overhead_s
-        expected_extra = (
-            2 * COORDINATION_OVERHEAD_S
-            + HW.node.client_call_overhead_s
-            + mesh_rt
-        )
+        expected_extra = 2 * COORDINATION_OVERHEAD_S + HW.node.client_call_overhead_s + mesh_rt
         assert extra == pytest.approx(expected_extra, rel=0.25)
 
 

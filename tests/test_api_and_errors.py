@@ -68,9 +68,7 @@ class TestClientErrorPaths:
         box = {}
 
         def opener():
-            box["h"] = yield from machine.clients[0].open(
-                mount, "data", mode, rank=0, nprocs=1
-            )
+            box["h"] = yield from machine.clients[0].open(mount, "data", mode, rank=0, nprocs=1)
 
         machine.spawn(opener())
         machine.run()

@@ -26,9 +26,7 @@ class TestPlotSeries:
         assert first_marker_row < last_marker_row
 
     def test_axis_labels(self):
-        text = plot_series(
-            [0, 1], {"s": [1.0, 2.0]}, x_label="delay", y_label="MB/s"
-        )
+        text = plot_series([0, 1], {"s": [1.0, 2.0]}, x_label="delay", y_label="MB/s")
         assert "x: delay" in text
         assert "y: MB/s" in text
 
@@ -70,8 +68,6 @@ class TestPlotTable:
     def test_real_figure45_panel_plots(self):
         from repro.experiments.figure45 import run_figure45
 
-        panels = run_figure45(
-            request_sizes_kb=(64,), delays_s=(0.0, 0.05), max_rounds=4
-        )
+        panels = run_figure45(request_sizes_kb=(64,), delays_s=(0.0, 0.05), max_rounds=4)
         text = plot_table(panels[64], "delay_s")
         assert "bw_prefetch_mbps" in text

@@ -46,9 +46,7 @@ class TestCampaignMechanics:
             Campaign(axes={"a": []}, run=lambda p: {})
 
     def test_csv_output(self):
-        campaign = Campaign(
-            axes={"a": [1, 2]}, run=lambda p: {"bw": p["a"] * 1.5}
-        )
+        campaign = Campaign(axes={"a": [1, 2]}, run=lambda p: {"bw": p["a"] * 1.5})
         campaign.run_all()
         csv = campaign.to_csv()
         lines = csv.splitlines()
@@ -57,9 +55,7 @@ class TestCampaignMechanics:
         assert lines[2] == "2,3.0000"
 
     def test_csv_quotes_commas(self):
-        campaign = Campaign(
-            axes={"name": ["x,y"]}, run=lambda p: {"m": 1}
-        )
+        campaign = Campaign(axes={"name": ["x,y"]}, run=lambda p: {"m": 1})
         campaign.run_all()
         assert '"x,y"' in campaign.to_csv()
 
@@ -71,9 +67,7 @@ class TestCampaignMechanics:
         assert table.rows == [[1, 2.0]]
 
     def test_best(self):
-        campaign = Campaign(
-            axes={"a": [1, 2, 3]}, run=lambda p: {"score": -abs(p["a"] - 2)}
-        )
+        campaign = Campaign(axes={"a": [1, 2, 3]}, run=lambda p: {"score": -abs(p["a"] - 2)})
         campaign.run_all()
         assert campaign.best("score")["a"] == 2
         assert campaign.best("score", maximize=False)["a"] in (1, 3)

@@ -381,8 +381,7 @@ class TestPrefetcherIntegration:
         machine.run()
         mon = machine.monitor
         prefetch_reads = sum(
-            mon.counter_value(f"pfs_server.{n.node_id}.reads.prefetch")
-            for n in machine.io_nodes
+            mon.counter_value(f"pfs_server.{n.node_id}.reads.prefetch") for n in machine.io_nodes
         )
         assert prefetch_reads == 1
         assert mon.counter_value("prefetch.issued") == 1
@@ -431,7 +430,11 @@ class TestPrefetcherIntegration:
 
         def opener(rank):
             handles[rank] = yield from machine.clients[rank].open(
-                mount, "data", IOMode.M_RECORD, rank=rank, nprocs=4,
+                mount,
+                "data",
+                IOMode.M_RECORD,
+                rank=rank,
+                nprocs=4,
                 prefetcher=prefetchers[rank],
             )
 

@@ -130,8 +130,7 @@ class TestShapeCheckers:
 
         table = ExperimentTable(
             title="t",
-            columns=["request_kb", "file_mb", "bw_no_prefetch_mbps",
-                     "bw_prefetch_mbps", "ratio"],
+            columns=["request_kb", "file_mb", "bw_no_prefetch_mbps", "bw_prefetch_mbps", "ratio"],
         )
         table.add_row(64, 8, 10.0, 5.0, 0.5)  # halved: not "comparable"
         assert check_table1_shape(table) is not None
@@ -139,9 +138,7 @@ class TestShapeCheckers:
     def test_table2_checker_requires_monotone_times(self):
         from repro.experiments.table2 import check_table2_shape
 
-        table = ExperimentTable(
-            title="t", columns=["request_kb", "min_access_s", "mean_access_s"]
-        )
+        table = ExperimentTable(title="t", columns=["request_kb", "min_access_s", "mean_access_s"])
         table.add_row(64, 0.05, 0.06)
         table.add_row(128, 0.04, 0.05)  # decreased: wrong
         assert check_table2_shape(table) is not None
@@ -149,9 +146,7 @@ class TestShapeCheckers:
     def test_table2_checker_validates_anchor(self):
         from repro.experiments.table2 import check_table2_shape
 
-        table = ExperimentTable(
-            title="t", columns=["request_kb", "min_access_s", "mean_access_s"]
-        )
+        table = ExperimentTable(title="t", columns=["request_kb", "min_access_s", "mean_access_s"])
         table.add_row(512, 0.1, 0.2)
         table.add_row(1024, 0.2, 5.0)  # way off the 0.4s anchor
         assert check_table2_shape(table) is not None
@@ -162,8 +157,7 @@ class TestShapeCheckers:
         def make(speedups):
             table = ExperimentTable(
                 title="t",
-                columns=["request_kb", "file_mb", "bw_sgroup=1", "bw_sgroup=8",
-                         "speedup_R2/R1"],
+                columns=["request_kb", "file_mb", "bw_sgroup=1", "bw_sgroup=8", "speedup_R2/R1"],
             )
             for i, sp in enumerate(speedups):
                 table.add_row(64 * (i + 1), 8, 1.0, sp, sp)
@@ -182,7 +176,10 @@ class TestArtifactSmokeRuns:
         from repro.experiments.figure2 import run_figure2
 
         table = run_figure2(
-            request_sizes_kb=(64,), rounds=4, n_compute=2, n_io=2,
+            request_sizes_kb=(64,),
+            rounds=4,
+            n_compute=2,
+            n_io=2,
             include_separate_files=False,
         )
         assert len(table.rows) == 1
@@ -204,9 +201,7 @@ class TestArtifactSmokeRuns:
     def test_figure45_small(self):
         from repro.experiments.figure45 import run_figure45
 
-        panels = run_figure45(
-            request_sizes_kb=(64,), delays_s=(0.0, 0.1), max_rounds=4
-        )
+        panels = run_figure45(request_sizes_kb=(64,), delays_s=(0.0, 0.1), max_rounds=4)
         assert 64 in panels
         assert len(panels[64].rows) == 2
 
@@ -214,8 +209,11 @@ class TestArtifactSmokeRuns:
         from repro.experiments.table3 import run_table3
 
         table = run_table3(
-            request_sizes_kb=(64,), stripe_units_kb=(64,), rounds=4,
-            n_compute=2, n_io=2,
+            request_sizes_kb=(64,),
+            stripe_units_kb=(64,),
+            rounds=4,
+            n_compute=2,
+            n_io=2,
         )
         assert table.column("bw_su=64KB")[0] > 0
 
@@ -233,9 +231,7 @@ class TestArtifactSmokeRuns:
 
         tiny = ExperimentTable(title="tiny", columns=["a"])
         tiny.add_row(1)
-        monkeypatch.setattr(
-            runall, "_run_all", lambda: [("tiny", tiny.render(), None, [tiny])]
-        )
+        monkeypatch.setattr(runall, "_run_all", lambda: [("tiny", tiny.render(), None, [tiny])])
         rc = runall.main([str(tmp_path)])
         assert rc == 0
         assert (tmp_path / "tiny.txt").read_text().startswith("tiny")
@@ -246,9 +242,7 @@ class TestArtifactSmokeRuns:
     def test_runall_reports_shape_failures(self, monkeypatch, capsys):
         import repro.experiments.runall as runall
 
-        monkeypatch.setattr(
-            runall, "_run_all", lambda: [("x", "rendering", "broken", [])]
-        )
+        monkeypatch.setattr(runall, "_run_all", lambda: [("x", "rendering", "broken", [])])
         rc = runall.main([])
         assert rc == 1
         assert "SHAPE PROBLEM" in capsys.readouterr().out

@@ -47,8 +47,7 @@ from repro.pfs import IOMode
 from repro.sim import ArbitratedStore, Environment
 
 TIE_BREAKS = tuple(
-    x for x in ("fifo", "lifo")
-    if os.environ.get("FAULT_TIE_BREAK") in (None, "", x)
+    x for x in ("fifo", "lifo") if os.environ.get("FAULT_TIE_BREAK") in (None, "", x)
 )
 
 GOLDEN = pathlib.Path(__file__).parent / "golden" / "bench3_fingerprints.json"
@@ -60,14 +59,12 @@ GOLDEN_REBUILD = pathlib.Path(__file__).parent / "golden" / "rebuild_fingerprint
 REBUILD_PLAN = FaultPlan(
     specs=(
         FaultSpec(kind="disk_failure", target="raid0", at_s=0.0, disk_index=0),
-        FaultSpec(kind="disk_repair", target="raid0", at_s=0.01, disk_index=0,
-                  rebuild_rate=0.5),
+        FaultSpec(kind="disk_repair", target="raid0", at_s=0.01, disk_index=0, rebuild_rate=0.5),
     ),
 )
 
 
-def _small_run(faults=None, tie_break="fifo", prefetch=True, rounds=4,
-               keep_machine=True):
+def _small_run(faults=None, tie_break="fifo", prefetch=True, rounds=4, keep_machine=True):
     """The standard small collective-read workload used throughout."""
     return run_collective(
         request_size=64 * KB,
@@ -110,8 +107,7 @@ class TestPlanValidation:
             RetryPolicy(timeout_s=-1.0)
 
     def test_timeout_schedule_monotone_and_capped(self):
-        policy = RetryPolicy(timeout_s=0.5, backoff_factor=2.0,
-                             max_timeout_s=3.0, max_attempts=6)
+        policy = RetryPolicy(timeout_s=0.5, backoff_factor=2.0, max_timeout_s=3.0, max_attempts=6)
         timeouts = [policy.timeout_for(a) for a in range(6)]
         assert timeouts == sorted(timeouts)
         assert timeouts[0] == 0.5
@@ -127,9 +123,7 @@ class TestPlanValidation:
     def test_scattered_transient_only_excludes_disk_failure(self):
         plan = FaultPlan.scattered(seed=3, horizon_s=1.0, n_faults=8)
         assert plan.by_kind("disk_failure") == ()
-        full = FaultPlan.scattered(
-            seed=3, horizon_s=1.0, n_faults=8, transient_only=False
-        )
+        full = FaultPlan.scattered(seed=3, horizon_s=1.0, n_faults=8, transient_only=False)
         assert len(full.by_kind("disk_failure")) == 1
 
     def test_unknown_scheduled_target_raises_at_start(self):
@@ -161,9 +155,7 @@ class TestTransparentRecovery:
             )
 
     def test_media_errors_reconstruct_inline(self):
-        plan = FaultPlan(
-            specs=(FaultSpec(kind="media_error", target="raid0", count=3),)
-        )
+        plan = FaultPlan(specs=(FaultSpec(kind="media_error", target="raid0", count=3),))
         report = _small_run(faults=plan)
         machine = report.machine
         assert machine.verify() == []
@@ -172,10 +164,7 @@ class TestTransparentRecovery:
 
     def test_rpc_stall_triggers_retry_then_replay(self):
         plan = FaultPlan(
-            specs=(
-                FaultSpec(kind="server_stall", target="*", count=1,
-                          duration_s=2.0),
-            ),
+            specs=(FaultSpec(kind="server_stall", target="*", count=1, duration_s=2.0),),
             retry=RetryPolicy(timeout_s=0.5, max_attempts=6),
         )
         report = _small_run(faults=plan)
@@ -212,9 +201,7 @@ class TestDegradedMode:
 
     def test_degraded_run_is_slower_not_wrong(self):
         healthy = _small_run(faults=None)
-        degraded = _small_run(
-            faults=FaultPlan.single_disk_failure(array="raid0", at_s=0.0)
-        )
+        degraded = _small_run(faults=FaultPlan.single_disk_failure(array="raid0", at_s=0.0))
         assert degraded.total_bytes == healthy.total_bytes
         assert degraded.elapsed_s > healthy.elapsed_s
         assert degraded.machine.verify() == []
@@ -222,10 +209,8 @@ class TestDegradedMode:
     def test_second_failure_loses_data(self):
         plan = FaultPlan(
             specs=(
-                FaultSpec(kind="disk_failure", target="raid0", at_s=0.0,
-                          disk_index=0),
-                FaultSpec(kind="disk_failure", target="raid0", at_s=0.1,
-                          disk_index=1),
+                FaultSpec(kind="disk_failure", target="raid0", at_s=0.0, disk_index=0),
+                FaultSpec(kind="disk_failure", target="raid0", at_s=0.1, disk_index=1),
             ),
         )
         with pytest.raises(Exception, match="data lost|RAID"):
@@ -256,11 +241,18 @@ class TestCopyBackRebuild:
         file_size = scaled_file_size(64 * KB, rounds=4)
         fault_free = run_multipass(64 * KB, file_size, passes=6, rounds=4)
         rebuild = run_multipass(
-            64 * KB, file_size, passes=6, rounds=4,
-            faults=REBUILD_PLAN, keep_machine=True,
+            64 * KB,
+            file_size,
+            passes=6,
+            rounds=4,
+            faults=REBUILD_PLAN,
+            keep_machine=True,
         )
         degraded = run_multipass(
-            64 * KB, file_size, passes=6, rounds=4,
+            64 * KB,
+            file_size,
+            passes=6,
+            rounds=4,
             faults=FaultPlan.single_disk_failure(array="raid0", at_s=0.0),
         )
         assert (
@@ -282,8 +274,12 @@ class TestCopyBackRebuild:
         prints = {}
         for tb in TIE_BREAKS:
             report = run_multipass(
-                64 * KB, scaled_file_size(64 * KB, rounds=2),
-                passes=2, rounds=2, tie_break=tb, faults=REBUILD_PLAN,
+                64 * KB,
+                scaled_file_size(64 * KB, rounds=2),
+                passes=2,
+                rounds=2,
+                tie_break=tb,
+                faults=REBUILD_PLAN,
             )
             prints[tb] = report_fingerprint(report)
         assert len(set(prints.values())) == 1, prints
@@ -301,8 +297,11 @@ class TestCopyBackRebuild:
         with open(GOLDEN_REBUILD) as fh:
             golden = json.load(fh)
         report = run_multipass(
-            64 * KB, scaled_file_size(64 * KB, rounds=4),
-            passes=6, rounds=4, faults=REBUILD_PLAN,
+            64 * KB,
+            scaled_file_size(64 * KB, rounds=4),
+            passes=6,
+            rounds=4,
+            faults=REBUILD_PLAN,
         )
         assert report_fingerprint(report) == golden["fingerprint"]
 
@@ -310,9 +309,7 @@ class TestCopyBackRebuild:
 class TestCrashRestart:
     """Compute-node crash/restart: lost work is replayed exactly once."""
 
-    CRASH_PLAN = FaultPlan.crash_restart(
-        node="node0", windows=((0.03, 0.08), (0.2, 0.25))
-    )
+    CRASH_PLAN = FaultPlan.crash_restart(node="node0", windows=((0.03, 0.08), (0.2, 0.25)))
 
     def test_crash_restart_run_passes_extended_audit(self):
         report = _small_run(faults=self.CRASH_PLAN)
@@ -321,8 +318,7 @@ class TestCrashRestart:
         assert machine.verify() == []
         demand = [
             (file_id, offset, nbytes)
-            for (file_id, offset, nbytes, _d, kind, _io)
-            in machine.faults.deliveries
+            for (file_id, offset, nbytes, _d, kind, _io) in machine.faults.deliveries
             if kind == "demand"
         ]
         assert len(demand) == len(set(demand))  # zero duplicates
@@ -363,12 +359,8 @@ class TestCrashRestart:
 class TestFaultBudget:
     def test_exhausted_budget_raises_typed_error_with_span_chain(self):
         plan = FaultPlan(
-            specs=(
-                FaultSpec(kind="server_stall", target="*", count=64,
-                          duration_s=1000.0),
-            ),
-            retry=RetryPolicy(timeout_s=0.5, backoff_factor=2.0,
-                              max_timeout_s=2.0, max_attempts=3),
+            specs=(FaultSpec(kind="server_stall", target="*", count=64, duration_s=1000.0),),
+            retry=RetryPolicy(timeout_s=0.5, backoff_factor=2.0, max_timeout_s=2.0, max_attempts=3),
         )
         with pytest.raises(FaultBudgetExceeded) as excinfo:
             run_collective(
@@ -388,10 +380,7 @@ class TestFaultBudget:
 
     def test_budget_error_untraced_has_empty_chain(self):
         plan = FaultPlan(
-            specs=(
-                FaultSpec(kind="server_stall", target="*", count=64,
-                          duration_s=1000.0),
-            ),
+            specs=(FaultSpec(kind="server_stall", target="*", count=64, duration_s=1000.0),),
             retry=RetryPolicy(timeout_s=0.25, max_attempts=2),
         )
         with pytest.raises(FaultBudgetExceeded) as excinfo:
@@ -432,9 +421,7 @@ class TestGoldenFingerprints:
         assert report_fingerprint(report) == golden["figure2:64kb:M_UNIX"]
 
     def test_figure2_separate_files_cell_unchanged(self, golden):
-        report = run_separate_files(
-            request_size=64 * KB, file_size_per_node=64 * KB * 4
-        )
+        report = run_separate_files(request_size=64 * KB, file_size_per_node=64 * KB * 4)
         key = "figure2:64kb:SEPARATE_FILES"
         assert report_fingerprint(report) == golden[key]
 
@@ -515,10 +502,7 @@ class TestBenchTieSampler:
 
     @pytest.fixture(scope="class")
     def bench(self):
-        path = (
-            pathlib.Path(__file__).parent.parent
-            / "benchmarks" / "run_bench.py"
-        )
+        path = pathlib.Path(__file__).parent.parent / "benchmarks" / "run_bench.py"
         spec = importlib.util.spec_from_file_location("run_bench", path)
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
@@ -526,9 +510,7 @@ class TestBenchTieSampler:
 
     def test_sampler_is_stable_across_calls(self, bench):
         keys = [
-            f"table1:{s}kb:prefetch={p}"
-            for s in (64, 128, 256, 512, 1024)
-            for p in (False, True)
+            f"table1:{s}kb:prefetch={p}" for s in (64, 128, 256, 512, 1024) for p in (False, True)
         ]
         first = [bench.tie_check_sampled(k) for k in keys]
         second = [bench.tie_check_sampled(k) for k in keys]
@@ -537,8 +519,7 @@ class TestBenchTieSampler:
         f2_keys = [
             f"figure2:{s}kb:{m}"
             for s in (64, 128, 256, 512, 1024)
-            for m in ("M_UNIX", "M_LOG", "M_SYNC", "M_RECORD", "M_ASYNC",
-                      "SEPARATE_FILES")
+            for m in ("M_UNIX", "M_LOG", "M_SYNC", "M_RECORD", "M_ASYNC", "SEPARATE_FILES")
         ]
         picks = [k for k in keys + f2_keys if bench.tie_check_sampled(k)]
         assert 0 < len(picks) < len(keys + f2_keys)
@@ -582,9 +563,7 @@ class TestFaultProperties:
     @given(st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=50, deadline=None)
     def test_scattered_plans_always_validate(self, seed):
-        plan = FaultPlan.scattered(
-            seed=seed, horizon_s=2.0, n_faults=8, transient_only=False
-        )
+        plan = FaultPlan.scattered(seed=seed, horizon_s=2.0, n_faults=8, transient_only=False)
         assert len(plan.specs) == 9
         for spec in plan.specs:
             if spec.kind in ("mesh_drop", "mesh_dup"):

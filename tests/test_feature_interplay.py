@@ -17,9 +17,7 @@ class TestClientPrefetchOnBufferedMount:
         """Client prefetching over a buffered mount with server-side
         readahead: three caching layers stacked; data stays exact."""
         machine = Machine(
-            MachineConfig(
-                n_compute=2, n_io=2, server_readahead_blocks=2, cache_blocks=128
-            )
+            MachineConfig(n_compute=2, n_io=2, server_readahead_blocks=2, cache_blocks=128)
         )
         mount = machine.mount("/pfs", PFSConfig(buffered=True))
         pfs_file = machine.create_file(mount, "data", 4 * MB)
@@ -60,9 +58,7 @@ class TestClientPrefetchOnBufferedMount:
         """Write with write-back, then re-read through the prefetcher
         before any flush: data must come from the dirty cache blocks."""
         machine = Machine(
-            MachineConfig(
-                n_compute=2, n_io=2, write_back=True, sync_interval_s=1000.0
-            )
+            MachineConfig(n_compute=2, n_io=2, write_back=True, sync_interval_s=1000.0)
         )
         mount = machine.mount("/pfs", PFSConfig(buffered=True))
         machine.create_file(mount, "data", 0)

@@ -35,9 +35,7 @@ class TestMixedWorkloads:
         both finish, data is exact, machine invariants hold."""
         machine = Machine(MachineConfig(n_compute=8, n_io=8))
         input_mount = machine.mount("/input", PFSConfig(stripe_unit=64 * KB))
-        output_mount = machine.mount(
-            "/output", PFSConfig(stripe_unit=256 * KB)
-        )
+        output_mount = machine.mount("/output", PFSConfig(stripe_unit=256 * KB))
         machine.create_file(input_mount, "in", 8 * MB)
         out_file = machine.create_file(output_mount, "out", 0)
 
@@ -45,7 +43,11 @@ class TestMixedWorkloads:
 
         def reader_app(rank):
             handle = yield from machine.clients[rank].open(
-                input_mount, "in", IOMode.M_RECORD, rank=rank, nprocs=4,
+                input_mount,
+                "in",
+                IOMode.M_RECORD,
+                rank=rank,
+                nprocs=4,
                 prefetcher=Prefetcher(OneRequestAhead()),
             )
             for _ in range(8):
@@ -72,9 +74,7 @@ class TestMixedWorkloads:
         assert out_file.size_bytes == 4 * 4 * 128 * KB
         # Spot-check writer content: rank 2, step 1 record.
         offset = (1 * 4 + 2) * 128 * KB
-        assert pfs_content(machine, out_file, offset, 128 * KB) == SyntheticData(
-            7021, 0, 128 * KB
-        )
+        assert pfs_content(machine, out_file, offset, 128 * KB) == SyntheticData(7021, 0, 128 * KB)
         assert machine.verify() == []
 
     def test_same_file_reader_behind_writer(self):

@@ -1,0 +1,155 @@
+"""Safety net for the PR-6 kernel fast paths.
+
+The fast-kernel refactor (merged grants, closed-form RAID transfers,
+callback worms on the mesh, event elision) is only legal if it is
+*unobservable*: every report must stay bit-identical to the stepped
+implementation, under either same-timestamp tie-break, with or without
+telemetry, and the fast paths must fall back to stepping whenever a
+fault plan, tracer, or telemetry probe could observe the difference.
+This module pins each of those contracts:
+
+- the bench3 and copy-back-rebuild golden fingerprints re-verified
+  under *both* tie-breaks (the goldens were captured before any fast
+  path existed, so matching them proves the refactor changed nothing);
+- a mid-window fault spec splitting what the fast path would have
+  batched -- with any fault plan active, batching is disabled wholesale
+  and the stepped fallback must remain tie-order deterministic;
+- telemetry on vs. off produces identical report fingerprints (the
+  zero-overhead fast paths may skip *events*, never *numbers*);
+- the zero-overhead contract itself: an unconfigured machine installs
+  no tick hooks and takes no samples, so the per-event fast path in
+  ``Environment.run`` pays nothing for observability it isn't using.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.sanitizers import report_fingerprint
+from repro.experiments.common import (
+    KB,
+    run_collective,
+    run_multipass,
+    run_separate_files,
+    scaled_file_size,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.pfs import IOMode
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The canonical rebuild scenario pinned by the rebuild golden: spindle
+#: 0 of raid0 dies at t=0, its replacement arrives at t=0.01 and is
+#: copied back at half rate.  The repair window opens *mid-run*, so a
+#: sequential read stream that the fast path would schedule as one
+#: batch is split by the rebuild traffic -- the definitive fallback
+#: test.
+REBUILD_PLAN = FaultPlan(
+    specs=(
+        FaultSpec(kind="disk_failure", target="raid0", at_s=0.0, disk_index=0),
+        FaultSpec(kind="disk_repair", target="raid0", at_s=0.01, disk_index=0, rebuild_rate=0.5),
+    ),
+)
+
+
+def _bench3_cell(size_kb: int, prefetch: bool, tie_break: str = "fifo", **kwargs):
+    return run_collective(
+        request_size=size_kb * KB,
+        file_size=scaled_file_size(size_kb * KB, rounds=4),
+        iomode=IOMode.M_RECORD,
+        prefetch=prefetch,
+        rounds=4,
+        tie_break=tie_break,
+        **kwargs,
+    )
+
+
+class TestGoldensUnderBothTieBreaks:
+    """Fast paths reproduce the pre-refactor goldens, fifo and lifo."""
+
+    @pytest.fixture(scope="class")
+    def bench3_golden(self):
+        with open(GOLDEN_DIR / "bench3_fingerprints.json") as fh:
+            return json.load(fh)["cells"]
+
+    @pytest.fixture(scope="class")
+    def rebuild_golden(self):
+        with open(GOLDEN_DIR / "rebuild_fingerprint.json") as fh:
+            return json.load(fh)
+
+    @pytest.mark.parametrize("tie_break", ["fifo", "lifo"])
+    @pytest.mark.parametrize("size_kb,prefetch", [(64, False), (64, True), (256, True)])
+    def test_bench3_cells(self, bench3_golden, size_kb, prefetch, tie_break):
+        report = _bench3_cell(size_kb, prefetch, tie_break=tie_break)
+        key = f"table1:{size_kb}kb:prefetch={prefetch}"
+        assert report_fingerprint(report) == bench3_golden[key]
+
+    @pytest.mark.parametrize("tie_break", ["fifo", "lifo"])
+    def test_separate_files_cell(self, bench3_golden, tie_break):
+        report = run_separate_files(
+            request_size=64 * KB,
+            file_size_per_node=64 * KB * 4,
+            tie_break=tie_break,
+        )
+        key = "figure2:64kb:SEPARATE_FILES"
+        assert report_fingerprint(report) == bench3_golden[key]
+
+    @pytest.mark.parametrize("tie_break", ["fifo", "lifo"])
+    def test_rebuild_golden_mid_window_split(self, rebuild_golden, tie_break):
+        """A fault window opening mid-run forces the stepped fallback.
+
+        With ``faults`` set, every batching gate (RAID closed-form
+        transfers, mesh callback worms, fire-and-forget inbox puts) is
+        off from construction, so the rebuild window can never observe
+        a half-merged batch; this pins that the fallback still matches
+        the golden capture under both tie-breaks.
+        """
+        report = run_multipass(
+            64 * KB,
+            scaled_file_size(64 * KB, rounds=4),
+            passes=6,
+            rounds=4,
+            faults=REBUILD_PLAN,
+            tie_break=tie_break,
+        )
+        assert report_fingerprint(report) == rebuild_golden["fingerprint"]
+
+
+class TestTelemetryInvariance:
+    """Telemetry may add samples, never change measured numbers."""
+
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_fingerprint_identical_with_telemetry(self, prefetch):
+        plain = _bench3_cell(64, prefetch)
+        sampled = _bench3_cell(64, prefetch, telemetry=True)
+        assert report_fingerprint(plain) == report_fingerprint(sampled)
+
+    def test_telemetry_actually_sampled(self):
+        report = _bench3_cell(64, True, telemetry=True, keep_machine=True)
+        telemetry = report.machine.obs.telemetry
+        assert telemetry.enabled
+        assert telemetry.n_samples > 0
+        # The sampler rides the environment's tick hook.
+        assert report.machine.env._tick_hooks
+
+
+class TestZeroOverheadContract:
+    """An unconfigured machine pays nothing per event for observability."""
+
+    def test_no_tick_hooks_no_samples_by_default(self):
+        report = _bench3_cell(64, True, keep_machine=True)
+        machine = report.machine
+        assert machine.env._tick_hooks == []
+        telemetry = machine.obs.telemetry
+        assert not telemetry.enabled
+        assert telemetry.n_samples == 0
+        assert not telemetry.registry.families
+
+    def test_disabled_tick_hook_is_a_no_op(self):
+        """Defensive guard: even a stray hook on a disabled telemetry
+        must not sample (the hook is normally never installed)."""
+        report = _bench3_cell(64, False, keep_machine=True)
+        telemetry = report.machine.obs.telemetry
+        telemetry._on_tick(1.0)
+        assert telemetry.n_samples == 0

@@ -192,9 +192,7 @@ class TestUtilization:
         machine = Machine(MachineConfig(n_compute=4, n_io=2))
         mount = machine.mount("/pfs")
         machine.create_file(mount, "data", 8 * MB)
-        CollectiveReadWorkload(
-            machine, mount, "data", request_size=64 * KB
-        ).run()
+        CollectiveReadWorkload(machine, mount, "data", request_size=64 * KB).run()
         report = machine.utilization_report()
         assert all(0.0 <= v <= 1.0 for v in report.values())
         # The storage path is the busiest component class.
@@ -247,9 +245,7 @@ class TestClientMetadataOps:
         machine, mount = self.make()
 
         def proc():
-            yield from machine.clients[0].open(
-                mount, "data", IOMode.M_ASYNC, rank=0, nprocs=1
-            )
+            yield from machine.clients[0].open(mount, "data", IOMode.M_ASYNC, rank=0, nprocs=1)
             try:
                 yield from machine.clients[0].unlink(mount, "data")
             except PFSClientError:
@@ -283,9 +279,7 @@ class TestClientMetadataOps:
         free_before = sum(u.allocator.free_blocks for u in machine.ufses)
 
         def proc():
-            return (
-                yield from machine.clients[0].truncate(mount, "data", 64 * KB)
-            )
+            return (yield from machine.clients[0].truncate(mount, "data", 64 * KB))
 
         p = machine.spawn(proc())
         machine.run()
@@ -335,8 +329,7 @@ class TestClientMetadataOps:
         machine.run()
         assert pfs_file.size_bytes == 512 * KB
         total = sum(
-            machine.ufses[i].inode(pfs_file.file_id).size_bytes
-            for i in pfs_file.attrs.stripe_group
+            machine.ufses[i].inode(pfs_file.file_id).size_bytes for i in pfs_file.attrs.stripe_group
         )
         assert total == 512 * KB
         assert machine.verify() == []

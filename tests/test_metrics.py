@@ -97,7 +97,11 @@ class TestReportFromHandles:
 
         def runner(rank):
             handle = yield from machine.clients[rank].open(
-                mount, "data", IOMode.M_RECORD, rank=rank, nprocs=2,
+                mount,
+                "data",
+                IOMode.M_RECORD,
+                rank=rank,
+                nprocs=2,
                 prefetcher=Prefetcher(OneRequestAhead()),
             )
             handles.append(handle)

@@ -57,16 +57,11 @@ def small_run(prefetch=False, **kwargs):
 class TestBitIdentical:
     def test_full_instrumentation_equals_plain_run(self, prefetch_enabled):
         plain = small_run(prefetch=prefetch_enabled)
-        instrumented = small_run(
-            prefetch=prefetch_enabled, trace=True, telemetry=True
-        )
+        instrumented = small_run(prefetch=prefetch_enabled, trace=True, telemetry=True)
         # Dataclass equality covers every measured field; breakdown and
         # bottleneck are compare=False so only measurements participate.
         assert plain == instrumented
-        assert (
-            plain.collective_bandwidth_mbps
-            == instrumented.collective_bandwidth_mbps
-        )
+        assert (plain.collective_bandwidth_mbps == instrumented.collective_bandwidth_mbps)
         assert plain.read_call_time_by_rank == instrumented.read_call_time_by_rank
         # And the instrumented run actually carried its extras.
         assert instrumented.breakdown is not None
@@ -113,7 +108,9 @@ class TestSampler:
         env = Environment()
         telemetry = Telemetry(env, enabled=True)
         telemetry.register_probe(
-            "disk_busy_seconds", lambda: 0.0, labels={"device": "d0"},
+            "disk_busy_seconds",
+            lambda: 0.0,
+            labels={"device": "d0"},
             kind="counter",
         )
         env.run()  # no events: the clock never advances
@@ -127,9 +124,7 @@ class TestSampler:
         assert "(no samples" in utilization_heatmap(telemetry)
 
     def test_interval_longer_than_run(self, machine_factory):
-        machine = machine_factory(
-            n_compute=2, n_io=2, telemetry=True, telemetry_interval_s=1e6
-        )
+        machine = machine_factory(n_compute=2, n_io=2, telemetry=True, telemetry_interval_s=1e6)
         from repro.config import PFSConfig
         from repro.pfs import IOMode
 
@@ -195,9 +190,7 @@ service_seconds_count{device="raid0"} 3
 class TestExporters:
     def golden_telemetry(self):
         telemetry = Telemetry(env=None, enabled=True)
-        telemetry.counter(
-            "reads_total", labels={"node": "0"}, help="Total read calls."
-        ).inc(3)
+        telemetry.counter("reads_total", labels={"node": "0"}, help="Total read calls.").inc(3)
         telemetry.counter("reads_total", labels={"node": "1"}).inc()
         telemetry.gauge("queue_depth", labels={"device": "raid0"}).set(2)
         hist = telemetry.histogram(
@@ -223,8 +216,7 @@ class TestExporters:
         # 3 scalar series (2 counters + 1 gauge; histogram excluded) x 2.
         assert len(lines) == 1 + 3 * 2
         assert "0.5,queue_depth,device=raid0,2" in lines
-        rows = [json.loads(line) for line in
-                timeseries_jsonl(telemetry).strip().split("\n")]
+        rows = [json.loads(line) for line in timeseries_jsonl(telemetry).strip().split("\n")]
         assert len(rows) == 6
         assert {"t", "metric", "labels", "value"} == set(rows[0])
         assert {"t": 0.5, "metric": "queue_depth",

@@ -34,7 +34,11 @@ def collective_read(machine, prefetch=False, rounds=4, request_size=64 * KB):
     def opener(rank):
         pf = Prefetcher(OneRequestAhead()) if prefetch else None
         handles[rank] = yield from machine.clients[rank].open(
-            mount, "data", IOMode.M_RECORD, rank=rank, nprocs=nprocs,
+            mount,
+            "data",
+            IOMode.M_RECORD,
+            rank=rank,
+            nprocs=nprocs,
             prefetcher=pf,
         )
 
@@ -53,9 +57,7 @@ def collective_read(machine, prefetch=False, rounds=4, request_size=64 * KB):
 
 
 class TestCausality:
-    def test_every_disk_span_has_a_client_or_prefetch_ancestor(
-        self, traced_machine
-    ):
+    def test_every_disk_span_has_a_client_or_prefetch_ancestor(self, traced_machine):
         collective_read(traced_machine, prefetch=True)
         tracer = traced_machine.obs.tracer
         disk_spans = tracer.by_kind("disk_service")
@@ -66,9 +68,7 @@ class TestCausality:
                 f"orphaned disk access: {span!r} ancestors={kinds}"
             )
 
-    def test_prefetch_issue_is_rooted_in_the_triggering_read(
-        self, traced_machine
-    ):
+    def test_prefetch_issue_is_rooted_in_the_triggering_read(self, traced_machine):
         collective_read(traced_machine, prefetch=True)
         tracer = traced_machine.obs.tracer
         issues = tracer.by_kind("prefetch_issue")
@@ -92,10 +92,7 @@ class TestCausality:
 
     def test_stripe_pieces_carry_the_cause(self, traced_machine):
         collective_read(traced_machine, prefetch=True)
-        causes = {
-            s.attrs.get("cause")
-            for s in traced_machine.obs.tracer.by_kind("stripe_piece")
-        }
+        causes = {s.attrs.get("cause") for s in traced_machine.obs.tracer.by_kind("stripe_piece")}
         assert causes == {"demand", "prefetch"}
 
     def test_each_read_call_is_its_own_trace(self, traced_machine):
@@ -149,9 +146,7 @@ class TestChromeExport:
         pids = {e["pid"] for e in events if e.get("ph") == "X" and e["pid"] >= 0}
         # 4 compute + 4 I/O nodes all show up as distinct tracks.
         assert len(pids) == 8
-        named = {
-            e["pid"] for e in events if e.get("name") == "process_name"
-        }
+        named = {e["pid"] for e in events if e.get("name") == "process_name"}
         assert pids <= named
 
     def test_complete_events_are_well_formed(self, traced_machine):
@@ -176,10 +171,7 @@ class TestBreakdown:
         handles = collective_read(traced_machine)
         for handle in handles:
             breakdown = traced_machine.obs.breakdown(rank=handle.rank)
-            assert (
-                abs(sum(breakdown.values()) - handle.stats.read_call_time)
-                < 1e-9
-            )
+            assert (abs(sum(breakdown.values()) - handle.stats.read_call_time) < 1e-9)
 
     def test_rendered_table_and_critical_path_report(self, traced_machine):
         collective_read(traced_machine)

@@ -46,9 +46,7 @@ class TestRPC:
         server.register(ReadRequest, handler)
 
         def proc(env):
-            reply = yield from client.call(
-                server, ReadRequest(file_id=7, ufs_offset=0, nbytes=100)
-            )
+            reply = yield from client.call(server, ReadRequest(file_id=7, ufs_offset=0, nbytes=100))
             return reply
 
         p = env.process(proc(env))
@@ -64,9 +62,7 @@ class TestRPC:
 
         def proc(env):
             try:
-                yield from client.call(
-                    server, ReadRequest(file_id=1, ufs_offset=0, nbytes=1)
-                )
+                yield from client.call(server, ReadRequest(file_id=1, ufs_offset=0, nbytes=1))
             except RPCError:
                 return "rpc error"
 
@@ -86,9 +82,7 @@ class TestRPC:
 
         def proc(env):
             try:
-                yield from client.call(
-                    server, ReadRequest(file_id=1, ufs_offset=0, nbytes=1)
-                )
+                yield from client.call(server, ReadRequest(file_id=1, ufs_offset=0, nbytes=1))
             except RPCError as exc:
                 return str(exc)
 
@@ -123,18 +117,14 @@ class TestRPC:
         server = RPCEndpoint(env, make_node(env, 1, 1, 0), mesh)
 
         def handler(request):
-            return ReadReply(
-                file_id=request.file_id, ufs_offset=0, data=b"z" * request.nbytes
-            )
+            return ReadReply(file_id=request.file_id, ufs_offset=0, data=b"z" * request.nbytes)
             yield  # pragma: no cover - makes this a generator
 
         server.register(ReadRequest, handler)
 
         def timed(env, cli, srv, nbytes):
             t0 = env.now
-            yield from cli.call(
-                srv, ReadRequest(file_id=1, ufs_offset=0, nbytes=nbytes)
-            )
+            yield from cli.call(srv, ReadRequest(file_id=1, ufs_offset=0, nbytes=nbytes))
             return env.now - t0
 
         p_small = env.process(timed(env, client, server, 0))

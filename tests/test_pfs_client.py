@@ -50,9 +50,7 @@ class TestOpenClose:
         mount, _ = setup_file(machine)
 
         def proc():
-            yield from machine.clients[0].open(
-                mount, "data", IOMode.M_UNIX, rank=5, nprocs=4
-            )
+            yield from machine.clients[0].open(mount, "data", IOMode.M_UNIX, rank=5, nprocs=4)
 
         machine.spawn(proc())
         from repro.pfs.client import PFSClientError
@@ -174,8 +172,7 @@ class TestMUnix:
         assert pfs_file.shared_offset == 4 * 64 * KB
         got = sorted(c.to_bytes() for c in chunks)
         expected = sorted(
-            pfs_content(machine, pfs_file, k * 64 * KB, 64 * KB).to_bytes()
-            for k in range(4)
+            pfs_content(machine, pfs_file, k * 64 * KB, 64 * KB).to_bytes() for k in range(4)
         )
         assert got == expected
 

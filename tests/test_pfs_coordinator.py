@@ -49,9 +49,7 @@ class TestToken:
 
     def test_release_updates_offset(self, machine, pfs_file):
         def proc():
-            yield from coordinate(
-                machine, 0, TokenAcquire(file_id=pfs_file.file_id, rank=0)
-            )
+            yield from coordinate(machine, 0, TokenAcquire(file_id=pfs_file.file_id, rank=0))
             yield from coordinate(
                 machine,
                 0,
@@ -67,9 +65,7 @@ class TestToken:
 
         def proc(rank, hold):
             yield machine.env.timeout(rank * 0.001)  # deterministic arrival
-            yield from coordinate(
-                machine, rank, TokenAcquire(file_id=pfs_file.file_id, rank=rank)
-            )
+            yield from coordinate(machine, rank, TokenAcquire(file_id=pfs_file.file_id, rank=rank))
             order.append(("acq", rank, machine.env.now))
             yield machine.env.timeout(hold)
             yield from coordinate(
@@ -88,18 +84,19 @@ class TestToken:
         machine.run()
         kinds = [(k, r) for (k, r, _t) in order]
         assert kinds == [
-            ("acq", 0), ("rel", 0),
-            ("acq", 1), ("rel", 1),
-            ("acq", 2), ("rel", 2),
+            ("acq", 0),
+            ("rel", 0),
+            ("acq", 1),
+            ("rel", 1),
+            ("acq", 2),
+            ("rel", 2),
         ]
 
     def test_wrong_rank_release_fails(self, machine, pfs_file):
         from repro.paragonos.rpc import RPCError
 
         def proc():
-            yield from coordinate(
-                machine, 0, TokenAcquire(file_id=pfs_file.file_id, rank=0)
-            )
+            yield from coordinate(machine, 0, TokenAcquire(file_id=pfs_file.file_id, rank=0))
             try:
                 yield from coordinate(
                     machine,
@@ -120,9 +117,7 @@ class TestToken:
 
         def acquire_release(rank):
             t0 = machine.env.now
-            yield from coordinate(
-                machine, rank, TokenAcquire(file_id=pfs_file.file_id, rank=rank)
-            )
+            yield from coordinate(machine, rank, TokenAcquire(file_id=pfs_file.file_id, rank=rank))
             times[rank] = machine.env.now - t0
             yield from coordinate(
                 machine,
@@ -157,9 +152,7 @@ class TestSyncBarrier:
             go = yield from coordinate(
                 machine,
                 rank,
-                SyncArrive(
-                    file_id=pfs_file.file_id, call_index=0, rank=rank, nbytes=nbytes
-                ),
+                SyncArrive(file_id=pfs_file.file_id, call_index=0, rank=rank, nbytes=nbytes),
             )
             results[rank] = go.offset
 
@@ -188,9 +181,7 @@ class TestSyncBarrier:
                 yield from coordinate(
                     machine,
                     0,
-                    SyncArrive(
-                        file_id=pfs_file.file_id, call_index=0, rank=0, nbytes=1
-                    ),
+                    SyncArrive(file_id=pfs_file.file_id, call_index=0, rank=0, nbytes=1),
                 )
             except RPCError:
                 return "rejected"
@@ -243,9 +234,7 @@ class TestGlobal:
             go = yield from coordinate(
                 machine,
                 rank,
-                GlobalArrive(
-                    file_id=pfs_file.file_id, call_index=0, rank=rank, nbytes=500
-                ),
+                GlobalArrive(file_id=pfs_file.file_id, call_index=0, rank=rank, nbytes=500),
             )
             results.append((rank, go.leader, go.offset))
 

@@ -86,9 +86,7 @@ class TestMGlobalWrites:
         mount = machine.mount("/pfs")
         pfs_file = machine.create_file(mount, "data", 64 * KB)
         handles = open_all(machine, mount, "data", IOMode.M_GLOBAL)
-        before = sum(
-            machine.monitor.counter_value(f"raid{i}.writes") for i in range(4)
-        )
+        before = sum(machine.monitor.counter_value(f"raid{i}.writes") for i in range(4))
 
         def writer(h):
             yield from h.write(LiteralData(b"G" * (64 * KB)))
@@ -96,9 +94,7 @@ class TestMGlobalWrites:
         for h in handles:
             machine.spawn(writer(h))
         machine.run()
-        after = sum(
-            machine.monitor.counter_value(f"raid{i}.writes") for i in range(4)
-        )
+        after = sum(machine.monitor.counter_value(f"raid{i}.writes") for i in range(4))
         assert after - before == 1  # only the leader wrote
         assert content(machine, pfs_file, 0, 64 * KB).to_bytes() == b"G" * (64 * KB)
         assert pfs_file.shared_offset == 64 * KB

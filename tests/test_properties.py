@@ -69,10 +69,7 @@ class TestDataProperties:
     @settings(max_examples=150, deadline=None)
     def test_synthetic_slice_homomorphism(self, key, offset, start, length):
         whole = SyntheticData(key, offset, start + length + 16)
-        assert (
-            whole.slice(start, length).to_bytes()
-            == whole.to_bytes()[start : start + length]
-        )
+        assert (whole.slice(start, length).to_bytes() == whole.to_bytes()[start : start + length])
 
     @given(st.lists(st.binary(max_size=64), max_size=8))
     @settings(max_examples=150, deadline=None)
@@ -242,9 +239,7 @@ class TestCollectiveReadProperties:
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
-    def test_m_record_reads_partition_a_prefix(
-        self, nprocs, rounds, request, prefetch
-    ):
+    def test_m_record_reads_partition_a_prefix(self, nprocs, rounds, request, prefetch):
         """Under M_RECORD, the union of all nodes' reads is exactly the
         first nprocs*rounds*request bytes of the file, with no byte read
         twice -- with or without prefetching."""
@@ -263,7 +258,11 @@ class TestCollectiveReadProperties:
         def runner(rank):
             pf = Prefetcher(OneRequestAhead()) if prefetch else None
             handle = yield from machine.clients[rank].open(
-                mount, "data", IOMode.M_RECORD, rank=rank, nprocs=nprocs,
+                mount,
+                "data",
+                IOMode.M_RECORD,
+                rank=rank,
+                nprocs=nprocs,
                 prefetcher=pf,
             )
             for k in range(rounds):
@@ -311,7 +310,11 @@ class TestCollectiveReadProperties:
             def runner():
                 pf = Prefetcher(OneRequestAhead()) if prefetch else None
                 handle = yield from machine.clients[client_index].open(
-                    mount, "data", IOMode.M_ASYNC, rank=0, nprocs=1,
+                    mount,
+                    "data",
+                    IOMode.M_ASYNC,
+                    rank=0,
+                    nprocs=1,
                     prefetcher=pf,
                 )
                 for _ in range(rounds):
@@ -420,9 +423,7 @@ class TestPFSContentProperty:
         from repro.ufs.data import concat_data as cat
 
         machine = Machine(MachineConfig(n_compute=1, n_io=8))
-        mount = machine.mount(
-            "/pfs", PFSConfig(stripe_unit=su, stripe_factor=factor)
-        )
+        mount = machine.mount("/pfs", PFSConfig(stripe_unit=su, stripe_factor=factor))
         file_size = 4 * 256 * KB
         pfs_file = machine.create_file(mount, "data", file_size)
 
@@ -462,10 +463,14 @@ class TestRebuildProperties:
 
         return FaultPlan(
             specs=(
-                FaultSpec(kind="disk_failure", target="raid0", at_s=0.0,
-                          disk_index=disk_index),
-                FaultSpec(kind="disk_repair", target="raid0", at_s=repair_at,
-                          disk_index=disk_index, rebuild_rate=rate),
+                FaultSpec(kind="disk_failure", target="raid0", at_s=0.0, disk_index=disk_index),
+                FaultSpec(
+                    kind="disk_repair",
+                    target="raid0",
+                    at_s=repair_at,
+                    disk_index=disk_index,
+                    rebuild_rate=rate,
+                ),
             ),
         )
 
@@ -517,14 +522,15 @@ class TestRebuildProperties:
         file_size = scaled_file_size(64 * KB, rounds=2)
         fault_free = run_multipass(64 * KB, file_size, passes=3, rounds=2)
         rebuild = run_multipass(
-            64 * KB, file_size, passes=3, rounds=2,
-            faults=self._rebuild_plan(rate), keep_machine=True,
+            64 * KB,
+            file_size,
+            passes=3,
+            rounds=2,
+            faults=self._rebuild_plan(rate),
+            keep_machine=True,
         )
         assert rebuild.total_bytes == fault_free.total_bytes
-        assert (
-            rebuild.collective_bandwidth_mbps
-            <= fault_free.collective_bandwidth_mbps
-        )
+        assert (rebuild.collective_bandwidth_mbps <= fault_free.collective_bandwidth_mbps)
         raid0 = next(a for a in rebuild.machine.arrays if a.name == "raid0")
         assert raid0.rebuilds_completed == 1
         assert rebuild.machine.verify() == []
@@ -538,8 +544,12 @@ class TestRebuildProperties:
 
         file_size = scaled_file_size(64 * KB, rounds=2)
         report = run_multipass(
-            64 * KB, file_size, passes=2, rounds=2,
-            faults=self._rebuild_plan(0.5), keep_machine=True,
+            64 * KB,
+            file_size,
+            passes=2,
+            rounds=2,
+            faults=self._rebuild_plan(0.5),
+            keep_machine=True,
         )
         machine = report.machine
         raid0 = next(a for a in machine.arrays if a.name == "raid0")
@@ -547,7 +557,11 @@ class TestRebuildProperties:
         before = machine.monitor.counter_value("raid0.degraded_reads")
         mount = machine.mounts["/pfs"]
         extra = CollectiveReadWorkload(
-            machine, mount, "data", request_size=64 * KB, rounds=2,
+            machine,
+            mount,
+            "data",
+            request_size=64 * KB,
+            rounds=2,
         )
         extra.run()
         assert machine.monitor.counter_value("raid0.degraded_reads") == before
@@ -581,9 +595,7 @@ class TestCrashRestartProperties:
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
-    def test_crash_replay_never_double_delivers_or_skips(
-        self, seed, n_windows, prefetch
-    ):
+    def test_crash_replay_never_double_delivers_or_skips(self, seed, n_windows, prefetch):
         """Any number of crash/restart cycles at seeded random points:
         the demand audit log holds exactly one record per file record --
         no duplicates (a crash-before-reply replayed, not re-executed)
@@ -591,9 +603,7 @@ class TestCrashRestartProperties:
         from repro.experiments.common import run_collective, scaled_file_size
         from repro.faults import FaultPlan
 
-        plan = FaultPlan.crash_restart(
-            node="node0", windows=self._windows(seed, n_windows)
-        )
+        plan = FaultPlan.crash_restart(node="node0", windows=self._windows(seed, n_windows))
         report = run_collective(
             request_size=64 * KB,
             file_size=scaled_file_size(64 * KB, rounds=2),
@@ -606,8 +616,7 @@ class TestCrashRestartProperties:
         assert machine.verify() == []
         demand = [
             (file_id, offset, nbytes)
-            for (file_id, offset, nbytes, _digest, kind, _io)
-            in machine.faults.deliveries
+            for (file_id, offset, nbytes, _digest, kind, _io) in machine.faults.deliveries
             if kind == "demand"
         ]
         assert len(demand) == len(set(demand))  # never double-delivered
@@ -633,9 +642,7 @@ class TestCrashRestartProperties:
         from repro.faults import FaultPlan
         from repro.pfs import IOMode
 
-        plan = FaultPlan.crash_restart(
-            node="node0", windows=self._windows(seed, 2)
-        )
+        plan = FaultPlan.crash_restart(node="node0", windows=self._windows(seed, 2))
         report = run_collective(
             request_size=64 * KB,
             file_size=scaled_file_size(64 * KB, rounds=2),
@@ -682,11 +689,7 @@ class TestFaultPlaneProperties:
             )
         )
         injector = FaultInjector(env, plan)
-        fire_ops = [
-            i
-            for i in range(ops)
-            if injector.decide("media_error", "raid0") is not None
-        ]
+        fire_ops = [i for i in range(ops) if injector.decide("media_error", "raid0") is not None]
         expected = max(0, min(ops - after_n, count))
         assert len(fire_ops) == expected
         assert fire_ops == list(range(after_n, after_n + expected))
@@ -703,9 +706,7 @@ class TestFaultPlaneProperties:
         st.integers(min_value=1, max_value=10),  # max_attempts
     )
     @settings(max_examples=100, deadline=None)
-    def test_retry_schedule_monotone_bounded(
-        self, timeout_s, backoff, cap_mult, attempts
-    ):
+    def test_retry_schedule_monotone_bounded(self, timeout_s, backoff, cap_mult, attempts):
         from repro.faults import RetryPolicy
 
         max_timeout_s = timeout_s * cap_mult

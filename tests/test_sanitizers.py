@@ -95,18 +95,14 @@ class TestTieOrderDetector:
     def test_arbitrated_resource_is_deterministic(self):
         # The fix: canonical arbitration keys make the winner identical
         # under either tie-break.
-        result = check_tie_order(
-            _contend(lambda env: ArbitratedResource(env, capacity=1))
-        )
+        result = check_tie_order(_contend(lambda env: ArbitratedResource(env, capacity=1)))
         assert result.deterministic
         assert len(set(result.fingerprints.values())) == 1
         assert "deterministic" in result.describe()
 
     def test_assert_raises_on_race(self):
         with pytest.raises(TieOrderRace):
-            assert_tie_order_deterministic(
-                _contend(lambda env: Resource(env, capacity=1))
-            )
+            assert_tie_order_deterministic(_contend(lambda env: Resource(env, capacity=1)))
 
     def test_assert_passes_and_returns_result(self):
         result = assert_tie_order_deterministic(

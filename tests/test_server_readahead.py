@@ -27,9 +27,7 @@ def open_handle(machine, mount, name="data", mode=IOMode.M_ASYNC):
     box = {}
 
     def opener():
-        box["h"] = yield from machine.clients[0].open(
-            mount, name, mode, rank=0, nprocs=1
-        )
+        box["h"] = yield from machine.clients[0].open(mount, name, mode, rank=0, nprocs=1)
 
     machine.spawn(opener())
     machine.run()
@@ -73,9 +71,7 @@ class TestServerReadahead:
     def test_readahead_faster_than_plain_buffered(self):
         def run(readahead):
             machine = make_machine(readahead=readahead)
-            mount = machine.mount(
-                "/pfs", PFSConfig(buffered=True, stripe_factor=1)
-            )
+            mount = machine.mount("/pfs", PFSConfig(buffered=True, stripe_factor=1))
             machine.create_file(mount, "data", 1 * MB)
             handle = open_handle(machine, mount)
             times = []

@@ -205,8 +205,7 @@ class TestDiskArbitration:
     def _service_order(tie_break, elevator, requests):
         """Run reads of (tag, lba, issue_delay); return completion order."""
         env = Environment(tie_break=tie_break)
-        disk = Disk(env, "d", params=DiskParams(), elevator=elevator,
-                    jitter=False)
+        disk = Disk(env, "d", params=DiskParams(), elevator=elevator, jitter=False)
         order = []
 
         def proc(tag, lba, delay):
@@ -223,11 +222,15 @@ class TestDiskArbitration:
     def test_fifo_same_timestamp_arrivals_follow_causal_order(self):
         # Spawn order defines the causal process keys; a pop-order
         # dispatcher would reverse this under lifo.
-        requests = [("a", 30 * MB, 0.0), ("b", 10 * MB, 0.0),
-                    ("c", 50 * MB, 0.0), ("d", 20 * MB, 0.0)]
+        requests = [
+            ("a", 30 * MB, 0.0), ("b", 10 * MB, 0.0), ("c", 50 * MB, 0.0), ("d", 20 * MB, 0.0)
+        ]
         for tb in ("fifo", "lifo"):
             assert self._service_order(tb, False, requests) == [
-                "a", "b", "c", "d",
+                "a",
+                "b",
+                "c",
+                "d",
             ]
 
     def test_fifo_arrival_time_dominates_key(self):
@@ -238,11 +241,15 @@ class TestDiskArbitration:
             assert self._service_order(tb, False, requests) == ["early", "late"]
 
     def test_elevator_sweeps_ascending_regardless_of_spawn_order(self):
-        requests = [("c", 30 * MB, 0.0), ("a", 10 * MB, 0.0),
-                    ("d", 50 * MB, 0.0), ("b", 20 * MB, 0.0)]
+        requests = [
+            ("c", 30 * MB, 0.0), ("a", 10 * MB, 0.0), ("d", 50 * MB, 0.0), ("b", 20 * MB, 0.0)
+        ]
         for tb in ("fifo", "lifo"):
             assert self._service_order(tb, True, requests) == [
-                "a", "b", "c", "d",
+                "a",
+                "b",
+                "c",
+                "d",
             ]
 
     def test_elevator_look_reverses_only_when_nothing_ahead(self):
@@ -250,11 +257,18 @@ class TestDiskArbitration:
         # during its multi-ms service.  The upward sweep continues
         # through 55MB and 60MB before reversing down to 10MB -- greedy
         # nearest-first would starve the distant request differently.
-        requests = [("first", 50 * MB, 0.0), ("up1", 55 * MB, 0.001),
-                    ("down", 10 * MB, 0.001), ("up2", 60 * MB, 0.001)]
+        requests = [
+            ("first", 50 * MB, 0.0),
+            ("up1", 55 * MB, 0.001),
+            ("down", 10 * MB, 0.001),
+            ("up2", 60 * MB, 0.001),
+        ]
         for tb in ("fifo", "lifo"):
             assert self._service_order(tb, True, requests) == [
-                "first", "up1", "up2", "down",
+                "first",
+                "up1",
+                "up2",
+                "down",
             ]
 
     def test_elevator_exact_distance_tie_broken_by_key(self):

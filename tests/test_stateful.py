@@ -165,8 +165,7 @@ class FaultPlanMachine(RuleBasedStateMachine):
         # would (correctly) exceed RAID-3 redundancy and lose data.
         self.repaired_raids.add("raid0")
         self.specs.append(
-            FaultSpec(kind="disk_failure", target="raid0", at_s=fail_at,
-                      disk_index=disk_index)
+            FaultSpec(kind="disk_failure", target="raid0", at_s=fail_at, disk_index=disk_index)
         )
         self.specs.append(
             FaultSpec(kind="disk_repair", target="raid0",
@@ -187,21 +186,15 @@ class FaultPlanMachine(RuleBasedStateMachine):
         # Windows on different nodes may overlap; the cursor only keeps
         # each node's own windows ordered (shared for simplicity).
         self.crash_cursor = restart_at
-        self.specs.append(
-            FaultSpec(kind="node_crash", target=f"node{node}", at_s=crash_at)
-        )
-        self.specs.append(
-            FaultSpec(kind="node_restart", target=f"node{node}",
-                      at_s=restart_at)
-        )
+        self.specs.append(FaultSpec(kind="node_crash", target=f"node{node}", at_s=crash_at))
+        self.specs.append(FaultSpec(kind="node_restart", target=f"node{node}", at_s=restart_at))
 
     @invariant()
     def plan_always_constructs(self):
         from repro.faults import FaultPlan
 
         plan = FaultPlan(specs=tuple(self.specs))
-        for target in {s.target for s in plan.specs
-                       if s.kind in ("node_crash", "node_restart")}:
+        for target in {s.target for s in plan.specs if s.kind in ("node_crash", "node_restart")}:
             windows = plan.crash_windows(target)
             assert all(c < r for c, r in windows)
             assert windows == tuple(sorted(windows))
@@ -211,25 +204,36 @@ class FaultPlanMachine(RuleBasedStateMachine):
     def drive_machine(self):
         from repro.experiments.common import run_collective, scaled_file_size
         from repro.faults import FaultPlan
+        from repro.paragonos.rpc import RPCError
 
         self.ran = True
         plan = FaultPlan(specs=tuple(self.specs))
-        report = run_collective(
-            request_size=self.REQUEST,
-            file_size=scaled_file_size(self.REQUEST, rounds=self.ROUNDS),
-            rounds=self.ROUNDS,
-            prefetch=True,
-            faults=plan,
-            keep_machine=True,
-        )
+        try:
+            report = run_collective(
+                request_size=self.REQUEST,
+                file_size=scaled_file_size(self.REQUEST, rounds=self.ROUNDS),
+                rounds=self.ROUNDS,
+                prefetch=True,
+                faults=plan,
+                keep_machine=True,
+            )
+        except RPCError as exc:
+            # A media error landing inside a disk-failure window hits an
+            # array with no redundancy left behind the bad sector; the
+            # model deliberately refuses to invent the data (RAID-3
+            # semantics), so the run dying with *this specific* error is
+            # a legitimate outcome of the generated plan, not a bug.
+            assert "unrecoverable media error on degraded" in str(exc)
+            assert "raid0" in self.repaired_raids
+            assert any(s.kind == "media_error" for s in self.specs)
+            return
         machine = report.machine
         assert machine.verify() == []
         expected = self.REQUEST * self.NPROCS * self.ROUNDS
         assert report.total_bytes == expected
         demand = [
             (file_id, offset, nbytes)
-            for (file_id, offset, nbytes, _d, kind, _io)
-            in machine.faults.deliveries
+            for (file_id, offset, nbytes, _d, kind, _io) in machine.faults.deliveries
             if kind == "demand"
         ]
         assert len(demand) == len(set(demand))
@@ -247,14 +251,8 @@ class FaultPlanMachine(RuleBasedStateMachine):
 
 
 TestAllocatorMachine = AllocatorMachine.TestCase
-TestAllocatorMachine.settings = settings(
-    max_examples=60, stateful_step_count=40, deadline=None
-)
+TestAllocatorMachine.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)
 TestMemoryRegionMachine = MemoryRegionMachine.TestCase
-TestMemoryRegionMachine.settings = settings(
-    max_examples=60, stateful_step_count=40, deadline=None
-)
+TestMemoryRegionMachine.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)
 TestFaultPlanMachine = FaultPlanMachine.TestCase
-TestFaultPlanMachine.settings = settings(
-    max_examples=12, stateful_step_count=12, deadline=None
-)
+TestFaultPlanMachine.settings = settings(max_examples=12, stateful_step_count=12, deadline=None)

@@ -234,9 +234,7 @@ class TestUFS:
         # Overwrite 10 bytes in the middle of block 1.
         run(env, ufs.write(1, 64 * KB + 100, LiteralData(b"XXXXXXXXXX")))
         after = ufs.content(1, 0, 192 * KB).to_bytes()
-        expected = (
-            before[: 64 * KB + 100] + b"XXXXXXXXXX" + before[64 * KB + 110 :]
-        )
+        expected = before[: 64 * KB + 100] + b"XXXXXXXXXX" + before[64 * KB + 110 :]
         assert after == expected
 
     def test_write_extends_file(self, env):

@@ -145,9 +145,7 @@ class TestCollectiveReadWorkload:
         with pytest.raises(ValueError):
             CollectiveReadWorkload(machine, mount, "data", request_size=0)
         with pytest.raises(ValueError):
-            CollectiveReadWorkload(
-                machine, mount, "data", request_size=64, compute_delay=-1
-            )
+            CollectiveReadWorkload(machine, mount, "data", request_size=64, compute_delay=-1)
         with pytest.raises(ValueError):
             CollectiveReadWorkload(machine, mount, "data", request_size=64, nprocs=5)
 
@@ -191,9 +189,7 @@ class TestCollectiveWriteWorkload:
         assert machine.verify() == []
 
     def test_write_back_machine_completes(self):
-        machine, pfs_file, workload = self.make(
-            mc=dict(write_back=True), pfs=dict(buffered=True)
-        )
+        machine, pfs_file, workload = self.make(mc=dict(write_back=True), pfs=dict(buffered=True))
         result = workload.run()
         assert result.report.total_bytes == 4 * 4 * 64 * KB
         assert machine.verify() == []
@@ -223,9 +219,7 @@ class TestSeparateFilesWorkload:
         mount = machine.mount("/pfs", PFSConfig())
         for rank in range(4):
             machine.create_file(mount, f"f{rank}", 512 * KB, rotate=True)
-        workload = SeparateFilesWorkload(
-            machine, mount, "f", request_size=64 * KB
-        )
+        workload = SeparateFilesWorkload(machine, mount, "f", request_size=64 * KB)
         result = workload.run()
         assert result.report.total_bytes == 4 * 512 * KB
         names = sorted(h.file.name for h in result.handles)
@@ -251,9 +245,7 @@ class TestSeparateFilesWorkload:
 
 class TestTraces:
     def test_event_json_roundtrip(self):
-        event = TraceEvent(
-            rank=3, op="read", offset=128, nbytes=64, issued_at=1.5, duration=0.25
-        )
+        event = TraceEvent(rank=3, op="read", offset=128, nbytes=64, issued_at=1.5, duration=0.25)
         assert TraceEvent.from_json(event.to_json()) == event
 
     def test_load_trace_skips_blank_lines(self):

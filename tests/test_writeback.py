@@ -29,9 +29,7 @@ def open_handle(machine, mount, name="data"):
     box = {}
 
     def opener():
-        box["h"] = yield from machine.clients[0].open(
-            mount, name, IOMode.M_ASYNC, rank=0, nprocs=1
-        )
+        box["h"] = yield from machine.clients[0].open(mount, name, IOMode.M_ASYNC, rank=0, nprocs=1)
 
     machine.spawn(opener())
     machine.run()
@@ -122,9 +120,7 @@ class TestWriteBack:
         assert machine.caches[0].dirty_count == 0
         assert machine.monitor.counter_value("raid0.writes") >= 1
         # The UFS itself now holds the content.
-        assert machine.ufses[0].content(
-            pfs_file.file_id, 0, 64 * KB
-        ).to_bytes() == payload
+        assert machine.ufses[0].content(pfs_file.file_id, 0, 64 * KB).to_bytes() == payload
 
     def test_sync_daemon_flushes_on_interval(self):
         machine = make_machine(sync_interval=5.0)
