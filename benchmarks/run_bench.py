@@ -1,6 +1,6 @@
 """Machine-readable bench trajectory: the Table 1 / Figure 2 points.
 
-Writes ``BENCH_6.json`` at the repo root: collective read bandwidth for
+Writes ``BENCH_7.json`` at the repo root: collective read bandwidth for
 every (request size, prefetch) Table 1 cell and every (mode, request
 size) Figure 2 cell, plus a per-cell telemetry summary naming the
 saturating resource.  The file is the perf baseline later PRs regress
@@ -48,6 +48,13 @@ Usage::
 the experiment suite (rounds=16, the paper's request sizes).  Output is
 deterministic -- no timestamps, rounded floats, content-hash sampling --
 so reruns of an unchanged tree produce byte-identical JSON.
+
+Since PR 7 the output also carries an ``ablation`` block summarising the
+mechanism-importance observatory (:mod:`repro.obs.ablation`): the ranked
+importance vector from the committed ``BENCH_ablation.json`` and the
+tripwire verdict against ``benchmarks/baseline_ablation.json``.  The
+block reads the committed artifacts rather than re-running the sweep
+(regenerate with ``python -m repro.obs.ablation``).
 """
 
 from __future__ import annotations
@@ -238,6 +245,49 @@ def bench_figure2(sizes_kb, rounds: int, tie_check: str) -> list:
 
 
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline_pr6.json")
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+ABLATION_REPORT_PATH = os.path.join(REPO_ROOT, "BENCH_ablation.json")
+ABLATION_BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baseline_ablation.json"
+)
+
+
+def ablation_summary() -> dict:
+    """Observatory summary from the committed ablation artifacts.
+
+    Deterministic and cheap: reads ``BENCH_ablation.json`` and runs the
+    importance tripwire against ``benchmarks/baseline_ablation.json``
+    in-process instead of re-running the sweep.  Returns a null-shaped
+    block when the artifacts are absent (fresh checkout mid-rebase).
+    """
+    from repro.obs.ablation import check_importance
+
+    try:
+        with open(ABLATION_REPORT_PATH) as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        return {"report": None}
+    block = {
+        "report": os.path.basename(ABLATION_REPORT_PATH),
+        "settings": report.get("settings"),
+        "ranking": [
+            {
+                "mechanism": entry["mechanism"],
+                "importance": entry["importance"],
+                "mean_delta_mbps": entry["mean_delta_mbps"],
+            }
+            for entry in report["importance"]["aggregate"]
+        ],
+    }
+    try:
+        with open(ABLATION_BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        block["tripwire"] = None
+        return block
+    violations = check_importance(report, baseline)
+    block["tripwire"] = {"ok": not violations, "violations": violations}
+    return block
 
 
 def _load_baseline(rounds: int):
@@ -304,7 +354,7 @@ def run_bench(
         speed_block["baseline_total_wall_time_s"] = _round(baseline_total)
         speed_block["speedup"] = _round(baseline_total / total_wall, 2)
     return {
-        "bench": "pr6-fast-kernel",
+        "bench": "pr7-ablation-observatory",
         "machine": {"n_compute": 8, "n_io": 8, "block_kb": 64},
         "settings": {"rounds": rounds, "quick": quick, "tie_check": tie_check},
         "metric": "collective read bandwidth (MB/s): total bytes / "
@@ -315,6 +365,7 @@ def run_bench(
                           "rebuild of the replaced raid0 spindle competes "
                           "for the arm and SCSI bus",
         "speed": speed_block,
+        "ablation": ablation_summary(),
         "table1": table1,
         "figure2": figure2,
     }
@@ -332,8 +383,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_6.json"),
-        help="output path (default: repo-root BENCH_6.json)",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_7.json"),
+        help="output path (default: repo-root BENCH_7.json)",
     )
     parser.add_argument(
         "--repeats",
@@ -380,6 +431,15 @@ def main(argv=None) -> int:
             f"({sp['baseline_total_wall_time_s']:.2f}s)"
         )
     print(line)
+    ablation = results["ablation"]
+    if ablation.get("report") and ablation.get("ranking"):
+        top = ablation["ranking"][0]
+        tripwire = ablation.get("tripwire")
+        verdict = "not checked" if tripwire is None else ("ok" if tripwire["ok"] else "TRIPPED")
+        print(
+            f"ablation observatory: top mechanism {top['mechanism']} "
+            f"(importance {top['importance']:+.1%}), tripwire {verdict}"
+        )
     return 0
 
 

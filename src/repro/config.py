@@ -32,6 +32,15 @@ class MachineConfig:
     cache_blocks: int = 128
     #: ART pool size per compute node.
     art_threads: int = 4
+    #: Coalesce contiguous file-system blocks into single disk requests
+    #: on the UFS read/write paths ("contiguous file-system blocks are
+    #: coalesced").  False issues one disk request per block -- the
+    #: ablation observatory's handle on this mechanism.
+    ufs_coalesce: bool = True
+    #: LOOK elevator scheduling on the RAID-3 arrays.  False falls back
+    #: to FIFO dispatch in arrival order -- the ablation observatory's
+    #: handle on the disk scheduler.
+    disk_elevator: bool = True
     #: Server-side readahead depth in blocks (0 = off).  Applies only to
     #: buffered mounts; the I/O-node alternative to client prefetching.
     server_readahead_blocks: int = 0

@@ -3,12 +3,19 @@
 These exercise the paper's "future work" directions and the design
 choices DESIGN.md calls out:
 
+- ranked mechanism importance over the declarative registry in
+  :mod:`repro.obs.ablation` (the observatory's canonical sweep);
 - prefetch depth (1 = the prototype, deeper pipelines);
 - prefetch policy on non-sequential patterns (strided detection,
   adaptive throttling on random access);
 - prefetching in other I/O modes (M_RECORD vs M_ASYNC);
 - buffered (I/O-node cache) vs Fast Path transfers;
 - machine scaling (compute node count).
+
+The studies that toggle a registered mechanism (buffering, prefetch
+location) resolve their configurations through the registry rather than
+hand-rolling ``MachineConfig`` edits, so what "Fast Path off" means is
+defined in exactly one place.
 """
 
 from __future__ import annotations
@@ -34,6 +41,56 @@ from repro.machine import Machine
 from repro.pfs import IOMode
 from repro.workloads import CollectiveReadWorkload
 from repro.workloads.patterns import RandomPattern, StridedPattern
+
+
+def run_mechanism_importance(
+    modes: Optional[Sequence[str]] = None,
+    sizes_kb: Optional[Sequence[int]] = None,
+    rounds: Optional[int] = None,
+    compute_delay: Optional[float] = None,
+) -> ExperimentTable:
+    """Ranked mechanism importance from the observatory's registry sweep.
+
+    Delegates to :func:`repro.obs.ablation.run_sweep` (the canonical
+    baseline-plus-one-off harness) and renders its aggregate ranking as
+    an :class:`ExperimentTable`, so the experiment suite and the
+    ``BENCH_ablation.json`` tripwire share one definition of every
+    mechanism toggle.
+    """
+    from repro.obs import ablation as obs_ablation
+
+    kwargs = {}
+    if modes is not None:
+        kwargs["modes"] = tuple(modes)
+    if sizes_kb is not None:
+        kwargs["sizes_kb"] = tuple(sizes_kb)
+    if rounds is not None:
+        kwargs["rounds"] = rounds
+    if compute_delay is not None:
+        kwargs["compute_delay"] = compute_delay
+    report = obs_ablation.run_sweep(golden=False, **kwargs)
+    settings = report["settings"]
+    table = ExperimentTable(
+        title=(
+            "Ablation: ranked mechanism importance "
+            f"(modes={','.join(settings['modes'])}; "
+            f"sizes={','.join(str(s) for s in settings['request_sizes_kb'])}KB)"
+        ),
+        columns=["rank", "mechanism", "importance", "mean_delta_mbps", "cells"],
+    )
+    for rank, entry in enumerate(report["importance"]["aggregate"], start=1):
+        table.add_row(
+            rank,
+            entry["mechanism"],
+            entry["importance"],
+            entry["mean_delta_mbps"],
+            entry["cells"],
+        )
+    table.notes.append(
+        "importance = mean over cells of (bw_on - bw_off) / bw_on; "
+        "see BENCH_ablation.json for per-cell deltas and attribution"
+    )
+    return table
 
 
 def run_depth_ablation(
@@ -244,11 +301,18 @@ def run_buffering_ablation(request_kb: int = 64, rounds: int = 24) -> Experiment
         title=f"Ablation: Fast Path vs I/O-node buffer cache ({request_kb}KB)",
         columns=["config", "bw_cold_mbps", "bw_reread_mbps"],
     )
+    from repro.obs.ablation import mechanism, resolve_configs
+
     request = request_kb * KB
     file_size = scaled_file_size(request, 8, rounds)
     for buffered in (False, True):
-        machine = Machine(MachineConfig(cache_blocks=file_size // (64 * KB) + 16))
-        mount = machine.mount("/pfs", PFSConfig(buffered=buffered))
+        # "Buffered" is the registry's fastpath-off state; sizing the
+        # cache to hold the whole file is this study's local twist.
+        overrides = dict(mechanism("fastpath").off) if buffered else {}
+        overrides["machine.cache_blocks"] = file_size // (64 * KB) + 16
+        machine_cfg, pfs_cfg, _ = resolve_configs(overrides)
+        machine = Machine(machine_cfg)
+        mount = machine.mount("/pfs", pfs_cfg)
         machine.create_file(mount, "data", file_size)
         cold = CollectiveReadWorkload(
             machine, mount, "data", request_size=request, rounds=rounds
@@ -283,16 +347,25 @@ def run_prefetch_location_ablation(
         ),
         columns=["config", "bw_mbps", "mean_access_ms"],
     )
+    from repro.obs.ablation import mechanism, resolve_configs
+
     request = request_kb * KB
+    readahead_mech = mechanism("server_readahead")
     configs = [
-        ("none", False, 0),
-        ("server-readahead", False, 4),
-        ("client-prefetch", True, 0),
-        ("both", True, 4),
+        ("none", False, False),
+        ("server-readahead", False, True),
+        ("client-prefetch", True, False),
+        ("both", True, True),
     ]
     for name, client_prefetch, readahead in configs:
-        machine = Machine(MachineConfig(server_readahead_blocks=readahead, cache_blocks=256))
-        mount = machine.mount("/pfs", PFSConfig(buffered=True))
+        # The readahead mechanism carries its own context (a buffered
+        # mount -- it is inert on Fast Path) and on/off knob settings.
+        overrides = dict(readahead_mech.context)
+        overrides.update(readahead_mech.on if readahead else readahead_mech.off)
+        overrides["machine.cache_blocks"] = 256
+        machine_cfg, pfs_cfg, _ = resolve_configs(overrides)
+        machine = Machine(machine_cfg)
+        mount = machine.mount("/pfs", pfs_cfg)
         machine.create_file(mount, "data", scaled_file_size(request, 8, rounds))
         workload = CollectiveReadWorkload(
             machine,
@@ -502,8 +575,20 @@ def check_ablation_shapes(
     depth: Optional[ExperimentTable] = None,
     modes: Optional[ExperimentTable] = None,
     policies: Optional[ExperimentTable] = None,
+    importance: Optional[ExperimentTable] = None,
 ) -> Optional[str]:
     """Sanity constraints on the ablation results."""
+    if importance is not None:
+        from repro.obs.ablation import MECHANISMS
+
+        if len(importance.rows) != len(MECHANISMS):
+            return (
+                f"importance ranking covers {len(importance.rows)} mechanisms, "
+                f"registry has {len(MECHANISMS)}"
+            )
+        ranked = dict(zip(importance.column("mechanism"), importance.column("importance")))
+        if ranked.get("prefetch", 0.0) <= 0.0:
+            return "prefetch importance is non-positive -- is it disconnected?"
     if depth is not None:
         bw = depth.column("bw_mbps")
         if bw[1] <= bw[0]:
@@ -526,6 +611,8 @@ def check_ablation_shapes(
 
 
 def main() -> None:  # pragma: no cover
+    ranking = run_mechanism_importance()
+    print(ranking.render(), "\n")
     depth = run_depth_ablation()
     print(depth.render(), "\n")
     modes = run_mode_ablation()
@@ -538,7 +625,7 @@ def main() -> None:  # pragma: no cover
     print(location.render(), "\n")
     scaling = run_scaling_ablation()
     print(scaling.render(), "\n")
-    problem = check_ablation_shapes(depth, modes, policies)
+    problem = check_ablation_shapes(depth, modes, policies, importance=ranking)
     print(f"shape check: {'OK' if problem is None else problem}")
 
 

@@ -26,7 +26,6 @@ from repro.experiments.common import (
     scaled_file_size,
 )
 from repro.hardware.params import DEFAULT_HARDWARE
-from repro.pfs import IOMode
 
 
 def scaled_hardware(io_scale: float):

@@ -107,6 +107,7 @@ class Machine:
                 name=f"raid{i}",
                 disk_params=cfg.hardware.disk,
                 raid_params=cfg.hardware.raid,
+                elevator=cfg.disk_elevator,
                 monitor=self.monitor,
                 faults=self.faults,
             )
@@ -134,6 +135,7 @@ class Machine:
                 cache=cache,
                 readahead_blocks=cfg.server_readahead_blocks,
                 write_back=cfg.write_back,
+                coalesce=cfg.ufs_coalesce,
                 monitor=self.monitor,
                 faults=self.faults,
             )

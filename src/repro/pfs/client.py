@@ -139,6 +139,23 @@ class PFSFileHandle:
         #: *next* record and silently drop this one, and re-fetching
         #: this one would double-deliver an audited record.
         self._delivered_unreturned: Optional[tuple] = None
+        #: Write-side twin of ``_delivered_unreturned``: ``(offset,
+        #: nbytes)`` of an M_UNIX write whose data landed and whose
+        #: pointer release is in flight when the node dies.  Restart
+        #: recovery settles the release (the pointer advances exactly
+        #: once), so the retry must report success for *this* write
+        #: instead of re-running it -- re-running would acquire the
+        #: *advanced* pointer and duplicate the record at a new offset.
+        self._applied_unreturned: Optional[tuple] = None
+        #: M_LOG write-slot reservation: the mode releases the pointer
+        #: *before* transferring, so a crash mid-transfer leaves a
+        #: reserved-but-unwritten hole at ``(offset, nbytes)``.  The
+        #: retry must write into this slot rather than acquire a fresh
+        #: one, or the file keeps a permanent gap.
+        self._write_slot: Optional[tuple] = None
+        #: Crash epoch snapshotted at write() entry (twin of
+        #: ``_read_epoch``).
+        self._write_epoch = 0
 
     # -- conveniences ------------------------------------------------------
 
@@ -500,6 +517,9 @@ class PFSFileHandle:
     def write(self, data: Data):
         """Generator: write *data* under the file's I/O mode."""
         self._check_open()
+        if self.client.crash_windows:
+            yield from self._crash_barrier()
+            self._write_epoch = self.client.crash_epoch_at(self.env.now)
         start = self.env.now
         span = self.client.tracer.begin(
             "client_call",
@@ -514,77 +534,158 @@ class PFSFileHandle:
         nbytes = len(data)
         mode = self.iomode
 
-        if mode is IOMode.M_UNIX:
-            grant = yield from self.client._coordinate(
-                TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
-            )
-            offset = grant.offset
-            yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
-            yield from self.client._coordinate(
-                TokenRelease(
-                    file_id=self.file.file_id,
-                    rank=self.rank,
-                    new_offset=offset + nbytes,
-                ),
-                ctx=ctx,
-            )
-        elif mode is IOMode.M_LOG:
-            grant = yield from self.client._coordinate(
-                TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
-            )
-            offset = grant.offset
-            yield from self.client._coordinate(
-                TokenRelease(
-                    file_id=self.file.file_id,
-                    rank=self.rank,
-                    new_offset=offset + nbytes,
-                ),
-                ctx=ctx,
-            )
-            yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
-        elif mode is IOMode.M_SYNC:
-            go = yield from self.client._coordinate(
-                SyncArrive(
-                    file_id=self.file.file_id,
-                    call_index=self.call_index,
-                    rank=self.rank,
-                    nbytes=nbytes,
-                ),
-                ctx=ctx,
-            )
-            self.call_index += 1
-            yield from self.client.transfer_write(self.file, go.offset, data, ctx=ctx)
-        elif mode is IOMode.M_RECORD:
-            offset = self.record_base + self.rank * nbytes
-            self.record_base += self.nprocs * nbytes
-            self.call_index += 1
-            yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
-        elif mode is IOMode.M_GLOBAL:
-            call_index = self.call_index
-            self.call_index += 1
-            go = yield from self.client._coordinate(
-                GlobalArrive(
-                    file_id=self.file.file_id,
-                    call_index=call_index,
-                    rank=self.rank,
-                    nbytes=nbytes,
-                ),
-                ctx=ctx,
-            )
-            if go.leader:
+        if self._applied_unreturned is not None:
+            # The previous call on this handle died after its data landed
+            # and restart recovery settled the pointer release; report
+            # that call's success instead of writing a duplicate record.
+            # (The workload's retry re-presents the same payload, so the
+            # bytes on disk already match what this call promises.)
+            _offset, applied_n = self._applied_unreturned
+            self._applied_unreturned = None
+            duration = self.env.now - start
+            self.client.tracer.end(span, replayed=True)
+            self.stats.record_write(applied_n, duration)
+            return applied_n
+
+        try:
+            if mode is IOMode.M_UNIX:
+                # Atomic: hold the pointer token across the transfer, with
+                # the same held-token bookkeeping as the read path so
+                # restart recovery releases it at the right offset --
+                # past the record once the data landed, at the grant
+                # offset otherwise.
+                grant = yield from self._coordinate(
+                    TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
+                )
+                offset = grant.offset
+                self._held_token = (self.file.file_id, offset)
+                yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
+                self._check_write_applied(offset, nbytes)
+                self._held_token = (self.file.file_id, offset + nbytes)
+                if self.client.crash_windows:
+                    self._applied_unreturned = (offset, nbytes)
+                yield from self._coordinate(
+                    TokenRelease(
+                        file_id=self.file.file_id,
+                        rank=self.rank,
+                        new_offset=offset + nbytes,
+                    ),
+                    ctx=ctx,
+                )
+                self._held_token = None
+                self._applied_unreturned = None
+            elif mode is IOMode.M_LOG:
+                if self._write_slot is None:
+                    grant = yield from self._coordinate(
+                        TokenAcquire(file_id=self.file.file_id, rank=self.rank), ctx=ctx
+                    )
+                    offset = grant.offset
+                    # Reserve the slot before releasing: crashes only
+                    # surface at yields, so the reservation is atomic
+                    # with the release RPC -- if the node dies awaiting
+                    # the reply, recovery replays the release (the
+                    # pointer advances exactly once) and the reservation
+                    # tells the retry which hole to fill.
+                    if self.client.crash_windows:
+                        self._write_slot = (offset, nbytes)
+                    self._held_token = (self.file.file_id, offset + nbytes)
+                    yield from self._coordinate(
+                        TokenRelease(
+                            file_id=self.file.file_id,
+                            rank=self.rank,
+                            new_offset=offset + nbytes,
+                        ),
+                        ctx=ctx,
+                    )
+                    self._held_token = None
+                else:
+                    # Retry of a crashed call: the pointer already
+                    # advanced past our reserved slot; write into it
+                    # rather than acquiring a fresh (later) one.
+                    offset, _slot_n = self._write_slot
+                yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
+                self._check_write_applied(offset, nbytes)
+                self._write_slot = None
+            elif mode is IOMode.M_SYNC:
+                go = yield from self._coordinate(
+                    SyncArrive(
+                        file_id=self.file.file_id,
+                        call_index=self.call_index,
+                        rank=self.rank,
+                        nbytes=nbytes,
+                    ),
+                    ctx=ctx,
+                )
+                self.call_index += 1
                 yield from self.client.transfer_write(self.file, go.offset, data, ctx=ctx)
-        elif mode is IOMode.M_ASYNC:
-            offset = self.private_offset
-            yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
-            self.private_offset = offset + nbytes
-        else:  # pragma: no cover
-            raise PFSClientError(f"unsupported mode {mode}")
+                self._check_write_applied(go.offset, nbytes)
+            elif mode is IOMode.M_RECORD:
+                offset = self.record_base + self.rank * nbytes
+                self.record_base += self.nprocs * nbytes
+                self.call_index += 1
+                try:
+                    yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
+                    self._check_write_applied(offset, nbytes)
+                except NodeCrashed:
+                    # The record may be partially applied but the retry
+                    # rewrites the same slot: roll back the record
+                    # arithmetic so it recomputes the same offset.
+                    self.record_base -= self.nprocs * nbytes
+                    self.call_index -= 1
+                    raise
+            elif mode is IOMode.M_GLOBAL:
+                call_index = self.call_index
+                self.call_index += 1
+                go = yield from self._coordinate(
+                    GlobalArrive(
+                        file_id=self.file.file_id,
+                        call_index=call_index,
+                        rank=self.rank,
+                        nbytes=nbytes,
+                    ),
+                    ctx=ctx,
+                )
+                if go.leader:
+                    yield from self.client.transfer_write(self.file, go.offset, data, ctx=ctx)
+                    self._check_write_applied(go.offset, nbytes)
+            elif mode is IOMode.M_ASYNC:
+                # The private pointer advances only after the transfer
+                # lands, so a crashed call needs no rollback: the retry
+                # recomputes the same offset and overwrites any partial
+                # application.
+                offset = self.private_offset
+                yield from self.client.transfer_write(self.file, offset, data, ctx=ctx)
+                self._check_write_applied(offset, nbytes)
+                self.private_offset = offset + nbytes
+            else:  # pragma: no cover
+                raise PFSClientError(f"unsupported mode {mode}")
+        except NodeCrashed:
+            self.client.tracer.end(span, crashed=True)
+            raise
 
         # Writes may grow the file.
         duration = self.env.now - start
         self.client.tracer.end(span)
         self.stats.record_write(nbytes, duration)
         return nbytes
+
+    def _check_write_applied(self, offset: int, nbytes: int) -> None:
+        """Raise :class:`NodeCrashed` unless the node stayed up for the
+        whole write flight (write-side twin of the delivery check in
+        :meth:`_demand_read`): not currently down, and no crash/restart
+        cycle since write() entry.  Partial application is fine -- the
+        caller either retries the same offset or (M_UNIX) has not yet
+        advanced the shared pointer.
+        """
+        client = self.client
+        if not client.crash_windows:
+            return
+        now = self.env.now
+        if client.crashed_at(now) or client.crash_epoch_at(now) != self._write_epoch:
+            raise NodeCrashed(
+                f"node{self.node.node_id} crashed before applying "
+                f"[{offset}, {offset + nbytes})"
+            )
 
     # -- async reads --------------------------------------------------------------------
 
@@ -912,19 +1013,30 @@ class PFSClient:
                 )
                 if piece_span.ctx is not None:
                     request.ctx = piece_span.ctx
-                yield from self.endpoint.call(self._io_endpoint(creq.io_node), request)
+                try:
+                    yield from self.endpoint.call(self._io_endpoint(creq.io_node), request)
+                except NodeCrashed:
+                    # As on the read path: a spawned piece process must
+                    # not die with an unhandled exception; return a
+                    # sentinel and let the gathering parent raise once.
+                    self.tracer.end(piece_span, crashed=True)
+                    return False
                 self.tracer.end(piece_span)
+                return True
 
             return gen
 
         if len(requests) == 1:
-            yield from put(requests[0])()
+            ok = [(yield from put(requests[0])())]
         else:
             procs = [
                 self.env.process(put(creq)(), name=f"write-piece-{i}")
                 for i, creq in enumerate(requests)
             ]
-            yield self.env.all_of(procs)
+            condition = yield self.env.all_of(procs)
+            ok = [condition[p] for p in procs]
+        if not all(ok):
+            raise NodeCrashed(f"node{self.node.node_id} crashed during declustered write")
         if offset + nbytes > pfs_file.size_bytes:
             pfs_file.size_bytes = offset + nbytes
         return nbytes

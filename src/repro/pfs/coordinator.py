@@ -32,7 +32,7 @@ from typing import Dict, List, Optional
 from repro.paragonos.messages import RPCMessage
 from repro.paragonos.rpc import RPCEndpoint
 from repro.pfs.file import PFSFile
-from repro.sim import Environment, Event
+from repro.sim import Environment
 
 #: CPU time the coordinator spends per coordination request.
 COORDINATION_OVERHEAD_S = 0.001

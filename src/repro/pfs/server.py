@@ -54,6 +54,7 @@ class PFSServer:
         cache: Optional[BufferCache] = None,
         readahead_blocks: int = 0,
         write_back: bool = False,
+        coalesce: bool = True,
         monitor: Optional[Monitor] = None,
         faults: Optional["FaultInjector"] = None,
     ) -> None:
@@ -78,6 +79,9 @@ class PFSServer:
         self.cache = cache
         self.readahead_blocks = readahead_blocks
         self.write_back = write_back
+        #: Coalesce contiguous blocks into single disk requests on the
+        #: Fast Path (off = one request per block; ablation handle).
+        self.coalesce = coalesce
         self.monitor = monitor
         self.faults = faults
         self.tracer = get_tracer(monitor)
@@ -177,7 +181,7 @@ class PFSServer:
             request.file_id,
             request.ufs_offset,
             request.nbytes,
-            coalesce=True,
+            coalesce=self.coalesce,
             ctx=request.ctx,
         )
         if self._unaligned(request.ufs_offset, request.nbytes):
@@ -277,7 +281,11 @@ class PFSServer:
         nbytes = len(request.data)
         if request.fastpath or self.cache is None:
             yield from self.ufs.write(
-                request.file_id, request.ufs_offset, request.data, ctx=request.ctx
+                request.file_id,
+                request.ufs_offset,
+                request.data,
+                coalesce=self.coalesce,
+                ctx=request.ctx,
             )
             if self._unaligned(request.ufs_offset, nbytes):
                 yield from self.node.memcpy(nbytes)

@@ -19,7 +19,7 @@ managers for automatic release::
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List
 
 from repro.sim.events import PENDING, Event
 

@@ -17,7 +17,7 @@ extensive I/O on large files."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.prefetcher import Prefetcher
 from repro.faults.plan import NodeCrashed
@@ -254,7 +254,17 @@ class CollectiveWriteWorkload:
                     yield from handle.node.compute(self.compute_delay)
                 first = False
                 payload = self.record_content(handle.rank, k, self.request_size)
-                yield from handle.write(payload)
+                while True:
+                    try:
+                        yield from handle.write(payload)
+                        break
+                    except NodeCrashed:
+                        # The node died mid-call (node_crash fault): wait
+                        # out the crash window, then re-present the same
+                        # record; the client's slot reservation / replay
+                        # bookkeeping guarantees each record lands
+                        # exactly once at exactly one offset.
+                        yield from handle.client.wait_restarted()
             finished["n"] += 1
             if finished["n"] == self.nprocs:
                 done.succeed()

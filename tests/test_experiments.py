@@ -11,7 +11,6 @@ from repro.experiments.common import (
     scaled_file_size,
     speedup,
 )
-from repro.pfs import IOMode
 
 
 class TestExperimentTable:

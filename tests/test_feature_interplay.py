@@ -1,6 +1,5 @@
 """Interplay tests: features combined in ways no single-feature test hits."""
 
-import pytest
 
 from repro.config import MachineConfig, PFSConfig
 from repro.core import OneRequestAhead, Prefetcher

@@ -5,7 +5,6 @@ writers, prefetching, buffered and Fast Path traffic concurrently --
 and finishes with byte-level content checks plus `Machine.verify()`.
 """
 
-import pytest
 
 from repro.config import MachineConfig, PFSConfig
 from repro.core import AdaptivePolicy, OneRequestAhead, Prefetcher

@@ -1,0 +1,338 @@
+"""The mechanism-importance observatory: registry, sweep, tripwire.
+
+Fast paths use --quick-sized sweeps (one mode, one size, few rounds);
+the golden no-op validation runs the committed bench3 cells once.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.config import MachineConfig, PFSConfig
+from repro.obs.ablation import (
+    ABS_TOL,
+    COLLAPSE_RATIO,
+    MECHANISMS,
+    MIN_IMPORTANCE,
+    AblationError,
+    baseline_overrides,
+    check_importance,
+    execute_runs,
+    generate_runs,
+    main,
+    mechanism,
+    render_ascii,
+    render_markdown,
+    resolve_configs,
+    run_sweep,
+    validate_registry,
+)
+
+
+class TestRegistry:
+    def test_every_mechanism_has_off_overrides(self):
+        for mech in MECHANISMS:
+            assert mech.off, mech.name
+
+    def test_mechanism_lookup(self):
+        assert mechanism("prefetch").name == "prefetch"
+        with pytest.raises(AblationError):
+            mechanism("warp-drive")
+
+    def test_baseline_resolves_to_pure_defaults(self):
+        machine_cfg, pfs_cfg, workload = resolve_configs(baseline_overrides())
+        assert machine_cfg == MachineConfig()
+        assert pfs_cfg == PFSConfig()
+        assert workload == {"prefetch": True}
+
+    def test_structural_validation_passes(self):
+        result = validate_registry(golden=False)
+        assert result["all_on_noop"] is True
+        assert result["mechanisms"] == len(MECHANISMS)
+
+    def test_unknown_override_path_rejected(self):
+        with pytest.raises(AblationError):
+            resolve_configs({"machine.flux_capacitor": True})
+        with pytest.raises(AblationError):
+            resolve_configs({"spaceship.warp": 9})
+
+    def test_off_overrides_change_the_resolved_config(self):
+        base = resolve_configs(baseline_overrides())
+        for mech in MECHANISMS:
+            off = resolve_configs({**baseline_overrides(), **mech.context, **mech.off})
+            assert off != base, f"{mech.name} off-state resolves to the baseline"
+
+
+class TestGoldenNoop:
+    def test_all_on_configuration_matches_bench3_goldens(self):
+        """The observatory's own all-on baseline reproduces the committed
+        golden fingerprints bit-for-bit -- toggles at their default
+        positions are a strict no-op."""
+        result = validate_registry(golden=True)
+        assert "golden_skipped" not in result
+        assert result["golden_cells_checked"] >= 3
+
+
+class TestRunSet:
+    def test_run_ids_are_stable_and_complete(self):
+        runs = generate_runs(modes=("M_RECORD",), sizes_kb=(64,))
+        ids = [r.run_id for r in runs]
+        assert "ablation:M_RECORD:64kb:baseline" in ids
+        assert "ablation:M_RECORD:64kb:off=prefetch" in ids
+        assert "ablation:M_RECORD:64kb:ctx=server_readahead:on" in ids
+        assert "ablation:M_RECORD:64kb:ctx=server_readahead:off" in ids
+        assert len(ids) == len(set(ids))
+        # One baseline + one off per plain mechanism + on/off per context
+        # mechanism.
+        n_context = sum(1 for m in MECHANISMS if m.context)
+        assert len(runs) == 1 + (len(MECHANISMS) - n_context) + 2 * n_context
+
+    def test_equivalent_configs_share_a_signature(self):
+        """Spelling the same machine differently (explicit default vs
+        absent key) dedupes to one simulation."""
+        runs = {r.run_id: r for r in generate_runs(modes=("M_RECORD",), sizes_kb=(64,))}
+        fastpath_off = runs["ablation:M_RECORD:64kb:off=fastpath"]
+        readahead_ctx_off = runs["ablation:M_RECORD:64kb:ctx=server_readahead:off"]
+        assert fastpath_off.overrides != readahead_ctx_off.overrides
+        assert fastpath_off.signature == readahead_ctx_off.signature
+
+    def test_execute_runs_dedupes_by_signature(self):
+        runs = generate_runs(modes=("M_RECORD",), sizes_kb=(64,))
+        records = execute_runs(runs, rounds=2, compute_delay=0.0)
+        assert len(records) == len(runs)
+        deduped = [r for r in records.values() if "deduped_from" in r]
+        assert deduped, "expected at least one deduplicated run"
+        for rec in deduped:
+            source = records[rec["deduped_from"]]
+            assert rec["bandwidth_mbps"] == source["bandwidth_mbps"]
+
+
+class TestSweepAndReport:
+    @pytest.fixture(scope="class")
+    def quick_report(self):
+        return run_sweep(
+            modes=("M_RECORD",),
+            sizes_kb=(64,),
+            rounds=3,
+            compute_delay=0.05,
+            golden=False,
+        )
+
+    def test_report_shape(self, quick_report):
+        report = quick_report
+        assert report["bench"] == "ablation-observatory"
+        assert report["settings"]["modes"] == ["M_RECORD"]
+        assert len(report["mechanisms"]) == len(MECHANISMS)
+        assert len(report["cells"]) == len(MECHANISMS)
+        ranked = report["importance"]["aggregate"]
+        assert len(ranked) == len(MECHANISMS)
+        importances = [e["importance"] for e in ranked]
+        assert importances == sorted(importances, reverse=True)
+
+    def test_prefetch_matters_in_m_record(self, quick_report):
+        by_name = {e["mechanism"]: e for e in quick_report["importance"]["aggregate"]}
+        assert by_name["prefetch"]["importance"] > 0
+
+    def test_cells_carry_attribution_shift(self, quick_report):
+        for cell in quick_report["cells"]:
+            assert "attribution_shift" in cell
+            assert "disk_util_shift" in cell["attribution_shift"]
+
+    def test_renderers_cover_every_mechanism(self, quick_report):
+        ascii_out = render_ascii(quick_report)
+        md_out = render_markdown(quick_report)
+        for mech in MECHANISMS:
+            assert mech.name in ascii_out
+            assert mech.name in md_out
+
+    def test_sweep_is_deterministic(self, quick_report):
+        again = run_sweep(
+            modes=("M_RECORD",),
+            sizes_kb=(64,),
+            rounds=3,
+            compute_delay=0.05,
+            golden=False,
+        )
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            quick_report, sort_keys=True
+        )
+
+
+class TestTripwire:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_sweep(
+            modes=("M_RECORD",),
+            sizes_kb=(64,),
+            rounds=3,
+            compute_delay=0.05,
+            golden=False,
+        )
+
+    def test_self_check_passes(self, report):
+        assert check_importance(report, report) == []
+
+    def test_collapsed_mechanism_trips(self, report):
+        doctored = copy.deepcopy(report)
+        for entry in doctored["importance"]["aggregate"]:
+            if entry["mechanism"] == "prefetch":
+                entry["importance"] = 0.001
+        violations = check_importance(doctored, report)
+        assert len(violations) == 1
+        assert "prefetch" in violations[0]
+        assert "collapsed" in violations[0]
+
+    def test_missing_mechanism_trips(self, report):
+        doctored = copy.deepcopy(report)
+        doctored["importance"]["aggregate"] = [
+            e
+            for e in doctored["importance"]["aggregate"]
+            if e["mechanism"] != "prefetch"
+        ]
+        violations = check_importance(doctored, report)
+        assert violations and "missing" in violations[0]
+
+    def test_unimportant_mechanisms_never_trip(self, report):
+        """Mechanisms below min_importance in the baseline are exempt --
+        honest zeros (art_queueing) must not page anyone."""
+        doctored = copy.deepcopy(report)
+        for entry in doctored["importance"]["aggregate"]:
+            if entry["importance"] < MIN_IMPORTANCE:
+                entry["importance"] = -1.0
+        assert check_importance(doctored, report) == []
+
+    def test_settings_mismatch_is_a_violation(self, report):
+        other = copy.deepcopy(report)
+        other["settings"]["rounds"] = 99
+        violations = check_importance(other, report)
+        assert violations and "settings" in violations[0]
+        assert check_importance(other, report, check_settings=False) == []
+
+    def test_thresholds_respect_abs_tol(self, report):
+        """A collapse smaller than abs_tol in absolute terms is noise,
+        not a tripwire event."""
+        base = copy.deepcopy(report)
+        cur = copy.deepcopy(report)
+        for entry in base["importance"]["aggregate"]:
+            entry["importance"] = MIN_IMPORTANCE
+        for entry in cur["importance"]["aggregate"]:
+            entry["importance"] = MIN_IMPORTANCE - ABS_TOL
+        assert (
+            MIN_IMPORTANCE - ABS_TOL < MIN_IMPORTANCE * COLLAPSE_RATIO
+            or check_importance(cur, base) == []
+        )
+
+
+class TestCLI:
+    def test_list_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for mech in MECHANISMS:
+            assert mech.name in out
+
+    def test_check_against_fixture_with_disconnected_mechanism(self, tmp_path):
+        """End-to-end acceptance: --check exits non-zero on a report
+        whose top mechanism was artificially disconnected, and zero
+        against the intact baseline."""
+        baseline = run_sweep(
+            modes=("M_RECORD",),
+            sizes_kb=(64,),
+            rounds=3,
+            compute_delay=0.05,
+            golden=False,
+        )
+        base_path = tmp_path / "baseline.json"
+        base_path.write_text(json.dumps(baseline))
+
+        intact_path = tmp_path / "intact.json"
+        intact_path.write_text(json.dumps(baseline))
+        assert (
+            main(
+                [
+                    "--check",
+                    "--report",
+                    str(intact_path),
+                    "--baseline",
+                    str(base_path),
+                ]
+            )
+            == 0
+        )
+
+        broken = copy.deepcopy(baseline)
+        for entry in broken["importance"]["aggregate"]:
+            if entry["mechanism"] == "prefetch":
+                entry["importance"] = 0.0
+        broken_path = tmp_path / "broken.json"
+        broken_path.write_text(json.dumps(broken))
+        args = [
+            "--check",
+            "--report",
+            str(broken_path),
+            "--baseline",
+            str(base_path),
+        ]
+        assert main(args) == 1
+        assert main(args + ["--advisory"]) == 0
+
+    def test_check_missing_baseline_exits_two(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        report_path.write_text(
+            json.dumps(
+                run_sweep(
+                    modes=("M_RECORD",),
+                    sizes_kb=(64,),
+                    rounds=3,
+                    compute_delay=0.05,
+                    golden=False,
+                )
+            )
+        )
+        rc = main(
+            [
+                "--check",
+                "--report",
+                str(report_path),
+                "--baseline",
+                str(tmp_path / "nope.json"),
+            ]
+        )
+        assert rc == 2
+
+    def test_quick_sweep_writes_report(self, tmp_path):
+        out = tmp_path / "BENCH_ablation.json"
+        md = tmp_path / "report.md"
+        rc = main(
+            [
+                "--quick",
+                "--skip-golden",
+                "--output",
+                str(out),
+                "--markdown",
+                str(md),
+            ]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["settings"]["modes"] == ["M_RECORD"]
+        assert md.read_text().startswith("#")
+
+
+class TestCommittedBaseline:
+    def test_committed_report_passes_its_own_tripwire(self):
+        """The repo-root BENCH_ablation.json and the committed tripwire
+        baseline agree -- the wire ships untripped."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        report_path = root / "BENCH_ablation.json"
+        baseline_path = root / "benchmarks" / "baseline_ablation.json"
+        if not (report_path.exists() and baseline_path.exists()):
+            pytest.skip("committed ablation artifacts absent")
+        report = json.loads(report_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        assert check_importance(report, baseline) == []
+        ranked = report["importance"]["aggregate"]
+        assert len(ranked) == len(MECHANISMS)
+        assert len(report["settings"]["modes"]) >= 3

@@ -28,7 +28,6 @@ from repro.obs import (
     timeseries_jsonl,
     utilization_heatmap,
     utilization_matrix,
-    utilization_timeline,
 )
 from repro.obs.stats import PrefetchStats
 from repro.obs.telemetry import NULL_METRIC
