@@ -8,9 +8,22 @@ Static analysis (``python -m repro.analysis src tests``):
 - R004  observability hooks must not perturb the simulation
 - R005  resource ``request()`` / ``release()`` pairing
 
+Whole-program analysis (``python -m repro.analysis --interprocedural``),
+built on a module-resolved call graph (:mod:`repro.analysis.callgraph`)
+and a reaching-definitions framework (:mod:`repro.analysis.dataflow`):
+
+- R003v2  unordered iteration within k call-hops of a scheduling site
+          (findings carry the call chain; SARIF emits it as codeFlows)
+- R005v2  cross-function request/release ownership (request-and-return
+          transfers, receive-and-release discharges; flags leaks and
+          double releases) -- replaces R005 in this mode
+- R006    ``# fast-path``-marked functions may only be entered under
+          guards establishing their facets (faults/tracer/telemetry)
+
 Findings are suppressed inline with ``# sim-ok: R001 -- justification``
 (the justification is mandatory).  Output is human-readable text or
-SARIF-lite JSON (``--json``).
+schema-valid SARIF 2.1.0 (``--json`` / ``--sarif FILE``); ``--baseline``
+ratchets CI to fail only on new findings.
 
 Runtime sanitizers (:mod:`repro.analysis.sanitizers`):
 
@@ -23,13 +36,17 @@ Runtime sanitizers (:mod:`repro.analysis.sanitizers`):
   ``Machine.verify``).
 """
 
+from repro.analysis.cache import summarize_paths
+from repro.analysis.callgraph import ModuleSummary, Project, extract_module
+from repro.analysis.cli import collect_findings
 from repro.analysis.engine import (
     lint_file,
     lint_paths,
     lint_source,
     rule_catalogue,
 )
-from repro.analysis.findings import Finding, Rule
+from repro.analysis.findings import ChainStep, Finding, Rule
+from repro.analysis.interproc import INTERPROC_RULES, InterprocAnalysis, analyze_project
 from repro.analysis.report import render_json, render_text, to_sarif
 from repro.analysis.sanitizers import (
     ResourceLeak,
@@ -43,14 +60,22 @@ from repro.analysis.sanitizers import (
 )
 
 __all__ = [
+    "ChainStep",
     "Finding",
+    "INTERPROC_RULES",
+    "InterprocAnalysis",
+    "ModuleSummary",
+    "Project",
     "ResourceLeak",
     "Rule",
     "TieOrderRace",
     "TieOrderResult",
+    "analyze_project",
     "assert_no_leaks",
     "assert_tie_order_deterministic",
     "check_tie_order",
+    "collect_findings",
+    "extract_module",
     "leaked_resources",
     "lint_file",
     "lint_paths",
@@ -59,5 +84,6 @@ __all__ = [
     "render_text",
     "report_fingerprint",
     "rule_catalogue",
+    "summarize_paths",
     "to_sarif",
 ]

@@ -1,0 +1,95 @@
+"""Incremental summary cache for the interprocedural pass.
+
+Module summaries (:class:`repro.analysis.callgraph.ModuleSummary`) are
+pure data, so they serialise to JSON and are keyed on the SHA-256 of the
+file's content: a CI run over an unchanged tree re-parses nothing.  The
+cache file is versioned; any mismatch (schema change, corrupt file,
+partial write) silently degrades to a full re-extraction -- the cache is
+an accelerator, never a correctness input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.callgraph import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    content_hash,
+    extract_module,
+)
+from repro.analysis.engine import iter_python_files
+
+CACHE_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+
+def load_cache(path: Optional[str]) -> Dict[str, dict]:
+    """Stored entries (file path -> {"sha256", "summary"}), or empty."""
+    if path is None or not os.path.isfile(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    if (
+        not isinstance(data, dict)
+        or data.get("cache_version") != CACHE_VERSION
+        or data.get("summary_version") != SUMMARY_VERSION
+    ):
+        return {}
+    entries = data.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def save_cache(path: Optional[str], entries: Dict[str, dict]) -> None:
+    if path is None:
+        return
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "summary_version": SUMMARY_VERSION,
+        "entries": entries,
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def summarize_paths(
+    paths: Sequence[str], cache_file: Optional[str] = None
+) -> Tuple[List[ModuleSummary], CacheStats]:
+    """Extract (or reuse cached) summaries for every module under *paths*."""
+    entries = load_cache(cache_file)
+    stats = CacheStats()
+    summaries: List[ModuleSummary] = []
+    fresh: Dict[str, dict] = {}
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        digest = content_hash(source)
+        cached = entries.get(path)
+        summary: Optional[ModuleSummary] = None
+        if cached is not None and cached.get("sha256") == digest:
+            try:
+                summary = ModuleSummary.from_json(cached["summary"])
+                stats.hits += 1
+            except (KeyError, TypeError, IndexError):
+                summary = None
+        if summary is None:
+            summary = extract_module(source, path)
+            stats.misses += 1
+        summaries.append(summary)
+        fresh[path] = {"sha256": digest, "summary": summary.to_json()}
+    save_cache(cache_file, fresh)
+    return summaries, stats

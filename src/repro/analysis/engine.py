@@ -65,6 +65,7 @@ def lint_source(source: str, path: str, rules: Iterable[LintRule] = ALL_RULES) -
                 rule_id=finding.rule_id,
                 message=finding.message,
                 snippet=snippet,
+                chain=finding.chain,
             )
         )
     return sorted(out)

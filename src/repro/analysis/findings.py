@@ -20,6 +20,24 @@ class Rule:
     summary: str
 
 
+@dataclass(frozen=True)
+class ChainStep:
+    """One hop of the call chain behind an interprocedural finding.
+
+    The chain reads caller-to-callee: step N is the call site (in step
+    N-1's function, or the chain root for N=0) that reaches ``function``.
+    SARIF reporters turn chains into ``codeFlows`` thread-flow locations.
+    """
+
+    path: str
+    line: int
+    col: int
+    function: str  # qualified name of the function the hop lands in
+
+    def render(self) -> str:
+        return f"{self.function} ({self.path}:{self.line})"
+
+
 @dataclass(frozen=True, order=True)
 class Finding:
     """One rule violation at a concrete source location."""
@@ -31,6 +49,9 @@ class Finding:
     message: str = field(compare=False)
     #: The offending source line, stripped (for the text report).
     snippet: Optional[str] = field(default=None, compare=False)
+    #: Interprocedural findings carry the call chain that reached the
+    #: site (empty for intraprocedural rules).
+    chain: Tuple[ChainStep, ...] = field(default=(), compare=False)
 
     @property
     def location(self) -> Tuple[str, int, int]:
@@ -40,4 +61,6 @@ class Finding:
         out = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
         if self.snippet:
             out += f"\n    {self.snippet}"
+        for depth, step in enumerate(self.chain):
+            out += f"\n    {'  ' * depth}-> {step.render()}"
         return out

@@ -1,19 +1,46 @@
-"""Finding reporters: human-readable text and SARIF-lite JSON.
+"""Finding reporters: human-readable text and SARIF 2.1.0 JSON.
 
-The JSON shape follows SARIF's ``runs[].results[]`` skeleton (toolable
-by anything that speaks SARIF) without the full 2.1.0 schema baggage.
+The SARIF document is schema-valid 2.1.0 (``$schema`` + full driver
+``rules`` metadata with ``defaultConfiguration``; every result carries a
+``ruleIndex``), so GitHub code scanning and other SARIF consumers ingest
+it directly.  Interprocedural findings additionally emit their call
+chain as a ``codeFlows`` thread flow -- one location per hop, from the
+chain root (the ordering-sensitive/owning function) to the flagged site.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, Rule
 from repro.analysis.rules import ALL_RULES
 
 TOOL_NAME = "repro.analysis"
-TOOL_VERSION = "1.0"
+TOOL_VERSION = "2.0"
+TOOL_URI = "https://example.invalid/repro/docs/static_analysis.md"
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Rules that do not live in ``ALL_RULES`` but can appear in results.
+_ENGINE_RULES: Sequence[Rule] = (
+    Rule("E999", "syntax-error", "file does not parse; nothing else was checked"),
+    Rule(
+        "S000",
+        "unjustified-suppression",
+        "sim-ok suppression is missing its '-- justification' clause",
+    ),
+)
+
+
+def default_rule_catalogue() -> List[Rule]:
+    """Every rule id a report may reference, in a stable order."""
+    from repro.analysis.interproc import INTERPROC_RULES
+
+    catalogue = [rule.rule for rule in ALL_RULES]
+    catalogue.extend(INTERPROC_RULES)
+    catalogue.extend(_ENGINE_RULES)
+    return catalogue
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -30,29 +57,48 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def to_sarif(findings: Sequence[Finding]) -> dict:
-    """SARIF-lite document (version, one run, rules + results)."""
+def _location(path: str, line: int, col: int, text: Optional[str] = None) -> dict:
+    loc: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": line, "startColumn": col},
+        }
+    }
+    if text is not None:
+        loc["message"] = {"text": text}
+    return loc
+
+
+def _code_flow(finding: Finding) -> dict:
+    steps = [
+        {"location": _location(step.path, step.line, step.col, step.function)}
+        for step in finding.chain
+    ]
+    steps.append(
+        {"location": _location(finding.path, finding.line, finding.col, "flagged site")}
+    )
+    return {"threadFlows": [{"locations": steps}]}
+
+
+def to_sarif(findings: Sequence[Finding], rules: Optional[Sequence[Rule]] = None) -> dict:
+    """Schema-valid SARIF 2.1.0 document with rules metadata + codeFlows."""
+    catalogue = list(rules) if rules is not None else default_rule_catalogue()
+    index_of = {rule.rule_id: i for i, rule in enumerate(catalogue)}
     results: List[dict] = []
     for finding in findings:
-        results.append(
-            {
-                "ruleId": finding.rule_id,
-                "level": "error",
-                "message": {"text": finding.message},
-                "locations": [
-                    {
-                        "physicalLocation": {
-                            "artifactLocation": {"uri": finding.path},
-                            "region": {
-                                "startLine": finding.line,
-                                "startColumn": finding.col,
-                            },
-                        }
-                    }
-                ],
-            }
-        )
+        result: dict = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line, finding.col)],
+        }
+        if finding.rule_id in index_of:
+            result["ruleIndex"] = index_of[finding.rule_id]
+        if finding.chain:
+            result["codeFlows"] = [_code_flow(finding)]
+        results.append(result)
     return {
+        "$schema": SARIF_SCHEMA,
         "version": "2.1.0",
         "runs": [
             {
@@ -60,16 +106,20 @@ def to_sarif(findings: Sequence[Finding]) -> dict:
                     "driver": {
                         "name": TOOL_NAME,
                         "version": TOOL_VERSION,
+                        "informationUri": TOOL_URI,
                         "rules": [
                             {
-                                "id": rule.rule.rule_id,
-                                "name": rule.rule.name,
-                                "shortDescription": {"text": rule.rule.summary},
+                                "id": rule.rule_id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.summary or rule.name},
+                                "fullDescription": {"text": rule.summary or rule.name},
+                                "defaultConfiguration": {"level": "error"},
                             }
-                            for rule in ALL_RULES
+                            for rule in catalogue
                         ],
                     }
                 },
+                "columnKind": "utf16CodeUnits",
                 "results": results,
             }
         ],

@@ -22,7 +22,7 @@ from repro.analysis.findings import Finding
 #: ``# sim-ok: R001, R002 -- reason`` (reason optional at parse time;
 #: its absence is the S000 violation).
 _SIM_OK = re.compile(
-    r"#\s*sim-ok:\s*(?P<rules>\*|[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"#\s*sim-ok:\s*(?P<rules>\*|[A-Z]\d{3}(?:v\d+)?(?:\s*,\s*[A-Z]\d{3}(?:v\d+)?)*)"
     r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
 )
 
@@ -67,7 +67,7 @@ def apply_suppressions(
         if suppression is not None and suppression.covers(finding.rule_id):
             continue
         kept.append(finding)
-    for suppression in table.values():
+    for _line, suppression in sorted(table.items()):
         if not suppression.reason:
             kept.append(
                 Finding(

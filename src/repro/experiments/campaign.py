@@ -46,8 +46,8 @@ class Campaign:
     ) -> None:
         if not axes:
             raise ValueError("need at least one parameter axis")
-        for axis, values in axes.items():
-            if not values:
+        for axis in sorted(axes):
+            if not axes[axis]:
                 raise ValueError(f"axis {axis!r} has no values")
         self.axes = dict(axes)
         self.run = run

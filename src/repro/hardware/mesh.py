@@ -51,6 +51,7 @@ class MeshMessage:
     duplicated: bool = False
 
 
+# fast-path: requires=faults,tracer,telemetry -- callback worm skips per-hop generator resumes; legal only when nothing observes the interior
 class _FastWorm:
     """Event-callback worm: one mesh transmission without a generator.
 

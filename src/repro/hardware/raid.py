@@ -332,6 +332,7 @@ class RAID3Array:
                     self._cached_end = end
             grant._ok = True
             grant._value = (now, duration, sequential, cache_hit)
+            # sim-ok: R006 -- fast payloads are attached in _access only under the _fast_mode gate (faults/tracer/telemetry all off)
             env.schedule_at(grant, when + duration)
             return
         grant.succeed()

@@ -128,6 +128,7 @@ class SCSIBus:
         self.clients += 1
         return self.clients
 
+    # fast-path: requires=faults,tracer,telemetry -- bookkeeping-only transfer; grant must be provably uncontended and unobserved
     def account_bypass(self, nbytes: int, duration: float) -> None:
         """Book an exclusive transfer of known *duration* without events.
 

@@ -208,6 +208,7 @@ class BufferCache:
         # writers here, we surface it via ``overflow_blocks``.
         while len(self._blocks) > self.capacity_blocks:
             victim_key = None
+            # sim-ok: R003v2 -- OrderedDict iterates in LRU (move_to_end) order, deterministic simulation state; sorting would break LRU victim choice
             for key, candidate in self._blocks.items():
                 if not candidate.dirty:
                     victim_key = key

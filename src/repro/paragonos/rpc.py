@@ -137,6 +137,7 @@ class RPCEndpoint:
             self.monitor.counter("rpc.calls").add(1)
         return reply
 
+    # fast-path -- single attempt with no retry timer; only legal when no fault plan can stall or drop the call
     def _call_once(self, target: "RPCEndpoint", request: RPCMessage):
         """Fault-free fast path: single attempt, wait forever."""
         reply_event = self.env.event()

@@ -155,6 +155,7 @@ class CoalescedRequest:
 def coalesce_pieces(pieces: Sequence[StripePiece]) -> List[CoalescedRequest]:
     """Merge per-node UFS-contiguous pieces into single requests."""
     out: List[CoalescedRequest] = []
+    # sim-ok: R003v2 -- dict insertion order follows the deterministic piece order; sorting by node would reorder wire requests and move golden fingerprints
     for io_node, node_pieces in pieces_per_node(pieces).items():
         ordered = sorted(node_pieces, key=lambda p: p.ufs_offset)
         run: List[StripePiece] = [ordered[0]]

@@ -197,6 +197,7 @@ class Environment:
             key += _NORMAL_BASE
         heappush(self._queue, (self._now + delay, key, event))
 
+    # fast-path: requires=telemetry -- merged grants elide interior events only telemetry tick hooks could observe
     def schedule_at(
         self,
         event: Event,

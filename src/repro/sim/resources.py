@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.environment import Environment
 
 
+# fast-path: requires=telemetry -- one merged event replaces the grant + timeout chain; only telemetry could see the difference
 def _deferred_grant(event: Event, delay: Any) -> None:
     """Trigger *event* as a merged grant resuming after *delay*.
 
@@ -77,6 +78,7 @@ class Request(Event):
         """Trigger the grant, deferring the resume by ``resume_delay``."""
         delay = self.resume_delay
         if delay:
+            # sim-ok: R006 -- resume_delay is only ever non-zero when the requester's own fast-path gate (telemetry off) passed
             _deferred_grant(self, delay)
         else:
             self.succeed()
@@ -368,6 +370,7 @@ class ArbitratedResource:
             if delay:
                 # Merged grant: hold the slot from now, resume the
                 # waiter after the delay(s) with one scheduled event.
+                # sim-ok: R006 -- resume_delay is only ever non-zero when the requester's own fast-path gate (telemetry off) passed
                 _deferred_grant(nxt, delay)
             else:
                 nxt.succeed()

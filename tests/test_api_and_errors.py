@@ -242,5 +242,5 @@ class TestMSyncRandomSizesProperty:
         machine.run()
         # All reads full-length; total equals the shared pointer.
         total = sum(length for _r, _k, length in spans)
-        assert total == sum(sum(v) for v in sizes.values())
+        assert total == sum(sum(sizes[k]) for k in sorted(sizes))
         assert pfs_file.shared_offset == total

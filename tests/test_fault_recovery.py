@@ -455,8 +455,8 @@ class TestArbitratedStoreTies:
 
     def test_put_admission_is_key_ordered_under_both_tie_breaks(self):
         orders = {tb: self._producer_consumer_order(tb) for tb in TIE_BREAKS}
-        for order in orders.values():
-            assert order == ["b", "c", "a"]
+        for tb in TIE_BREAKS:
+            assert orders[tb] == ["b", "c", "a"]
 
     @staticmethod
     def _competing_getters(tie_break):

@@ -194,7 +194,7 @@ class TestUtilization:
         machine.create_file(mount, "data", 8 * MB)
         CollectiveReadWorkload(machine, mount, "data", request_size=64 * KB).run()
         report = machine.utilization_report()
-        assert all(0.0 <= v <= 1.0 for v in report.values())
+        assert all(0.0 <= report[k] <= 1.0 for k in sorted(report))
         # The storage path is the busiest component class.
         assert machine.bottleneck().startswith(("raid", "scsi", "msgproc"))
         # Disks did real work.
