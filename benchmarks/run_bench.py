@@ -1,6 +1,6 @@
 """Machine-readable bench trajectory: the Table 1 / Figure 2 points.
 
-Writes ``BENCH_7.json`` at the repo root: collective read bandwidth for
+Writes ``BENCH_8.json`` at the repo root: collective read bandwidth for
 every (request size, prefetch) Table 1 cell and every (mode, request
 size) Figure 2 cell, plus a per-cell telemetry summary naming the
 saturating resource.  The file is the perf baseline later PRs regress
@@ -55,6 +55,13 @@ importance vector from the committed ``BENCH_ablation.json`` and the
 tripwire verdict against ``benchmarks/baseline_ablation.json``.  The
 block reads the committed artifacts rather than re-running the sweep
 (regenerate with ``python -m repro.obs.ablation``).
+
+Since PR 8 the output also carries a ``policies`` block: the prefetch
+policy head-to-head (:mod:`repro.experiments.policy_bench`) racing the
+paper's static one-request-ahead prototype against depth-k / adaptive /
+tuned policies across the paper's delay sweep plus the strided and
+deep-sequential families, with the acceptance verdicts (tuned >= static
+on every paper cell; strict win on a new family) inline.
 """
 
 from __future__ import annotations
@@ -77,6 +84,7 @@ from repro.experiments.common import (  # noqa: E402
     run_separate_files,
     scaled_file_size,
 )
+from repro.experiments.policy_bench import run_policy_bench  # noqa: E402
 from repro.faults import FaultPlan, FaultSpec  # noqa: E402
 from repro.pfs import IOMode  # noqa: E402
 
@@ -337,6 +345,7 @@ def run_bench(
         rounds = 16
     table1 = bench_table1(t1_sizes, rounds, tie_check)
     figure2 = bench_figure2(f2_sizes, rounds, tie_check)
+    policies = run_policy_bench(quick=quick)
     all_points = table1 + figure2
     measure_speed(all_points, t1_sizes, f2_sizes, rounds, repeats)
     total_wall = sum(p["wall_time_s"] for p in all_points)
@@ -354,7 +363,7 @@ def run_bench(
         speed_block["baseline_total_wall_time_s"] = _round(baseline_total)
         speed_block["speedup"] = _round(baseline_total / total_wall, 2)
     return {
-        "bench": "pr7-ablation-observatory",
+        "bench": "pr8-adaptive-prefetch-tuner",
         "machine": {"n_compute": 8, "n_io": 8, "block_kb": 64},
         "settings": {"rounds": rounds, "quick": quick, "tie_check": tie_check},
         "metric": "collective read bandwidth (MB/s): total bytes / "
@@ -366,6 +375,7 @@ def run_bench(
                           "for the arm and SCSI bus",
         "speed": speed_block,
         "ablation": ablation_summary(),
+        "policies": policies,
         "table1": table1,
         "figure2": figure2,
     }
@@ -383,8 +393,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_7.json"),
-        help="output path (default: repo-root BENCH_7.json)",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_8.json"),
+        help="output path (default: repo-root BENCH_8.json)",
     )
     parser.add_argument(
         "--repeats",
@@ -440,6 +450,14 @@ def main(argv=None) -> int:
             f"ablation observatory: top mechanism {top['mechanism']} "
             f"(importance {top['importance']:+.1%}), tripwire {verdict}"
         )
+    policy_cmp = results["policies"]["comparison"]
+    print(
+        f"policy bench: paper cells ok={policy_cmp['paper_ok']}, "
+        f"strict wins={policy_cmp['strict_win_by_family']}"
+    )
+    if not (policy_cmp["paper_ok"] and policy_cmp["new_family_strict_win"]):
+        print("POLICY BENCH ACCEPTANCE FAILED", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -27,12 +27,17 @@ Quickstart::
 from repro.config import MachineConfig, PFSConfig
 from repro.core import (
     AdaptivePolicy,
+    DepthKAhead,
     NoPrefetch,
     OneRequestAhead,
+    OnlineTuner,
     Prefetcher,
     PrefetchPolicy,
     PrefetchStats,
+    StrideDetector,
     StridedPolicy,
+    TunerConfig,
+    make_policy,
 )
 from repro.machine import Machine
 from repro.metrics import BandwidthReport, report_from_handles
@@ -49,19 +54,23 @@ __all__ = [
     "AdaptivePolicy",
     "BandwidthReport",
     "CollectiveReadWorkload",
+    "DepthKAhead",
     "IOMode",
     "Machine",
     "MachineConfig",
     "NoPrefetch",
     "OneRequestAhead",
+    "OnlineTuner",
     "PFSConfig",
     "PrefetchPolicy",
     "PrefetchStats",
     "Prefetcher",
     "SeparateFilesWorkload",
+    "StrideDetector",
     "StridedPolicy",
     "StripeAttributes",
+    "TunerConfig",
     "WorkloadResult",
     "__version__",
-    "report_from_handles",
+    "make_policy",
 ]

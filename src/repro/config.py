@@ -60,6 +60,28 @@ class MachineConfig:
     telemetry: bool = False
     #: Telemetry sampler cadence in simulated seconds.
     telemetry_interval_s: float = 0.05
+    #: Client prefetch policy built by :meth:`Machine.build_prefetcher`
+    #: for workload prefetchers: "one-ahead" (the paper's prototype),
+    #: "none", "depth-k", "strided", or "adaptive" (per-file depth
+    #: controller).  The default keeps runs bit-identical to the seed.
+    prefetch_policy: str = "one-ahead"
+    #: Pipeline depth for depth-aware policies (initial depth for
+    #: "adaptive"; 1 = the paper's one-request-ahead).
+    prefetch_depth: int = 1
+    #: Cap on outstanding prefetch bytes per handle (None = bounded only
+    #: by compute-node memory).
+    prefetch_quota_bytes: Optional[int] = None
+    #: Attach a per-handle stride detector to depth-aware policies so
+    #: lseek-strided M_ASYNC streams are predicted from the observed
+    #: access history instead of the (wrong) mode arithmetic.
+    prefetch_stride_detect: bool = True
+    #: Online tuner (:mod:`repro.core.tuner`): retunes prefetch depth /
+    #: buffer quota / request size at simulated-time intervals.  Off by
+    #: default; the tuner schedules no events and installs no hooks, so
+    #: tuner-off runs are bit-identical to a build without it.
+    tuner: bool = False
+    #: Tuner evaluation cadence in simulated seconds.
+    tuner_interval_s: float = 0.05
     #: Tie-break order among same-timestamp events ("fifo" or "lifo").
     #: Results must be identical under either -- the tie-order race
     #: sanitizer (:func:`repro.analysis.sanitizers.check_tie_order`) runs
@@ -82,6 +104,18 @@ class MachineConfig:
             raise ValueError("block size must be positive")
         if self.telemetry_interval_s <= 0:
             raise ValueError("telemetry interval must be positive")
+        from repro.core.policies import POLICY_NAMES
+
+        if self.prefetch_policy not in POLICY_NAMES:
+            raise ValueError(
+                f"prefetch_policy must be one of {POLICY_NAMES}, got {self.prefetch_policy!r}"
+            )
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be non-negative")
+        if self.prefetch_quota_bytes is not None and self.prefetch_quota_bytes <= 0:
+            raise ValueError("prefetch_quota_bytes must be positive (or None)")
+        if self.tuner_interval_s <= 0:
+            raise ValueError("tuner interval must be positive")
         if self.tie_break not in ("fifo", "lifo"):
             raise ValueError("tie_break must be 'fifo' or 'lifo'")
         if self.faults is not None:

@@ -15,29 +15,42 @@ is no computation to overlap with.
   one-request-ahead policy plus deeper / strided / adaptive extensions.
 - :mod:`repro.core.prefetcher` -- the prefetcher: hit / partial-hit /
   miss service and prefetch issue.
+- :mod:`repro.core.tuner` -- online retuning of prefetch depth / buffer
+  quota / request size at simulated-time intervals (zero events).
 - :mod:`repro.core.stats` -- hit ratios, overlap, wasted prefetches.
 """
 
 from repro.core.policies import (
+    POLICY_NAMES,
     AdaptivePolicy,
+    DepthKAhead,
     NoPrefetch,
     OneRequestAhead,
     PrefetchPolicy,
+    StrideDetector,
     StridedPolicy,
+    make_policy,
 )
 from repro.core.prefetch_buffer import BufferState, PrefetchBuffer, PrefetchBufferList
 from repro.core.prefetcher import Prefetcher
 from repro.core.stats import PrefetchStats
+from repro.core.tuner import OnlineTuner, TunerConfig
 
 __all__ = [
     "AdaptivePolicy",
     "BufferState",
+    "DepthKAhead",
     "NoPrefetch",
+    "OnlineTuner",
     "OneRequestAhead",
+    "POLICY_NAMES",
     "PrefetchBuffer",
     "PrefetchBufferList",
     "PrefetchPolicy",
     "PrefetchStats",
     "Prefetcher",
+    "StrideDetector",
     "StridedPolicy",
+    "TunerConfig",
+    "make_policy",
 ]

@@ -50,6 +50,7 @@ class PrefetchBuffer:
         "buffer_id",
         "offset",
         "length",
+        "issued_length",
         "state",
         "data",
         "complete",
@@ -62,6 +63,9 @@ class PrefetchBuffer:
         self.buffer_id = next(_buffer_ids)
         self.offset = offset
         self.length = length
+        #: Length as issued; ``length`` shrinks under partial consumption
+        #: while this stays fixed (overlap accounting prorates on it).
+        self.issued_length = length
         self.state = BufferState.IN_FLIGHT
         self.data: Optional[Data] = None
         #: Fires when the asynchronous request lands the data.
@@ -151,10 +155,32 @@ class PrefetchBufferList:
         self.buffers.append(buffer)
         return buffer
 
-    def consume(self, buffer: PrefetchBuffer) -> None:
-        """Mark a READY buffer as used by a demand read."""
+    def consume(self, buffer: PrefetchBuffer, upto: Optional[int] = None) -> None:
+        """Mark a READY buffer as used by a demand read.
+
+        With ``upto`` strictly inside the buffer's range, only the head
+        ``[buffer.offset, upto)`` is consumed: its memory is freed, the
+        buffer shrinks from the left, and it stays READY to serve the
+        next demand read -- how a coalesced (batch > 1) prefetch covers
+        several future requests with one transfer.  ``upto=None`` (the
+        default, and the only mode the golden-locked default
+        configuration exercises) consumes the whole buffer as before.
+        """
         if buffer.state is not BufferState.READY:
             raise RuntimeError(f"consuming {buffer!r} in state {buffer.state}")
+        if upto is not None and upto < buffer.end:
+            if upto <= buffer.offset:
+                raise ValueError(f"partial consume to {upto} precedes {buffer!r}")
+            # The consumed head's memory is released immediately even
+            # under retain_consumed: the buffer is still live, and its
+            # accounting must keep matching ``length`` for free_all.
+            freed = upto - buffer.offset
+            self.memory.free(freed, self.alloc_class)
+            assert buffer.data is not None
+            buffer.data = buffer.data.slice(freed, buffer.length - freed)
+            buffer.offset = upto
+            buffer.length -= freed
+            return
         buffer.state = BufferState.CONSUMED
         buffer.consumed_at = self.env.now
         if not self.retain_consumed:

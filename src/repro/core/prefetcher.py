@@ -69,6 +69,11 @@ class Prefetcher:
         self.retain_consumed = retain_consumed
         self.gc_stale = gc_stale
         self.monitor = monitor
+        #: Online tuner this prefetcher is attached to (None = untuned;
+        #: set by :meth:`repro.core.tuner.OnlineTuner.attach`).  The
+        #: demand path consults it with one ``is not None`` check, so an
+        #: untuned prefetcher runs exactly the pre-tuner code path.
+        self.tuner = None
         self.stats = PrefetchStats()
         self._list: Optional[PrefetchBufferList] = None
         self._handle: Optional["PFSFileHandle"] = None
@@ -123,6 +128,20 @@ class Prefetcher:
             raise RuntimeError("prefetcher not attached to an open handle")
         return self._list
 
+    @property
+    def _batched(self) -> bool:
+        """True when the policy coalesces adjacent ranges (batch > 1),
+        enabling partial buffer consumption on the hit path."""
+        return getattr(self.policy, "batch", 1) > 1
+
+    def set_depth(self, depth: int) -> None:
+        """Reconfigure the policy's pipeline depth (depth-aware policies
+        only; raises TypeError for policies without the knob)."""
+        setter = getattr(self.policy, "set_depth", None)
+        if setter is None:
+            raise TypeError(f"policy {self.policy!r} has no depth knob")
+        setter(depth)
+
     # -- the demand path ----------------------------------------------------
 
     def serve_read(
@@ -136,6 +155,8 @@ class Prefetcher:
         """
         tracer = handle.client.tracer
         blist = self.buffer_list
+        if self.tuner is not None:
+            self.tuner.before_read(self, handle, offset, nbytes)
         buffer = blist.find_covering(offset, nbytes)
         arrival = handle.env.now
 
@@ -182,8 +203,14 @@ class Prefetcher:
                 )
                 yield from handle.node.memcpy(nbytes)
                 tracer.end(copy_span)
-                self._account_overlap(handle, buffer, arrival)
-                blist.consume(buffer)
+                self._account_overlap(handle, buffer, arrival, nbytes)
+                if buffer.end > offset + nbytes and self._batched:
+                    # A coalesced (batch > 1) buffer spans several future
+                    # requests: consume only the served head and keep the
+                    # remainder READY for the next demand read.
+                    blist.consume(buffer, upto=offset + nbytes)
+                else:
+                    blist.consume(buffer)
                 self.stats.bytes_served += nbytes
 
         if self.gc_stale:
@@ -281,6 +308,11 @@ class Prefetcher:
                 )
                 yield from handle.node.landing_copy(length)
                 tracer.end(land_span)
+                if buffer.state is BufferState.DISCARDED:
+                    # The file closed during the landing copy.
+                    if not buffer.complete.triggered:
+                        buffer.complete.succeed()
+                    return None
                 buffer.mark_ready(handle.env, data)
                 if faults is not None:
                     # Audit the landed prefetch: invariant 7 checks these
@@ -302,20 +334,34 @@ class Prefetcher:
     # -- accounting -------------------------------------------------------------
 
     def _account_overlap(
-        self, handle: "PFSFileHandle", buffer: PrefetchBuffer, arrival: float
+        self, handle: "PFSFileHandle", buffer: PrefetchBuffer, arrival: float, nbytes: int
     ) -> None:
         """How much of the prefetch's service time the demand never saw.
 
         Measured against the demand's *arrival*: a full hit hides the
         whole service time; a partial hit hides only the part that ran
         before the demand showed up and started waiting.
+
+        No double counting at depth > 1: adjacent planned ranges are
+        *separate* buffers, each consumed (and accounted) exactly once --
+        a demand read spanning two buffers is a miss, because
+        ``find_covering`` requires a single covering buffer.  The one
+        multi-consumption case is a coalesced (batch > 1) buffer served
+        piecewise via partial consumption; ``overlap_time`` is then
+        prorated by the consumed share of the originally issued length so
+        the summed contributions never exceed one service time, while
+        each demand read still records its own overlap *fraction*.  Both
+        invariants are regression-tested in tests/test_core_prefetch.py.
         """
         if buffer.ready_at is not None:
             service = buffer.ready_at - buffer.issued_at
         else:  # pragma: no cover - defensive; consume requires READY
             service = arrival - buffer.issued_at
         hidden = max(0.0, min(arrival - buffer.issued_at, service))
-        self.stats.overlap_time += hidden
+        if nbytes < buffer.issued_length:
+            self.stats.overlap_time += hidden * (nbytes / buffer.issued_length)
+        else:
+            self.stats.overlap_time += hidden
         if service > 0:
             self.stats.overlap_fractions.append(min(1.0, hidden / service))
 

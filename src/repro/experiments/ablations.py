@@ -205,7 +205,7 @@ def _pattern_run(
         "none": lambda: NoPrefetch(),
         "one-ahead": lambda: OneRequestAhead(),
         "strided": lambda: StridedPolicy(),
-        "adaptive": lambda: AdaptivePolicy(OneRequestAhead(), window=6, backoff=6),
+        "adaptive": lambda: AdaptivePolicy(window=6),
     }
     prefetchers = [Prefetcher(policies[policy_name]()) for _ in range(8)]
 

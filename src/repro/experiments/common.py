@@ -16,7 +16,11 @@ from repro.core.policies import PrefetchPolicy
 from repro.machine import Machine
 from repro.metrics import BandwidthReport
 from repro.pfs import IOMode
-from repro.workloads import CollectiveReadWorkload, SeparateFilesWorkload
+from repro.workloads import (
+    CollectiveReadWorkload,
+    SeparateFilesWorkload,
+    StridedReadWorkload,
+)
 
 KB = 1024
 MB = 1024 * 1024
@@ -119,6 +123,12 @@ def build_machine(
     telemetry: bool = False,
     tie_break: str = "fifo",
     faults=None,
+    prefetch_policy: str = "one-ahead",
+    prefetch_depth: int = 1,
+    prefetch_quota_bytes: Optional[int] = None,
+    prefetch_stride_detect: bool = True,
+    tuner: bool = False,
+    tuner_interval_s: float = 0.05,
 ):
     """Machine + mount with the paper's defaults (8C/8IO, 64KB blocks)."""
     config_kwargs = dict(
@@ -129,6 +139,12 @@ def build_machine(
         telemetry=telemetry,
         tie_break=tie_break,
         faults=faults,
+        prefetch_policy=prefetch_policy,
+        prefetch_depth=prefetch_depth,
+        prefetch_quota_bytes=prefetch_quota_bytes,
+        prefetch_stride_detect=prefetch_stride_detect,
+        tuner=tuner,
+        tuner_interval_s=tuner_interval_s,
     )
     if hardware is not None:
         config_kwargs["hardware"] = hardware
@@ -143,16 +159,30 @@ def build_machine(
 def prefetcher_factory(
     enabled: bool,
     policy_factory: Optional[Callable[[], PrefetchPolicy]] = None,
+    machine: Optional[Machine] = None,
 ) -> Optional[Callable[[int], Prefetcher]]:
-    """Per-rank prefetcher factory (None when disabled)."""
+    """Per-rank prefetcher factory (None when disabled).
+
+    An explicit *policy_factory* wins; otherwise, given a *machine*, the
+    factory routes through :meth:`Machine.build_prefetcher` so the
+    machine's ``prefetch_policy`` / ``prefetch_depth`` / tuner knobs
+    apply (the default knobs build exactly the paper's prototype).
+    """
     if not enabled:
         return None
+    if policy_factory is not None:
 
-    def make(rank: int) -> Prefetcher:
-        policy = policy_factory() if policy_factory else OneRequestAhead()
-        return Prefetcher(policy)
+        def make(rank: int) -> Prefetcher:
+            return Prefetcher(policy_factory())
 
-    return make
+        return make
+    if machine is not None:
+        return machine.build_prefetcher
+
+    def make_default(rank: int) -> Prefetcher:
+        return Prefetcher(OneRequestAhead())
+
+    return make_default
 
 
 def run_collective(
@@ -175,6 +205,12 @@ def run_collective(
     tie_break: str = "fifo",
     keep_machine: bool = False,
     faults=None,
+    prefetch_policy: str = "one-ahead",
+    prefetch_depth: int = 1,
+    prefetch_quota_bytes: Optional[int] = None,
+    prefetch_stride_detect: bool = True,
+    tuner: bool = False,
+    tuner_interval_s: float = 0.05,
 ) -> BandwidthReport:
     """One fresh-machine collective read run; returns the report.
 
@@ -201,6 +237,12 @@ def run_collective(
         telemetry=telemetry,
         tie_break=tie_break,
         faults=faults,
+        prefetch_policy=prefetch_policy,
+        prefetch_depth=prefetch_depth,
+        prefetch_quota_bytes=prefetch_quota_bytes,
+        prefetch_stride_detect=prefetch_stride_detect,
+        tuner=tuner,
+        tuner_interval_s=tuner_interval_s,
     )
     machine.create_file(mount, "data", file_size)
     workload = CollectiveReadWorkload(
@@ -211,7 +253,7 @@ def run_collective(
         compute_delay=compute_delay,
         iomode=iomode,
         rounds=rounds,
-        prefetcher_factory=prefetcher_factory(prefetch, policy_factory),
+        prefetcher_factory=prefetcher_factory(prefetch, policy_factory, machine=machine),
         async_partition=async_partition,
     )
     report = workload.run().report
@@ -252,9 +294,63 @@ def run_separate_files(
         "data",
         request_size=request_size,
         compute_delay=compute_delay,
-        prefetcher_factory=prefetcher_factory(prefetch),
+        prefetcher_factory=prefetcher_factory(prefetch, machine=machine),
     )
     return workload.run().report
+
+
+def run_strided(
+    request_size: int,
+    file_size: int,
+    stride: Optional[int] = None,
+    compute_delay: float = 0.0,
+    prefetch: bool = False,
+    n_compute: int = 8,
+    n_io: int = 8,
+    stripe_unit: int = 64 * KB,
+    rounds: Optional[int] = None,
+    policy_factory: Optional[Callable[[], PrefetchPolicy]] = None,
+    tie_break: str = "fifo",
+    keep_machine: bool = False,
+    faults=None,
+    prefetch_policy: str = "one-ahead",
+    prefetch_depth: int = 1,
+    prefetch_quota_bytes: Optional[int] = None,
+    prefetch_stride_detect: bool = True,
+    tuner: bool = False,
+    tuner_interval_s: float = 0.05,
+) -> BandwidthReport:
+    """Strided M_ASYNC read over one shared file (the non-unit-stride
+    family where mode arithmetic mispredicts; see
+    :class:`repro.workloads.StridedReadWorkload`)."""
+    machine, mount = build_machine(
+        n_compute=n_compute,
+        n_io=n_io,
+        stripe_unit=stripe_unit,
+        tie_break=tie_break,
+        faults=faults,
+        prefetch_policy=prefetch_policy,
+        prefetch_depth=prefetch_depth,
+        prefetch_quota_bytes=prefetch_quota_bytes,
+        prefetch_stride_detect=prefetch_stride_detect,
+        tuner=tuner,
+        tuner_interval_s=tuner_interval_s,
+    )
+    machine.create_file(mount, "data", file_size)
+    workload = StridedReadWorkload(
+        machine,
+        mount,
+        "data",
+        request_size=request_size,
+        stride=stride,
+        compute_delay=compute_delay,
+        rounds=rounds,
+        prefetcher_factory=prefetcher_factory(prefetch, policy_factory, machine=machine),
+    )
+    report = workload.run().report
+    if keep_machine:
+        report.machine = machine
+    return report
 
 
 def scaled_file_size(request_size: int, n_compute: int = 8, rounds: int = 16) -> int:

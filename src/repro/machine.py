@@ -16,6 +16,8 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig, PFSConfig
+from repro.core import Prefetcher, make_policy
+from repro.core.tuner import OnlineTuner, TunerConfig
 from repro.faults.injector import FaultInjector
 from repro.hardware.mesh import Mesh
 from repro.hardware.node import Node, NodeKind
@@ -201,6 +203,19 @@ class Machine:
                     endpoint.halted_fn = lambda c=client: c.crashed_at(self.env.now)
             self.clients.append(client)
 
+        #: Online prefetch-parameter tuner (:mod:`repro.core.tuner`);
+        #: None (default) keeps the tuner plane entirely inert -- no
+        #: events, no hooks, bit-identical runs.
+        self.tuner: Optional[OnlineTuner] = (
+            OnlineTuner(
+                self.env,
+                TunerConfig(interval_s=cfg.tuner_interval_s),
+                monitor=self.monitor,
+            )
+            if cfg.tuner
+            else None
+        )
+
         self.mounts: Dict[str, PFSMount] = {}
         # One machine-wide file-id counter shared by every mount: ids
         # key UFS inodes across mounts, and a fresh machine always
@@ -310,6 +325,29 @@ class Machine:
             if self.ufses[io_index].exists(pfs_file.file_id):
                 self.ufses[io_index].unlink(pfs_file.file_id)
         self.coordinator.unregister_file(pfs_file)
+
+    def build_prefetcher(self, rank: int = 0) -> Prefetcher:
+        """A prefetcher configured from this machine's policy knobs.
+
+        Builds the policy named by ``config.prefetch_policy`` (with
+        ``prefetch_depth`` / ``prefetch_quota_bytes`` /
+        ``prefetch_stride_detect``) and, when the online tuner is
+        enabled, attaches the prefetcher to it.  The default config
+        yields exactly the paper's prototype
+        (``Prefetcher(OneRequestAhead())``), so factory call sites that
+        route through here stay bit-identical to the seed.
+        """
+        cfg = self.config
+        policy = make_policy(
+            cfg.prefetch_policy,
+            depth=cfg.prefetch_depth,
+            quota_bytes=cfg.prefetch_quota_bytes,
+            stride_detect=cfg.prefetch_stride_detect,
+        )
+        prefetcher = Prefetcher(policy, monitor=self.monitor)
+        if self.tuner is not None:
+            self.tuner.attach(prefetcher)
+        return prefetcher
 
     # -- invariants --------------------------------------------------------------------
 

@@ -177,6 +177,46 @@ MECHANISMS: Tuple[Mechanism, ...] = (
         ),
         off={"machine.hardware.disk.track_cache_bytes": 0},
     ),
+    Mechanism(
+        name="adaptive_depth",
+        title="Adaptive depth-k prefetch pipeline",
+        description=(
+            "Per-file controller that deepens or shallows the prefetch "
+            "pipeline from the handle's own hit/partial/miss window.  "
+            "Indistinguishable from the static prototype on the paper's "
+            "M_RECORD cells (by design), so its delta is measured on the "
+            "strided M_ASYNC family where prediction and depth matter."
+        ),
+        context={"workload.family": "strided"},
+        on={"machine.prefetch_policy": "adaptive"},
+        off={"machine.prefetch_policy": "one-ahead"},
+    ),
+    Mechanism(
+        name="stride_detection",
+        title="Stride detection for prefetch prediction",
+        description=(
+            "Infers the access stride from the demand offsets so "
+            "lseek-strided M_ASYNC streams are predicted correctly; off "
+            "falls back to the (wrong) sequential mode arithmetic.  "
+            "Measured under the adaptive policy on the strided family."
+        ),
+        context={"workload.family": "strided", "machine.prefetch_policy": "adaptive"},
+        on={"machine.prefetch_stride_detect": True},
+        off={"machine.prefetch_stride_detect": False},
+    ),
+    Mechanism(
+        name="online_tuner",
+        title="Online prefetch tuner",
+        description=(
+            "Interval-driven retuning of depth envelope / buffer quota / "
+            "request batching from each prefetcher's own counters "
+            "(zero scheduled events).  Measured under the adaptive "
+            "policy on the strided family."
+        ),
+        context={"workload.family": "strided", "machine.prefetch_policy": "adaptive"},
+        on={"machine.tuner": True},
+        off={"machine.tuner": False},
+    ),
 )
 
 
@@ -208,7 +248,12 @@ def baseline_overrides() -> Dict[str, object]:
 
 # -- override resolution ----------------------------------------------------
 
-_WORKLOAD_FIELDS = ("prefetch",)
+#: Workload-level override fields: the prefetch on/off switch and the
+#: workload family ("collective" = the paper's shared-file readers,
+#: "strided" = the non-unit-stride M_ASYNC family the depth/stride/tuner
+#: mechanisms are measured on).
+_WORKLOAD_FIELDS = ("prefetch", "family")
+_WORKLOAD_FAMILIES = ("collective", "strided")
 
 
 def resolve_configs(
@@ -219,7 +264,7 @@ def resolve_configs(
     """Resolve dotted-path overrides into concrete run configs.
 
     Returns ``(machine_config, pfs_config, workload_kwargs)`` where the
-    workload kwargs currently carry only ``prefetch``.  Unknown paths or
+    workload kwargs carry ``prefetch`` and ``family``.  Unknown paths or
     fields raise :class:`AblationError` at resolution time, so a
     registry entry pointing at a renamed knob fails loudly instead of
     silently measuring nothing.
@@ -227,7 +272,7 @@ def resolve_configs(
     machine_kw: Dict[str, object] = {}
     hardware_kw: Dict[str, Dict[str, object]] = {}
     pfs_kw: Dict[str, object] = {}
-    workload: Dict[str, object] = {"prefetch": True}
+    workload: Dict[str, object] = {"prefetch": True, "family": "collective"}
 
     machine_fields = {f.name for f in dataclasses.fields(MachineConfig)}
     pfs_fields = {f.name for f in dataclasses.fields(PFSConfig)}
@@ -255,6 +300,11 @@ def resolve_configs(
         elif parts[0] == "workload" and len(parts) == 2:
             if parts[1] not in _WORKLOAD_FIELDS:
                 raise AblationError(f"unknown workload field in {path!r}")
+            if parts[1] == "family" and value not in _WORKLOAD_FAMILIES:
+                raise AblationError(
+                    f"unknown workload family {value!r}; known: "
+                    f"{', '.join(_WORKLOAD_FAMILIES)}"
+                )
             workload[parts[1]] = value
         else:
             raise AblationError(f"unresolvable override path {path!r}")
@@ -416,10 +466,9 @@ def execute_run(
     telemetry: bool = False,
 ) -> Dict[str, object]:
     """Execute one run on a fresh machine; returns the run record."""
-    from repro.core import OneRequestAhead, Prefetcher
     from repro.machine import Machine
     from repro.pfs import IOMode
-    from repro.workloads import CollectiveReadWorkload
+    from repro.workloads import CollectiveReadWorkload, StridedReadWorkload
 
     machine_cfg, pfs_cfg, workload_kw = resolve_configs(
         dict(spec.overrides), tie_break=tie_break, telemetry=telemetry
@@ -427,25 +476,44 @@ def execute_run(
     machine = Machine(machine_cfg)
     mount = machine.mount("/pfs", pfs_cfg)
     request = spec.request_kb * KB
-    file_size = request * machine_cfg.n_compute * rounds
-    machine.create_file(mount, "data", file_size)
-    factory = None
-    if workload_kw["prefetch"]:
-        factory = lambda rank: Prefetcher(OneRequestAhead())  # noqa: E731
-    workload = CollectiveReadWorkload(
-        machine,
-        mount,
-        "data",
-        request_size=request,
-        compute_delay=compute_delay,
-        iomode=IOMode[spec.mode],
-        rounds=rounds,
-        prefetcher_factory=factory,
-        # M_ASYNC runs unpartitioned: every rank walks the same region
-        # with its private pointer, the overlapping-readers case the
-        # drive track cache exists for.
-        async_partition=spec.mode != "M_ASYNC",
-    )
+    # The prefetcher factory routes through the machine's own policy /
+    # tuner knobs; with the default knobs this builds exactly the
+    # paper's prototype (proven against the golden fingerprints by
+    # validate_registry).
+    factory = machine.build_prefetcher if workload_kw["prefetch"] else None
+    if workload_kw["family"] == "strided":
+        # Non-unit-stride M_ASYNC readers: stride of 3 requests (an odd
+        # unit step walks all I/O nodes instead of beating on a subset).
+        stride = 3 * request
+        file_size = stride * machine_cfg.n_compute * rounds
+        machine.create_file(mount, "data", file_size)
+        workload = StridedReadWorkload(
+            machine,
+            mount,
+            "data",
+            request_size=request,
+            stride=stride,
+            compute_delay=compute_delay,
+            rounds=rounds,
+            prefetcher_factory=factory,
+        )
+    else:
+        file_size = request * machine_cfg.n_compute * rounds
+        machine.create_file(mount, "data", file_size)
+        workload = CollectiveReadWorkload(
+            machine,
+            mount,
+            "data",
+            request_size=request,
+            compute_delay=compute_delay,
+            iomode=IOMode[spec.mode],
+            rounds=rounds,
+            prefetcher_factory=factory,
+            # M_ASYNC runs unpartitioned: every rank walks the same region
+            # with its private pointer, the overlapping-readers case the
+            # drive track cache exists for.
+            async_partition=spec.mode != "M_ASYNC",
+        )
     report = workload.run().report
     if telemetry:
         machine.obs.telemetry.finalize()
@@ -526,7 +594,6 @@ def _golden_cell_report(
     :func:`resolve_configs`, so a match proves the registry's all-on
     assembly *and* this harness's run plumbing are both no-ops.
     """
-    from repro.core import OneRequestAhead, Prefetcher
     from repro.machine import Machine
     from repro.pfs import IOMode
     from repro.workloads import CollectiveReadWorkload
@@ -538,9 +605,9 @@ def _golden_cell_report(
     mount = machine.mount("/pfs", pfs_cfg)
     request = size_kb * KB
     machine.create_file(mount, "data", request * machine_cfg.n_compute * 4)
-    factory = None
-    if workload_kw["prefetch"]:
-        factory = lambda rank: Prefetcher(OneRequestAhead())  # noqa: E731
+    # Routed through Machine.build_prefetcher so a golden match also
+    # proves the config-driven policy plumbing is a no-op by default.
+    factory = machine.build_prefetcher if workload_kw["prefetch"] else None
     workload = CollectiveReadWorkload(
         machine,
         mount,
@@ -585,8 +652,11 @@ def validate_registry(golden: bool = True) -> Dict[str, object]:
             "registry all-on overrides do not resolve to the default "
             "MachineConfig/PFSConfig -- a mechanism's 'on' state drifted"
         )
-    if workload_kw != {"prefetch": True}:
-        raise AblationError("registry baseline must enable client prefetch")
+    if workload_kw != {"prefetch": True, "family": "collective"}:
+        raise AblationError(
+            "registry baseline must enable client prefetch on the "
+            "collective family"
+        )
     for mech in MECHANISMS:
         for overrides in (mech.off, mech.on, mech.context):
             resolve_configs({**mech.context, **overrides})

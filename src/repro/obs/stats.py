@@ -76,10 +76,35 @@ class PrefetchStats:
         return self.hits + self.partial_hits + self.misses + self.failed_fallbacks
 
     @property
-    def hit_ratio(self) -> float:
-        """Fraction of demand reads served fully from a ready buffer."""
+    def hit_rate(self) -> float:
+        """Fraction of demand reads served fully from a ready buffer.
+
+        Zero-read guarded: 0.0 before any demand read.  The canonical
+        rate accessor consumers (adaptive policy, tuner, benches) should
+        use instead of dividing counters ad hoc.
+        """
         total = self.demand_reads
         return self.hits / total if total else 0.0
+
+    @property
+    def partial_hit_rate(self) -> float:
+        """Fraction of demand reads that waited on an in-flight prefetch."""
+        total = self.demand_reads
+        return self.partial_hits / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of demand reads with no covering buffer (zero-read
+        guarded).  Failed fallbacks count as their own category, so
+        ``hit_rate + partial_hit_rate + miss_rate`` may fall short of 1
+        under fault injection."""
+        total = self.demand_reads
+        return self.misses / total if total else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Back-compat alias of :attr:`hit_rate`."""
+        return self.hit_rate
 
     @property
     def coverage(self) -> float:

@@ -19,6 +19,7 @@ from repro.workloads.synthetic import (
     CollectiveReadWorkload,
     CollectiveWriteWorkload,
     SeparateFilesWorkload,
+    StridedReadWorkload,
     WorkloadResult,
 )
 from repro.workloads.traces import TraceEvent, TraceRecorder, TraceReplayer
@@ -30,6 +31,7 @@ __all__ = [
     "SeparateFilesWorkload",
     "SequentialPattern",
     "StridedPattern",
+    "StridedReadWorkload",
     "TraceEvent",
     "TraceRecorder",
     "TraceReplayer",

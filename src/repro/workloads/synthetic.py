@@ -292,6 +292,119 @@ class CollectiveWriteWorkload:
         return result
 
 
+class StridedReadWorkload:
+    """Non-unit-stride M_ASYNC readers over one shared file.
+
+    Each rank walks its own 1/nprocs slice of the file with a fixed gap
+    between consecutive requests: seek to ``pos``, read ``request_size``
+    bytes, advance ``pos`` by ``stride`` (``stride > request_size``
+    leaves unread holes).  The M_ASYNC mode arithmetic predicts the next
+    read at the current private offset, so the paper's one-request-ahead
+    policy prefetches hole bytes that are never read; a stride detector
+    (:class:`repro.core.policies.StrideDetector`) recovers the real
+    pattern from the observed offsets.  This is the workload family
+    where depth-aware adaptive prefetching must beat the static
+    prototype (see :mod:`repro.experiments.policy_bench`).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        mount: PFSMount,
+        filename: str,
+        request_size: int,
+        stride: Optional[int] = None,
+        compute_delay: float = 0.0,
+        rounds: Optional[int] = None,
+        nprocs: Optional[int] = None,
+        prefetcher_factory: Optional[PrefetcherFactory] = None,
+    ) -> None:
+        if request_size <= 0:
+            raise ValueError("request size must be positive")
+        if compute_delay < 0:
+            raise ValueError("compute delay must be non-negative")
+        self.stride = stride if stride is not None else 2 * request_size
+        if self.stride < request_size:
+            raise ValueError("stride must be at least the request size")
+        self.machine = machine
+        self.mount = mount
+        self.filename = filename
+        self.request_size = request_size
+        self.compute_delay = compute_delay
+        self.rounds = rounds
+        self.nprocs = nprocs or len(machine.clients)
+        if self.nprocs > len(machine.clients):
+            raise ValueError("more processes than compute nodes")
+        self.prefetcher_factory = prefetcher_factory
+
+    def run(self) -> WorkloadResult:
+        machine = self.machine
+        handles: List[Optional[PFSFileHandle]] = [None] * self.nprocs
+        result = WorkloadResult(report=None)  # type: ignore[arg-type]
+
+        def opener(rank: int):
+            prefetcher = self.prefetcher_factory(rank) if self.prefetcher_factory else None
+            if prefetcher is not None and prefetcher.monitor is None:
+                prefetcher.monitor = machine.monitor
+            handle = yield from machine.clients[rank].open(
+                self.mount,
+                self.filename,
+                IOMode.M_ASYNC,
+                rank=rank,
+                nprocs=self.nprocs,
+                prefetcher=prefetcher,
+            )
+            handles[rank] = handle
+
+        for rank in range(self.nprocs):
+            machine.spawn(opener(rank), name=f"open-{rank}")
+        machine.run()
+        ready: List[PFSFileHandle] = [h for h in handles if h is not None]
+        assert len(ready) == self.nprocs
+
+        pfs_file = self.mount.lookup(self.filename)
+        slice_bytes = pfs_file.size_bytes // self.nprocs
+        rounds = self.rounds
+        if rounds is None:
+            # With stride >= request_size this keeps every read inside
+            # the rank's own slice (last read ends exactly at the slice
+            # boundary in the stride == request_size case).
+            rounds = max(1, slice_bytes // self.stride)
+
+        result.started_at = machine.env.now
+
+        def reader(handle: PFSFileHandle):
+            pos = handle.rank * slice_bytes
+            first = True
+            for _ in range(rounds):
+                if not first and self.compute_delay > 0:
+                    yield from handle.node.compute(self.compute_delay)
+                first = False
+                while True:
+                    try:
+                        yield from handle.lseek(pos)
+                        yield from handle.read(self.request_size)
+                        break
+                    except NodeCrashed:
+                        # Re-seek and re-read after the crash window; the
+                        # seek is idempotent so the retry is exactly-once.
+                        yield from handle.client.wait_restarted()
+                pos += self.stride
+
+        for handle in ready:
+            machine.spawn(reader(handle), name=f"reader-{handle.rank}")
+        machine.run()
+        result.finished_at = machine.env.now
+
+        for handle in ready:
+            machine.spawn(handle.close(), name=f"close-{handle.rank}")
+        machine.run()
+
+        result.handles = ready
+        result.report = report_from_handles(ready, result.elapsed_s)
+        return result
+
+
 class SeparateFilesWorkload:
     """Each compute node reads its own PFS file (Figure 2's top curve).
 

@@ -6,12 +6,15 @@ from repro.config import MachineConfig, PFSConfig
 from repro.core import (
     AdaptivePolicy,
     BufferState,
+    DepthKAhead,
     NoPrefetch,
     OneRequestAhead,
     Prefetcher,
     PrefetchBufferList,
     PrefetchStats,
+    StrideDetector,
     StridedPolicy,
+    make_policy,
 )
 from repro.hardware.memory import MemoryRegion, OutOfMemoryError
 from repro.machine import Machine
@@ -104,6 +107,49 @@ class TestPrefetchBufferList:
         assert blist.memory.used_by("prefetch") == 0
         assert len(blist) == 0
 
+    def test_partial_consume_shrinks_buffer(self, env):
+        from repro.ufs.data import LiteralData
+
+        blist = self.make(env)
+        buffer = blist.issue(0, 64 * KB)
+        buffer.mark_ready(env, LiteralData(b"y" * 64 * KB))
+        blist.consume(buffer, upto=16 * KB)
+        assert buffer.state is BufferState.READY
+        assert buffer.offset == 16 * KB
+        assert buffer.length == 48 * KB
+        assert buffer.issued_length == 64 * KB
+        assert blist.memory.used_by("prefetch") == 48 * KB
+        assert blist.find_covering(16 * KB, 16 * KB) is buffer
+        assert blist.find_covering(0, 16 * KB) is None
+        blist.consume(buffer)
+        assert buffer.state is BufferState.CONSUMED
+        assert blist.memory.used_by("prefetch") == 0
+
+    def test_partial_consume_frees_head_even_when_retaining(self, env):
+        from repro.ufs.data import LiteralData
+
+        # retain_consumed keeps *consumed buffers*; the partially-consumed
+        # head must still be freed so free_all's accounting (which frees
+        # buffer.length) matches what is held.
+        blist = self.make(env, retain=True)
+        buffer = blist.issue(0, 64 * KB)
+        buffer.mark_ready(env, LiteralData(b"y" * 64 * KB))
+        blist.consume(buffer, upto=16 * KB)
+        assert blist.memory.used_by("prefetch") == 48 * KB
+        blist.consume(buffer)
+        assert blist.memory.used_by("prefetch") == 48 * KB  # retained
+        blist.free_all()
+        assert blist.memory.used_by("prefetch") == 0
+
+    def test_partial_consume_validates_upto(self, env):
+        from repro.ufs.data import LiteralData
+
+        blist = self.make(env)
+        buffer = blist.issue(0, 64 * KB)
+        buffer.mark_ready(env, LiteralData(b"y" * 64 * KB))
+        with pytest.raises(ValueError):
+            blist.consume(buffer, upto=0)
+
     def test_overlaps_range(self, env):
         blist = self.make(env)
         blist.issue(100, 50)
@@ -193,26 +239,120 @@ class TestPolicies:
             policy.plan(handle, off, 4 * KB, None)
         assert policy.plan(handle, 100 * KB, 4 * KB, None) == []  # stride broke
 
-    def test_adaptive_throttles_on_waste(self):
-        inner = OneRequestAhead()
-        policy = AdaptivePolicy(inner, window=4, min_useful=0.9, backoff=3)
+    def test_depth_k_at_depth_one_matches_one_ahead(self):
+        handle = _FakeHandle(IOMode.M_RECORD, 2, 8, 100 * MB, 8 * 64 * KB + 2 * 64 * KB)
+        static = OneRequestAhead().plan(handle, 2 * 64 * KB, 64 * KB, None)
+        depth_k = DepthKAhead(depth=1).plan(handle, 2 * 64 * KB, 64 * KB, None)
+        assert depth_k == static == [(8 * 64 * KB + 2 * 64 * KB, 64 * KB)]
+
+    def test_depth_k_quota_caps_planning(self):
+        policy = DepthKAhead(depth=4, quota_bytes=2 * 64 * KB)
+        handle = _FakeHandle(IOMode.M_ASYNC, 0, 1, 100 * MB, 64 * KB)
+        plans = policy.plan(handle, 0, 64 * KB, None)
+        assert plans == [(64 * KB, 64 * KB), (128 * KB, 64 * KB)]
+
+    def test_depth_k_zero_depth_plans_nothing(self):
+        policy = DepthKAhead(depth=0)
+        handle = _FakeHandle(IOMode.M_ASYNC, 0, 1, 100 * MB, 64 * KB)
+        assert policy.plan(handle, 0, 64 * KB, None) == []
+
+    def test_depth_k_batch_coalesces_adjacent(self):
+        policy = DepthKAhead(depth=3, batch=3)
+        handle = _FakeHandle(IOMode.M_ASYNC, 0, 1, 100 * MB, 64 * KB)
+        plans = policy.plan(handle, 0, 64 * KB, None)
+        assert plans == [(64 * KB, 3 * 64 * KB)]
+
+    def test_depth_k_detector_overrides_arithmetic(self):
+        policy = DepthKAhead(depth=2, detector=StrideDetector())
+        # M_ASYNC private offset says "sequential", but the demand stream
+        # is strided by 10KB; the confident detector must win.
+        handle = _FakeHandle(IOMode.M_ASYNC, 0, 1, 100 * MB, 4 * KB)
+        assert policy.plan(handle, 0, 4 * KB, None) == [(4 * KB, 4 * KB), (8 * KB, 4 * KB)]
+        policy.plan(handle, 10 * KB, 4 * KB, None)
+        plans = policy.plan(handle, 20 * KB, 4 * KB, None)
+        assert plans == [(30 * KB, 4 * KB), (40 * KB, 4 * KB)]
+
+    def test_depth_k_validation(self):
+        with pytest.raises(ValueError):
+            DepthKAhead(depth=-1)
+        with pytest.raises(ValueError):
+            DepthKAhead(quota_bytes=0)
+        with pytest.raises(ValueError):
+            DepthKAhead(batch=0)
+
+    def test_stride_detector_confidence_lifecycle(self):
+        det = StrideDetector(min_confirmations=2)
+        det.observe(0)
+        det.observe(10 * KB)
+        assert det.stride == 10 * KB and not det.confident
+        det.observe(20 * KB)
+        assert det.confident
+        assert det.predict(20 * KB, 2) == 40 * KB
+        det.observe(100 * KB)  # pattern broke
+        assert not det.confident
+        det.reset()
+        assert det.stride is None and det.predict(0) is None
+
+    def test_adaptive_lowers_depth_on_miss_window(self):
+        policy = AdaptivePolicy(initial_depth=3, max_depth=4, window=4)
         handle = _FakeHandle(IOMode.M_RECORD, 0, 1, 100 * MB, 64 * KB)
         prefetcher = Prefetcher(policy)
-        prefetcher.stats.discarded = 4  # 0% useful
-        assert policy.plan(handle, 0, 64 * KB, prefetcher) == []
+        prefetcher.stats.misses = 4  # full window, 0% useful
+        policy.plan(handle, 0, 64 * KB, prefetcher)
+        assert policy.depth == 2
         assert prefetcher.stats.throttled == 1
-        # Backs off for 3 reads, then probes again.
-        assert policy.plan(handle, 0, 64 * KB, prefetcher) == []
-        assert policy.plan(handle, 0, 64 * KB, prefetcher) == []
-        assert policy.plan(handle, 0, 64 * KB, prefetcher) == []
-        prefetcher.stats.hits = 100  # now looks useful
-        assert policy.plan(handle, 0, 64 * KB, prefetcher) != []
+        prefetcher.stats.misses += 4
+        policy.plan(handle, 0, 64 * KB, prefetcher)
+        assert policy.depth == 1
+        prefetcher.stats.misses += 4  # never below min_depth
+        policy.plan(handle, 0, 64 * KB, prefetcher)
+        assert policy.depth == 1
+
+    def test_adaptive_raises_depth_on_partial_hits(self):
+        policy = AdaptivePolicy(initial_depth=1, max_depth=4, window=4)
+        handle = _FakeHandle(IOMode.M_RECORD, 0, 1, 100 * MB, 64 * KB)
+        prefetcher = Prefetcher(policy)
+        prefetcher.stats.hits = 2
+        prefetcher.stats.partial_hits = 2  # useful, pipeline too shallow
+        policy.plan(handle, 0, 64 * KB, prefetcher)
+        assert policy.depth == 2
+
+    def test_adaptive_pure_hits_leave_depth_alone(self):
+        policy = AdaptivePolicy(initial_depth=1, max_depth=4, window=4)
+        handle = _FakeHandle(IOMode.M_RECORD, 0, 1, 100 * MB, 64 * KB)
+        prefetcher = Prefetcher(policy)
+        prefetcher.stats.hits = 8  # pipeline already ahead of demand
+        policy.plan(handle, 0, 64 * KB, prefetcher)
+        assert policy.depth == 1
+
+    def test_adaptive_lowers_on_memory_pressure(self):
+        policy = AdaptivePolicy(initial_depth=2, max_depth=4, window=4)
+        handle = _FakeHandle(IOMode.M_RECORD, 0, 1, 100 * MB, 64 * KB)
+        prefetcher = Prefetcher(policy)
+        prefetcher.stats.hits = 4
+        prefetcher.stats.skipped_oom = 1  # even a useful window backs off
+        policy.plan(handle, 0, 64 * KB, prefetcher)
+        assert policy.depth == 1
 
     def test_adaptive_validation(self):
         with pytest.raises(ValueError):
-            AdaptivePolicy(min_useful=1.5)
-        with pytest.raises(ValueError):
             AdaptivePolicy(window=0)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(raise_threshold=0.2, lower_threshold=0.5)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(min_depth=3, initial_depth=2)
+
+    def test_make_policy_registry(self):
+        assert isinstance(make_policy("none"), NoPrefetch)
+        one = make_policy("one-ahead", depth=1)
+        assert isinstance(one, OneRequestAhead) and one.depth == 1
+        deep = make_policy("depth-k", depth=3, stride_detect=False)
+        assert isinstance(deep, DepthKAhead) and deep.detector is None
+        adaptive = make_policy("adaptive", depth=2)
+        assert isinstance(adaptive, AdaptivePolicy)
+        assert adaptive.depth == 2 and adaptive.detector is not None
+        with pytest.raises(ValueError):
+            make_policy("bogus")
 
 
 class TestPrefetchStats:
@@ -228,6 +368,25 @@ class TestPrefetchStats:
         assert stats.hit_ratio == 0.0
         assert stats.coverage == 0.0
         assert stats.waste_ratio == 0.0
+
+    def test_rate_accessors(self):
+        stats = PrefetchStats(hits=6, partial_hits=2, misses=2)
+        assert stats.hit_rate == pytest.approx(0.6)
+        assert stats.partial_hit_rate == pytest.approx(0.2)
+        assert stats.miss_rate == pytest.approx(0.2)
+        assert stats.hit_ratio == stats.hit_rate  # back-compat alias
+
+    def test_rate_accessors_zero_read_guard(self):
+        stats = PrefetchStats()
+        assert stats.hit_rate == 0.0
+        assert stats.partial_hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_rates_with_failed_fallbacks_do_not_sum_to_one(self):
+        stats = PrefetchStats(hits=2, misses=1, failed_fallbacks=1)
+        assert stats.demand_reads == 4
+        total = stats.hit_rate + stats.partial_hit_rate + stats.miss_rate
+        assert total == pytest.approx(0.75)
 
     def test_merge(self):
         a = PrefetchStats(hits=1, misses=2, issued=3, bytes_prefetched=100)

@@ -124,7 +124,7 @@ class TestMixedWorkloads:
         machine = Machine(MachineConfig(n_compute=1, n_io=4))
         mount = machine.mount("/pfs")
         pfs_file = machine.create_file(mount, "data", 8 * MB)
-        pf = Prefetcher(AdaptivePolicy(OneRequestAhead(), window=6, backoff=4))
+        pf = Prefetcher(AdaptivePolicy(window=6, max_depth=3))
 
         def app():
             handle = yield from machine.clients[0].open(

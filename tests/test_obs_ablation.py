@@ -44,7 +44,7 @@ class TestRegistry:
         machine_cfg, pfs_cfg, workload = resolve_configs(baseline_overrides())
         assert machine_cfg == MachineConfig()
         assert pfs_cfg == PFSConfig()
-        assert workload == {"prefetch": True}
+        assert workload == {"prefetch": True, "family": "collective"}
 
     def test_structural_validation_passes(self):
         result = validate_registry(golden=False)

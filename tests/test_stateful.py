@@ -250,9 +250,116 @@ class FaultPlanMachine(RuleBasedStateMachine):
             assert not raid0.degraded
 
 
+class PolicyMachine(RuleBasedStateMachine):
+    """Random open/read/reconfigure-depth/close streams against a small
+    machine: prefetch memory never leaks and the machine-wide
+    PrefetchStats merge algebra stays commutative and associative.
+
+    Rules accumulate a per-stream script (reads interleaved with tuner-
+    style depth reconfigurations); one terminal rule drives the machine
+    executing every stream as its own process with its own adaptive
+    prefetcher, then audits the aftermath.
+    """
+
+    REQUEST = 64 * 1024
+    FILE_BLOCKS = 96  # 6 MB: deep enough for any generated stream
+
+    def __init__(self):
+        super().__init__()
+        self.streams = []
+        self.ran = False
+
+    @rule(
+        rounds=st.integers(min_value=1, max_value=6),
+        depth=st.integers(min_value=1, max_value=4),
+        retune_at=st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+        new_depth=st.integers(min_value=0, max_value=4),
+        compute=st.floats(min_value=0.0, max_value=0.05),
+    )
+    def add_stream(self, rounds, depth, retune_at, new_depth, compute):
+        self.streams.append((rounds, depth, retune_at, new_depth, compute))
+
+    @precondition(lambda self: self.streams and not self.ran)
+    @rule()
+    def drive_machine(self):
+        from repro.config import MachineConfig, PFSConfig
+        from repro.core import AdaptivePolicy, Prefetcher
+        from repro.machine import Machine
+        from repro.obs.stats import PrefetchStats
+        from repro.pfs import IOMode
+
+        self.ran = True
+        machine = Machine(MachineConfig(n_compute=4, n_io=4))
+        mount = machine.mount("/pfs", PFSConfig(stripe_unit=self.REQUEST))
+        machine.create_file(mount, "data", self.FILE_BLOCKS * self.REQUEST)
+        prefetchers = []
+
+        def app(rank, rounds, depth, retune_at, new_depth, compute):
+            pf = Prefetcher(AdaptivePolicy(min_depth=0, initial_depth=depth, max_depth=4))
+            prefetchers.append(pf)
+            handle = yield from machine.clients[rank % 4].open(
+                mount, "data", IOMode.M_ASYNC, rank=0, nprocs=1, prefetcher=pf
+            )
+            for step in range(rounds):
+                if retune_at is not None and step == retune_at:
+                    # Tuner-style mid-stream reconfiguration.
+                    pf.set_depth(new_depth)
+                if compute:
+                    yield from handle.node.compute(compute)
+                data = yield from handle.read(self.REQUEST)
+                assert len(data) == self.REQUEST
+            yield from handle.close()
+
+        for index, stream in enumerate(self.streams):
+            machine.spawn(app(index, *stream))
+        machine.run()
+
+        assert machine.verify() == []
+        # -- no leaked prefetch buffers -------------------------------
+        for pf in prefetchers:
+            blist = pf.buffer_list
+            assert blist.live_bytes == 0
+            assert blist.memory.used_by("prefetch") == 0
+        # -- every demand read was classified exactly once ------------
+        per_stream = [pf.stats for pf in prefetchers]
+        total_reads = sum(rounds for rounds, *_ in self.streams)
+        merged = PrefetchStats()
+        for stats in per_stream:
+            merged = merged.merge(stats)
+        assert merged.demand_reads == total_reads
+        # -- merge algebra: commutative and associative ---------------
+        # (integer counters exactly; float accumulators only up to
+        # reassociated rounding, so compare those with a tolerance)
+        def assert_same(x, y):
+            for name in ("hits", "partial_hits", "misses", "issued",
+                         "skipped_oom", "discarded", "throttled",
+                         "bytes_prefetched", "bytes_served"):
+                assert getattr(x, name) == getattr(y, name), name
+            assert x.overlap_fractions == y.overlap_fractions
+            assert abs(x.partial_wait_time - y.partial_wait_time) < 1e-9
+            assert abs(x.overlap_time - y.overlap_time) < 1e-9
+
+        backwards = PrefetchStats()
+        for stats in reversed(per_stream):
+            backwards = stats.merge(backwards)
+        assert_same(merged, backwards)
+        if len(per_stream) >= 3:
+            a, b, c = per_stream[:3]
+            assert_same(a.merge(b).merge(c), a.merge(b.merge(c)))
+        # Merging never invents rate mass: the merged rates stay in
+        # [0, 1] and classification is exhaustive.
+        assert merged.hits + merged.partial_hits + merged.misses == total_reads
+        assert 0.0 <= merged.hit_rate <= 1.0
+        assert abs(
+            merged.hit_rate + merged.partial_hit_rate + merged.miss_rate - 1.0
+        ) < 1e-9
+
+
 TestAllocatorMachine = AllocatorMachine.TestCase
 TestAllocatorMachine.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)
 TestMemoryRegionMachine = MemoryRegionMachine.TestCase
 TestMemoryRegionMachine.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)
 TestFaultPlanMachine = FaultPlanMachine.TestCase
 TestFaultPlanMachine.settings = settings(max_examples=12, stateful_step_count=12, deadline=None)
+TestPolicyMachine = PolicyMachine.TestCase
+TestPolicyMachine.settings = settings(max_examples=20, stateful_step_count=12, deadline=None)

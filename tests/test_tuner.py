@@ -1,0 +1,407 @@
+"""The online prefetch tuner: off = bit-identical, on = deterministic.
+
+The tuner's determinism contract (``repro/core/tuner.py``) has three
+legs, each pinned here:
+
+- **off is free**: with ``tuner=False`` (the default) runs threaded
+  through the new ``MachineConfig`` policy knobs reproduce the
+  committed bench3 golden fingerprints bit-for-bit under both
+  same-timestamp tie-break orders;
+- **on is deterministic**: tuner-on runs produce identical fingerprints
+  and identical decision logs across repeats and across tie orders,
+  because every decision reads only tie-invariant per-prefetcher state
+  from inside the demand path;
+- **on is eventless**: even with the tuner adjusting knobs mid-run the
+  machine installs zero tick hooks and survives fault plans (node
+  crash mid-interval, degraded RAID reads) with a clean delivery
+  audit.
+
+The knob mechanics (depth envelope, quota halving/doubling, batch
+folding, interval catch-up) are unit-tested against a stub clock.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.sanitizers import report_fingerprint
+from repro.core import DepthKAhead, Prefetcher, StrideDetector
+from repro.core.tuner import OnlineTuner, TunerConfig
+from repro.experiments.common import (
+    KB,
+    run_collective,
+    run_strided,
+    scaled_file_size,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.pfs import IOMode
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+MB = 1024 * 1024
+
+#: Adaptive + tuner, the full PR-8 stack, used by every tuner-on run.
+TUNED = dict(prefetch_policy="adaptive", prefetch_depth=1, tuner=True)
+
+
+def _strided_run(rounds=8, **kwargs):
+    request = 64 * KB
+    stride = 3 * request
+    return run_strided(
+        request_size=request,
+        file_size=stride * 8 * rounds,
+        stride=stride,
+        prefetch=True,
+        rounds=rounds,
+        **kwargs,
+    )
+
+
+def _deep_seq_run(rounds=8, **kwargs):
+    request = 64 * KB
+    return run_collective(
+        request_size=request,
+        file_size=scaled_file_size(request, rounds=rounds),
+        iomode=IOMode.M_ASYNC,
+        prefetch=True,
+        rounds=rounds,
+        **kwargs,
+    )
+
+
+class TestTunerOffIsBitIdentical:
+    """Explicitly threading the default policy knobs through the config
+    (instead of the legacy default-prefetcher path) is a strict no-op
+    against the pre-PR golden captures."""
+
+    @pytest.fixture(scope="class")
+    def bench3_golden(self):
+        with open(GOLDEN_DIR / "bench3_fingerprints.json") as fh:
+            return json.load(fh)["cells"]
+
+    @pytest.mark.parametrize("tie_break", ["fifo", "lifo"])
+    @pytest.mark.parametrize("size_kb,prefetch", [(64, False), (64, True), (256, True)])
+    def test_bench3_cells_with_config_threaded_policy(
+        self, bench3_golden, size_kb, prefetch, tie_break
+    ):
+        report = run_collective(
+            request_size=size_kb * KB,
+            file_size=scaled_file_size(size_kb * KB, rounds=4),
+            iomode=IOMode.M_RECORD,
+            prefetch=prefetch,
+            rounds=4,
+            tie_break=tie_break,
+            prefetch_policy="one-ahead",
+            prefetch_depth=1,
+            prefetch_stride_detect=True,
+            tuner=False,
+        )
+        key = f"table1:{size_kb}kb:prefetch={prefetch}"
+        assert report_fingerprint(report) == bench3_golden[key]
+
+    def test_tuner_off_machine_has_no_tuner(self):
+        report = run_collective(
+            request_size=64 * KB,
+            file_size=scaled_file_size(64 * KB, rounds=2),
+            prefetch=True,
+            rounds=2,
+            keep_machine=True,
+        )
+        assert report.machine.tuner is None
+
+
+class TestTunerOnDeterminism:
+    """Tuner-on runs repeat bit-for-bit and are tie-order invariant."""
+
+    def test_strided_repeats_identically(self):
+        first = _strided_run(keep_machine=True, **TUNED)
+        second = _strided_run(keep_machine=True, **TUNED)
+        assert report_fingerprint(first) == report_fingerprint(second)
+        assert first.machine.tuner.decisions == second.machine.tuner.decisions
+
+    def test_strided_tie_order_invariant(self):
+        fifo = _strided_run(tie_break="fifo", keep_machine=True, **TUNED)
+        lifo = _strided_run(tie_break="lifo", keep_machine=True, **TUNED)
+        assert report_fingerprint(fifo) == report_fingerprint(lifo)
+        assert fifo.machine.tuner.decisions == lifo.machine.tuner.decisions
+
+    def test_deep_seq_tie_order_invariant(self):
+        fifo = _deep_seq_run(rounds=12, tie_break="fifo", **TUNED)
+        lifo = _deep_seq_run(rounds=12, tie_break="lifo", **TUNED)
+        assert report_fingerprint(fifo) == report_fingerprint(lifo)
+
+    def test_tuner_actually_tunes_the_strided_run(self):
+        """The determinism tests above are vacuous if the tuner never
+        fires; the strided family guarantees miss-heavy early windows."""
+        report = _strided_run(keep_machine=True, **TUNED)
+        tuner = report.machine.tuner
+        assert tuner.decisions, "tuner made no decisions on the strided run"
+        summary = tuner.summary()
+        assert sum(summary.values()) == len(tuner.decisions)
+        assert list(summary) == sorted(summary)
+        for decision in tuner.decisions:
+            assert set(decision) == {"t", "rank", "knob", "old", "new"}
+
+    def test_decisions_counted_on_the_monitor(self):
+        report = _strided_run(keep_machine=True, **TUNED)
+        machine = report.machine
+        total = sum(
+            machine.monitor.counter_value(f"tuner.adjust.{knob}")
+            for knob in report.machine.tuner.summary()
+        )
+        assert total == len(machine.tuner.decisions)
+
+
+class TestTunerIsEventless:
+    """Zero scheduled events, zero tick hooks -- even while tuning."""
+
+    def test_no_tick_hooks_with_tuner_on(self):
+        report = _strided_run(keep_machine=True, **TUNED)
+        machine = report.machine
+        assert machine.env._tick_hooks == []
+        assert machine.tuner.decisions  # and yet it tuned
+
+    def test_no_tick_hooks_with_tuner_on_collective(self):
+        report = _deep_seq_run(keep_machine=True, **TUNED)
+        assert report.machine.env._tick_hooks == []
+
+
+class TestTunerUnderFaults:
+    """The tuner must not corrupt delivery accounting when the machine
+    is crashing and running degraded underneath it."""
+
+    def test_node_crash_mid_interval(self):
+        """A compute node dies and restarts inside a tuner interval; the
+        run completes, the audit is clean, decisions stay recorded."""
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="node_crash", target="node1", at_s=0.07),
+                FaultSpec(kind="node_restart", target="node1", at_s=0.13),
+            )
+        )
+        report = _strided_run(faults=plan, keep_machine=True, **TUNED)
+        machine = report.machine
+        assert machine.verify() == []
+        assert report.total_bytes > 0
+        assert machine.env._tick_hooks == []
+
+    def test_node_crash_runs_are_deterministic(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="node_crash", target="node1", at_s=0.07),
+                FaultSpec(kind="node_restart", target="node1", at_s=0.13),
+            )
+        )
+        first = _strided_run(faults=plan, keep_machine=True, **TUNED)
+        second = _strided_run(faults=plan, keep_machine=True, **TUNED)
+        assert report_fingerprint(first) == report_fingerprint(second)
+        assert first.machine.tuner.decisions == second.machine.tuner.decisions
+
+    def test_degraded_reads_under_tuner(self):
+        """Disk failure at t=0: every raid0 read reconstructs from
+        parity while the tuner retunes -- slower, never wrong."""
+        plan = FaultPlan.single_disk_failure(array="raid0", at_s=0.0)
+        report = _strided_run(faults=plan, keep_machine=True, **TUNED)
+        machine = report.machine
+        assert machine.verify() == []
+        assert machine.monitor.counter_value("raid0.degraded_reads") > 0
+
+    @pytest.mark.parametrize("tie_break", ["fifo", "lifo"])
+    def test_degraded_tie_order_invariant(self, tie_break):
+        plan = FaultPlan.single_disk_failure(array="raid0", at_s=0.0)
+        baseline = _strided_run(faults=plan, **TUNED)
+        again = _strided_run(faults=plan, tie_break=tie_break, **TUNED)
+        assert report_fingerprint(again) == report_fingerprint(baseline)
+
+
+class _Clock:
+    """Stub Environment: the tuner only ever reads ``.now``."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class _Handle:
+    """Stub PFSFileHandle: the tuner only ever reads ``.rank``."""
+
+    rank = 0
+
+
+def _tuned(policy, config=None, now=0.0):
+    """A (clock, tuner, prefetcher) triple with the channel armed."""
+    clock = _Clock(now)
+    tuner = OnlineTuner(clock, config or TunerConfig(interval_s=0.05))
+    pf = Prefetcher(policy)
+    tuner.attach(pf)
+    return clock, tuner, pf
+
+
+def _feed(pf, hits=0, partials=0, misses=0, oom=0):
+    pf.stats.hits += hits
+    pf.stats.partial_hits += partials
+    pf.stats.misses += misses
+    pf.stats.skipped_oom += oom
+
+
+class TestTunerKnobMechanics:
+    def test_depth_k_direct_depth_lowered_when_struggling(self):
+        clock, tuner, pf = _tuned(DepthKAhead(depth=3))
+        _feed(pf, misses=5)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.depth == 2
+        assert tuner.decisions[0]["knob"] == "depth"
+        assert (tuner.decisions[0]["old"], tuner.decisions[0]["new"]) == (3, 2)
+
+    def test_depth_k_direct_depth_raised_when_thriving(self):
+        clock, tuner, pf = _tuned(DepthKAhead(depth=2))
+        _feed(pf, hits=8, partials=2)  # useful=1.0, dp>0
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.depth == 3
+
+    def test_depth_never_raised_without_partial_hits(self):
+        """Pure full hits mean the pipeline is already deep enough."""
+        clock, tuner, pf = _tuned(DepthKAhead(depth=2))
+        _feed(pf, hits=10)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.depth == 2
+        assert tuner.decisions == []
+
+    def test_depth_respects_config_bounds(self):
+        cfg = TunerConfig(interval_s=0.05, min_depth=2, max_depth=3)
+        clock, tuner, pf = _tuned(DepthKAhead(depth=2), config=cfg)
+        _feed(pf, misses=5)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.depth == 2  # already at min_depth
+
+    def test_quota_halves_on_memory_pressure(self):
+        clock, tuner, pf = _tuned(DepthKAhead(depth=1, quota_bytes=2 * MB))
+        _feed(pf, misses=1, oom=3)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.quota_bytes == 1 * MB
+        assert any(d["knob"] == "quota_bytes" for d in tuner.decisions)
+
+    def test_quota_halving_stops_at_the_floor(self):
+        cfg = TunerConfig(interval_s=0.05, quota_floor_bytes=1 * MB)
+        clock, tuner, pf = _tuned(DepthKAhead(depth=1, quota_bytes=1 * MB), config=cfg)
+        _feed(pf, misses=1, oom=3)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.quota_bytes == 1 * MB
+        assert not any(d["knob"] == "quota_bytes" for d in tuner.decisions)
+
+    def test_unset_quota_gets_one_on_pressure(self):
+        """doom with quota=None seeds the quota from the ceiling."""
+        cfg = TunerConfig(interval_s=0.05, quota_ceiling_bytes=4 * MB)
+        clock, tuner, pf = _tuned(DepthKAhead(depth=1), config=cfg)
+        _feed(pf, misses=1, oom=2)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.quota_bytes == 2 * MB
+
+    def test_quota_doubles_while_thriving(self):
+        clock, tuner, pf = _tuned(DepthKAhead(depth=1, quota_bytes=1 * MB))
+        _feed(pf, hits=10)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.quota_bytes == 2 * MB
+
+    def test_batch_folds_back_without_a_sequential_stream(self):
+        """batch>1 with no confident detector is a no-op at best."""
+        clock, tuner, pf = _tuned(DepthKAhead(depth=1, batch=2))
+        _feed(pf, hits=10)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.batch == 1
+
+    def test_batch_doubles_on_confident_sequential_stream(self):
+        det = StrideDetector()
+        nbytes = 64 * KB
+        for k in range(3):  # unit stride: stride == nbytes
+            det.observe(k * nbytes, nbytes)
+        assert det.confident and det.stride == nbytes
+        clock, tuner, pf = _tuned(DepthKAhead(depth=1, detector=det, batch=1))
+        _feed(pf, hits=10)
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, nbytes)
+        assert pf.policy.batch == 2
+
+    def test_idle_gap_catches_up_with_one_evaluation(self):
+        """Crossing many intervals at once re-arms past now and
+        evaluates exactly once -- no burst of stale decisions."""
+        clock, tuner, pf = _tuned(DepthKAhead(depth=4))
+        _feed(pf, misses=5)
+        clock.now = 1.0  # 20 intervals later
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.depth == 3  # one step, not four
+        chan = tuner._channels[id(pf)]
+        assert chan.next_eval > clock.now
+
+    def test_no_evaluation_before_the_deadline(self):
+        clock, tuner, pf = _tuned(DepthKAhead(depth=3))
+        _feed(pf, misses=5)
+        clock.now = 0.04
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.depth == 3
+        assert tuner.decisions == []
+
+    def test_quiet_interval_changes_nothing(self):
+        """Zero classified deltas (pure idle crossing) is not a signal."""
+        clock, tuner, pf = _tuned(DepthKAhead(depth=3))
+        clock.now = 0.06
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)
+        assert pf.policy.depth == 3
+        assert tuner.decisions == []
+
+    def test_unattached_prefetcher_is_ignored(self):
+        clock = _Clock(1.0)
+        tuner = OnlineTuner(clock)
+        pf = Prefetcher(DepthKAhead(depth=3))
+        tuner.before_read(pf, _Handle(), 0, 64 * KB)  # no channel: no-op
+        assert tuner.decisions == []
+
+
+class TestWiring:
+    def test_attach_to_second_tuner_rejected(self):
+        clock = _Clock()
+        pf = Prefetcher(DepthKAhead())
+        OnlineTuner(clock).attach(pf)
+        with pytest.raises(RuntimeError):
+            OnlineTuner(clock).attach(pf)
+
+    def test_reattach_to_same_tuner_is_idempotent(self):
+        clock = _Clock()
+        tuner = OnlineTuner(clock)
+        pf = Prefetcher(DepthKAhead())
+        tuner.attach(pf)
+        tuner.attach(pf)
+        assert pf.tuner is tuner
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TunerConfig(interval_s=0.0)
+        with pytest.raises(ValueError):
+            TunerConfig(min_depth=0)
+        with pytest.raises(ValueError):
+            TunerConfig(min_depth=5, max_depth=4)
+        with pytest.raises(ValueError):
+            TunerConfig(lower_threshold=0.8, raise_threshold=0.5)
+        with pytest.raises(ValueError):
+            TunerConfig(quota_floor_bytes=0)
+        with pytest.raises(ValueError):
+            TunerConfig(quota_floor_bytes=2 * MB, quota_ceiling_bytes=1 * MB)
+        with pytest.raises(ValueError):
+            TunerConfig(max_batch=0)
+
+    def test_machine_config_tuner_validation(self):
+        from repro.config import MachineConfig
+
+        with pytest.raises(ValueError):
+            MachineConfig(tuner_interval_s=0.0)
+        with pytest.raises(ValueError):
+            MachineConfig(prefetch_policy="warp-drive")
