@@ -1,0 +1,251 @@
+"""Sharded multi-tenant scale sweep: 16 up to 2048-node meshes.
+
+Runs the :mod:`repro.scale` scenario families as independent cells
+through the process-pool shard engine (:func:`repro.scale.run_cells`)
+and writes one JSON artifact (default: repo-root ``BENCH_scale.json``):
+
+- ``scaleout``: homogeneous tenants on *disjoint* striping windows --
+  the machine-growth curve.  With locality-aligned placement this
+  scales near-linearly to 2048 nodes (no knee).
+- ``contended``: the same tenants all pinned to one 8-server striping
+  window -- aggregate bandwidth flattens at that window's capacity and
+  :func:`find_knee` reports where per-node scaling efficiency collapses.
+- ``anchor``: the 64-node 8-tenant mixed-mode scenario, fingerprinted
+  under fifo, under lifo, and through the shard engine -- all three
+  digests must be identical (the determinism acceptance gate).
+
+Every cell is bit-exact, so the merge is key-sorted and independent of
+worker count and completion order; ``--in-process`` runs the identical
+work without a pool and must produce the identical deterministic
+payload.  Only ``wall_time_s`` fields vary between runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/shard_runner.py [--quick]
+        [--in-process] [--jobs N] [--output PATH]
+
+``--quick`` runs the CI smoke subset: the 32-node 4-tenant scenario
+plus the anchor check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.scale import (  # noqa: E402
+    ScenarioCell,
+    anchor_scenario,
+    homogeneous_scenario,
+    merged_fingerprints,
+    run_cells,
+    run_scenario,
+)
+
+#: Machine sizes (compute + I/O nodes) in the full sweep.  16..256 runs
+#: in any configuration; 1024 and 2048 ride the sharded pool.
+SCALEOUT_NODES = (16, 64, 256, 1024, 2048)
+CONTENDED_NODES = (16, 64, 256, 1024)
+
+#: Per-node efficiency ratio below which a curve step counts as the
+#: saturation knee: bandwidth growth under half of node growth.
+KNEE_EFFICIENCY = 0.5
+
+
+def tenants_for(total_nodes: int) -> int:
+    return max(2, total_nodes // 16)
+
+
+def sweep_cells(quick: bool = False) -> List[ScenarioCell]:
+    """The sweep's cell bag (sorted keys; keys are the merge order)."""
+    if quick:
+        return [
+            ScenarioCell(
+                "scaleout:0032",
+                homogeneous_scenario(32, 4, nprocs=2, rounds=2, name="scaleout-32n"),
+            )
+        ]
+    cells = [
+        ScenarioCell(
+            f"scaleout:{nodes:04d}",
+            homogeneous_scenario(
+                nodes, tenants_for(nodes), nprocs=4, rounds=4, name=f"scaleout-{nodes}n"
+            ),
+        )
+        for nodes in SCALEOUT_NODES
+    ]
+    cells += [
+        ScenarioCell(
+            f"contended:{nodes:04d}",
+            homogeneous_scenario(
+                nodes,
+                tenants_for(nodes),
+                nprocs=4,
+                rounds=4,
+                stripe_base=0,
+                name=f"contended-{nodes}n",
+            ),
+        )
+        for nodes in CONTENDED_NODES
+    ]
+    return cells
+
+
+def find_knee(curve: List[dict]) -> Optional[int]:
+    """Node count where scaling efficiency first collapses (None: no
+    knee observed).  Efficiency of a curve step is the bandwidth ratio
+    over the node ratio; below :data:`KNEE_EFFICIENCY` the extra nodes
+    are no longer buying bandwidth and the smaller size of the step is
+    the knee."""
+    for prev, point in zip(curve, curve[1:]):
+        node_ratio = point["nodes"] / prev["nodes"]
+        bw_ratio = (
+            point["aggregate_bandwidth_mbps"] / prev["aggregate_bandwidth_mbps"]
+            if prev["aggregate_bandwidth_mbps"] > 0
+            else 0.0
+        )
+        if bw_ratio / node_ratio < KNEE_EFFICIENCY:
+            return prev["nodes"]
+    return None
+
+
+def curve_points(records: List[dict], family: str) -> List[dict]:
+    points = []
+    for record in records:
+        if not record["key"].startswith(family + ":") or "result" not in record:
+            continue
+        result = record["result"]
+        points.append(
+            {
+                "nodes": result["nodes"],
+                "tenants": len(result["fairness"]["tenants"]),
+                "jobs": result["jobs"],
+                "aggregate_bandwidth_mbps": result["aggregate_bandwidth_mbps"],
+                "mbps_per_node": round(result["aggregate_bandwidth_mbps"] / result["nodes"], 4),
+                "jain_index": result["jain_index"],
+                "fingerprint": result["fingerprint"],
+                "wall_time_s": record.get("wall_time_s"),
+            }
+        )
+    return sorted(points, key=lambda p: p["nodes"])
+
+
+def anchor_block(in_process: bool = False) -> Dict[str, object]:
+    """The determinism anchor: one 64-node 8-tenant mixed scenario,
+    fingerprinted under fifo, lifo, and the shard engine."""
+    fifo = run_scenario(anchor_scenario("fifo"))
+    lifo = run_scenario(anchor_scenario("lifo"))
+    sharded = run_cells(
+        [ScenarioCell("anchor", anchor_scenario("fifo"))], in_process=in_process
+    )
+    sharded_fp = merged_fingerprints(sharded).get("anchor")
+    fingerprints = {
+        "fifo": fifo.fingerprint(),
+        "lifo": lifo.fingerprint(),
+        "sharded": sharded_fp,
+    }
+    return {
+        "scenario": fifo.scenario,
+        "nodes": fifo.n_compute + fifo.n_io,
+        "tenants": len(fifo.fairness.tenants),
+        "jobs": len(fifo.jobs),
+        "aggregate_bandwidth_mbps": round(fifo.aggregate_bandwidth_mbps, 4),
+        "jain_index": round(fifo.jain, 6),
+        "fingerprints": fingerprints,
+        "deterministic": len(set(fingerprints.values())) == 1,
+    }
+
+
+def run_sweep(
+    quick: bool = False, processes: Optional[int] = None, in_process: bool = False
+) -> dict:
+    cells = sweep_cells(quick)
+    records = run_cells(cells, processes=processes, in_process=in_process)
+    errors = [record for record in records if "error" in record]
+    scaleout = curve_points(records, "scaleout")
+    contended = curve_points(records, "contended")
+    block = {
+        "metric": "aggregate delivered bandwidth (MB/s): total bytes over "
+                  "the last-read-finish minus first-arrival window",
+        "tenant_rule": "max(2, nodes/16) homogeneous M_RECORD tenants, "
+                       "4 ranks x 4 rounds x 64KB each",
+        "scaleout": {
+            "placement": "disjoint striping windows, locality-aligned clients",
+            "curve": scaleout,
+            "knee_nodes": find_knee(scaleout),
+            "min_jain": min((p["jain_index"] for p in scaleout), default=None),
+        },
+        "contended": {
+            "placement": "every tenant pinned to the stripe_base=0 window",
+            "curve": contended,
+            "knee_nodes": find_knee(contended),
+            "min_jain": min((p["jain_index"] for p in contended), default=None),
+        },
+        "anchor": anchor_block(in_process=in_process),
+    }
+    if errors:
+        block["errors"] = errors
+    return block
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke subset: 32-node 4-tenant cell + anchor"
+    )
+    parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="run cells sequentially in this process (no pool)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: cpu count)"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_scale.json"
+        ),
+        help="output path (default: repo-root BENCH_scale.json)",
+    )
+    args = parser.parse_args(argv)
+    block = run_sweep(quick=args.quick, processes=args.jobs, in_process=args.in_process)
+    with open(args.output, "w") as fh:
+        json.dump(block, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(args.output)}")
+    for family in ("scaleout", "contended"):
+        curve = block[family]["curve"]
+        if not curve:
+            continue
+        knee = block[family]["knee_nodes"]
+        print(f"  {family}: knee at {knee if knee else 'none (scales through the sweep)'}")
+        for point in curve:
+            print(
+                f"    {point['nodes']:>5} nodes  "
+                f"{point['aggregate_bandwidth_mbps']:8.2f} MB/s  "
+                f"({point['mbps_per_node']:.3f} MB/s/node)  "
+                f"jain {point['jain_index']:.4f}"
+            )
+    anchor = block["anchor"]
+    print(
+        f"  anchor {anchor['scenario']}: deterministic={anchor['deterministic']} "
+        f"(fifo/lifo/sharded fingerprints "
+        f"{'agree' if anchor['deterministic'] else 'DIFFER'})"
+    )
+    if block.get("errors"):
+        print(f"CELL ERRORS: {block['errors']}", file=sys.stderr)
+        return 1
+    if not anchor["deterministic"]:
+        print("ANCHOR FINGERPRINT MISMATCH", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

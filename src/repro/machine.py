@@ -326,7 +326,42 @@ class Machine:
                 self.ufses[io_index].unlink(pfs_file.file_id)
         self.coordinator.unregister_file(pfs_file)
 
-    def build_prefetcher(self, rank: int = 0) -> Prefetcher:
+    def unmount(self, name: str) -> None:
+        """Tear down a mount: audit, remove its files, drop the mount.
+
+        Multi-tenant scenarios (:mod:`repro.scale`) mount one namespace
+        per tenant and tear it down when the tenant leaves the machine.
+        The delivery audit (invariant 7) is settled *before* the stripe
+        files disappear -- :meth:`verify` runs first and any violation
+        aborts the unmount -- and the audited entries for this mount's
+        files are then pruned so later :meth:`verify` calls on the
+        shared machine don't flag the departed tenant's file ids as
+        unknown.
+        """
+        mount = self.mounts.get(name)
+        if mount is None:
+            raise ValueError(f"no mount {name!r}; mounted: {sorted(self.mounts)}")
+        problems = self.verify()
+        if problems:
+            raise AssertionError(f"unmount {name!r} with invariant violations: " + "; ".join(problems))
+        file_ids = {pfs_file.file_id for pfs_file in mount.files.values()}
+        for filename in list(mount.files):
+            self.remove_file(mount, filename)
+        if self.faults is not None and file_ids:
+            self.faults.deliveries[:] = [
+                entry for entry in self.faults.deliveries if entry[0] not in file_ids
+            ]
+        del self.mounts[name]
+
+    def build_prefetcher(
+        self,
+        rank: int = 0,
+        *,
+        policy: Optional[str] = None,
+        depth: Optional[int] = None,
+        quota_bytes: Optional[int] = None,
+        stride_detect: Optional[bool] = None,
+    ) -> Prefetcher:
         """A prefetcher configured from this machine's policy knobs.
 
         Builds the policy named by ``config.prefetch_policy`` (with
@@ -336,15 +371,27 @@ class Machine:
         yields exactly the paper's prototype
         (``Prefetcher(OneRequestAhead())``), so factory call sites that
         route through here stay bit-identical to the seed.
+
+        The keyword overrides let one machine serve *heterogeneous*
+        prefetch configurations -- multi-tenant scenarios where each
+        tenant names its own policy/depth (:mod:`repro.scale`) -- while
+        still inheriting the machine's monitor and tuner wiring.  The
+        positional signature stays a drop-in
+        :data:`~repro.workloads.synthetic.PrefetcherFactory`.
         """
         cfg = self.config
-        policy = make_policy(
-            cfg.prefetch_policy,
-            depth=cfg.prefetch_depth,
-            quota_bytes=cfg.prefetch_quota_bytes,
-            stride_detect=cfg.prefetch_stride_detect,
+        policy_name = cfg.prefetch_policy if policy is None else policy
+        prefetcher = Prefetcher(
+            make_policy(
+                policy_name,
+                depth=cfg.prefetch_depth if depth is None else depth,
+                quota_bytes=cfg.prefetch_quota_bytes if quota_bytes is None else quota_bytes,
+                stride_detect=(
+                    cfg.prefetch_stride_detect if stride_detect is None else stride_detect
+                ),
+            ),
+            monitor=self.monitor,
         )
-        prefetcher = Prefetcher(policy, monitor=self.monitor)
         if self.tuner is not None:
             self.tuner.attach(prefetcher)
         return prefetcher
@@ -361,7 +408,9 @@ class Machine:
 
         # 1. Block conservation on every UFS.
         for ufs in self.ufses:
-            allocated = sum(inode.nblocks for inode in ufs._inodes.values())
+            allocated = sum(  # sim-ok: R003v2 -- post-quiescence integer sum, order-free
+                inode.nblocks for inode in ufs._inodes.values()
+            )
             total = ufs.allocator.free_blocks + allocated
             if total != ufs.device.total_blocks:
                 problems.append(
@@ -380,8 +429,10 @@ class Machine:
 
         # 3. Every mounted file is registered with the coordinator and its
         #    stripe files never exceed the logical size.
-        for mount in self.mounts.values():
-            for pfs_file in mount.files.values():
+        for mount_point in sorted(self.mounts):
+            mount = self.mounts[mount_point]
+            for fname in sorted(mount.files):
+                pfs_file = mount.files[fname]
                 if pfs_file.file_id not in self.coordinator._files:
                     problems.append(f"{pfs_file.name!r} not registered with the coordinator")
                 stripe_total = 0
@@ -435,8 +486,9 @@ class Machine:
             from repro.pfs.stripe import decluster
 
             attrs_by_id = {}
-            for mount in self.mounts.values():
-                for pfs_file in mount.files.values():
+            for mount_point in sorted(self.mounts):
+                for fname in sorted(self.mounts[mount_point].files):
+                    pfs_file = self.mounts[mount_point].files[fname]
                     attrs_by_id[pfs_file.file_id] = pfs_file.attrs
             for (
                 file_id, offset, nbytes, digest, kind, io_node,

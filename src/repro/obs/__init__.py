@@ -30,6 +30,7 @@ from repro.obs.export import (
     latency_breakdown,
     render_breakdown,
 )
+from repro.obs.fairness import FairnessReport, TenantUsage, jain_index
 from repro.obs.monitor import CounterStat, Monitor, SeriesStat, TimeWeightedStat
 from repro.obs.observability import Observability
 from repro.obs.stats import PrefetchStats
@@ -67,6 +68,7 @@ __all__ = [
     "CounterMetric",
     "CounterStat",
     "DEFAULT_TIME_BUCKETS_S",
+    "FairnessReport",
     "GaugeMetric",
     "HistogramMetric",
     "MetricRegistry",
@@ -79,6 +81,7 @@ __all__ = [
     "SeriesStat",
     "Span",
     "Telemetry",
+    "TenantUsage",
     "TimeWeightedStat",
     "TraceContext",
     "Tracer",
@@ -89,6 +92,7 @@ __all__ = [
     "critical_path_report",
     "get_telemetry",
     "get_tracer",
+    "jain_index",
     "latency_breakdown",
     "prometheus_text",
     "render_breakdown",

@@ -139,6 +139,12 @@ class PFSFileHandle:
         #: *next* record and silently drop this one, and re-fetching
         #: this one would double-deliver an audited record.
         self._delivered_unreturned: Optional[tuple] = None
+        #: ``(call_index, offset)`` of an M_SYNC barrier grant whose
+        #: demand read has not delivered yet.  The coordinator retires a
+        #: collective call when its last rank arrives, so a crashed rank
+        #: resumes from this grant rather than re-arriving (which would
+        #: open a fresh generation nobody else attends).
+        self._sync_grant: Optional[tuple] = None
         #: Write-side twin of ``_delivered_unreturned``: ``(offset,
         #: nbytes)`` of an M_UNIX write whose data landed and whose
         #: pointer release is in flight when the node dies.  Restart
@@ -225,6 +231,11 @@ class PFSFileHandle:
                 held = (request.file_id, reply.offset)
             elif isinstance(request, TokenRelease):
                 held = None
+            elif isinstance(request, SyncArrive):
+                # The barrier completed (or completes now) server-side;
+                # keep the granted offset so the retried read consumes
+                # it instead of re-arriving at a retired call.
+                self._sync_grant = (request.call_index, reply.offset)
         if held is not None:
             # The node died while holding the token.  Release it at the
             # held offset: past the delivered record if _demand_read
@@ -391,18 +402,34 @@ class PFSFileHandle:
         return data
 
     def _read_m_sync(self, nbytes: int, ctx: Optional[TraceContext] = None):
-        go = yield from self._coordinate(
-            SyncArrive(
-                file_id=self.file.file_id,
-                call_index=self.call_index,
-                rank=self.rank,
-                nbytes=nbytes,
-            ),
-            ctx=ctx,
-        )
+        # A barrier arrival is consumed server-side the moment the
+        # collective completes (the coordinator retires the call), so a
+        # crashed rank must never re-arrive for a call it already joined
+        # -- the fresh SyncArrive would open a new generation nobody
+        # else attends and hang forever.  The grant therefore sticks to
+        # the handle until the demand read delivers: a crash during the
+        # read (or a reply lost to the crash window and re-obtained by
+        # the restart replay) resumes at the granted offset instead of
+        # re-coordinating.
+        if self._sync_grant is not None and self._sync_grant[0] == self.call_index:
+            offset = self._sync_grant[1]
+        else:
+            go = yield from self._coordinate(
+                SyncArrive(
+                    file_id=self.file.file_id,
+                    call_index=self.call_index,
+                    rank=self.rank,
+                    nbytes=nbytes,
+                ),
+                ctx=ctx,
+            )
+            offset = go.offset
+            self._sync_grant = (self.call_index, offset)
+        n = self._clamp(offset, nbytes)
+        data = yield from self._demand_read(offset, n, ctx)
+        self._sync_grant = None
         self.call_index += 1
-        n = self._clamp(go.offset, nbytes)
-        return (yield from self._demand_read(go.offset, n, ctx))
+        return data
 
     def _read_m_record(self, nbytes: int, ctx: Optional[TraceContext] = None):
         offset = self.record_base + self.rank * nbytes

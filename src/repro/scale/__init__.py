@@ -1,0 +1,66 @@
+"""Multi-tenant scale-out: declarative scenarios, a traffic runner,
+and a process-pool shard engine.
+
+The paper's machine serves one collective at a time; this package makes
+it serve *traffic* -- many concurrent jobs from many tenants, on meshes
+16 up to 2048 nodes -- while keeping every result bit-exact:
+
+- :mod:`repro.scale.scenario` -- the schema: frozen
+  :class:`Scenario`/:class:`Tenant`/:class:`ArrivalProcess` dataclasses,
+  JSON round-trip, seeded wall-clock-free arrivals, canned builders;
+- :mod:`repro.scale.runner` -- execution: per-tenant mounts and striping
+  windows, arrival-driven job cohorts, :class:`ScenarioResult` with a
+  :class:`~repro.obs.fairness.FairnessReport` and a canonical
+  fingerprint;
+- :mod:`repro.scale.shard` -- a process pool over independent cells with
+  a key-sorted, order-independent merge.
+
+Nothing imports this package by default -- the single-job experiment
+paths and their golden fingerprints are untouched unless a caller opts
+in (``repro.machine`` must never import ``repro.scale``; the
+determinism regression tests enforce the direction).
+"""
+
+from repro.scale.scenario import (
+    ARRIVAL_KINDS,
+    MIXED_MODES,
+    ArrivalProcess,
+    Scenario,
+    Tenant,
+    anchor_scenario,
+    homogeneous_scenario,
+    mixed_scenario,
+    split_nodes,
+    unit_uniform,
+)
+from repro.scale.runner import (
+    JobSpan,
+    ScenarioError,
+    ScenarioResult,
+    job_clients,
+    run_scenario,
+    tenant_stripe_windows,
+)
+from repro.scale.shard import ScenarioCell, merged_fingerprints, run_cells
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "MIXED_MODES",
+    "ArrivalProcess",
+    "JobSpan",
+    "Scenario",
+    "ScenarioCell",
+    "ScenarioError",
+    "ScenarioResult",
+    "Tenant",
+    "anchor_scenario",
+    "homogeneous_scenario",
+    "job_clients",
+    "merged_fingerprints",
+    "mixed_scenario",
+    "run_cells",
+    "run_scenario",
+    "split_nodes",
+    "tenant_stripe_windows",
+    "unit_uniform",
+]

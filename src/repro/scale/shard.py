@@ -1,0 +1,99 @@
+"""Process-pool sharding of independent scenario cells.
+
+A scale sweep is a bag of *cells* -- one :class:`Scenario` each, no
+shared state -- so wall-clock parallelism is free: each worker process
+builds its own machine, runs its cell, and ships back a plain dict.
+Because every cell is already bit-exact (seeded arrivals, canonical
+arbitration), the merge rule can afford to be brutal about determinism:
+
+- results carry their cell *key* and are sorted by it, so the merged
+  list is independent of completion order, worker count, and whether
+  the pool ran at all (``in_process=True`` gives the same bytes);
+- the deterministic payload (``result`` -- fingerprint, bandwidths,
+  fairness) is separated from the wall-clock payload (``wall_time_s``),
+  so callers can fingerprint the former and report the latter;
+- a cell that raises is reported as ``{"error": ...}`` under its key
+  rather than poisoning the pool.
+
+Workers receive scenarios as JSON dicts (pickle-stable across spawn and
+fork start methods) and re-hydrate via :meth:`Scenario.from_dict`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.scale.runner import run_scenario
+from repro.scale.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One unit of sharded work: a sort key plus its scenario."""
+
+    key: str
+    scenario: Scenario
+
+    def payload(self) -> Tuple[str, dict]:
+        return (self.key, self.scenario.to_dict())
+
+
+def _run_cell(payload: Tuple[str, dict]) -> dict:
+    """Worker entry point: run one cell, return a JSON-able record.
+
+    Module-level (picklable) on purpose; must stay import-light on the
+    worker side -- everything it needs comes through *payload*.
+    """
+    key, scenario_dict = payload
+    started = time.perf_counter()  # sim-ok: R001 -- wall_time_s is bench metadata, never simulated time
+    try:
+        result = run_scenario(Scenario.from_dict(scenario_dict))
+    except Exception as exc:  # surface, don't poison the pool
+        return {"key": key, "error": f"{type(exc).__name__}: {exc}"}
+    record = {"key": key, "result": result.to_jsonable()}
+    record["wall_time_s"] = round(time.perf_counter() - started, 3)  # sim-ok: R001 -- bench metadata
+    return record
+
+
+def run_cells(
+    cells: Sequence[Union[ScenarioCell, Tuple[str, Scenario]]],
+    processes: Optional[int] = None,
+    in_process: bool = False,
+) -> List[dict]:
+    """Run every cell, sharded across a process pool; merged by key.
+
+    ``in_process=True`` (or a single-cell bag, or ``processes=1``) runs
+    sequentially in this process -- the degenerate shard the determinism
+    tests compare the pooled path against.  Duplicate keys are rejected
+    up front: the merge is keyed, so a collision could silently drop a
+    cell.
+    """
+    normalized = [cell if isinstance(cell, ScenarioCell) else ScenarioCell(*cell) for cell in cells]
+    keys = [cell.key for cell in normalized]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate cell keys: {sorted(keys)}")
+    payloads = [cell.payload() for cell in normalized]
+
+    if in_process or processes == 1 or len(payloads) <= 1:
+        records = [_run_cell(payload) for payload in payloads]
+    else:
+        import multiprocessing
+
+        if processes is None:
+            processes = min(len(payloads), multiprocessing.cpu_count())
+        with multiprocessing.Pool(processes=processes) as pool:
+            records = pool.map(_run_cell, payloads)
+
+    # Completion/submission order must not matter: merge by key.
+    return sorted(records, key=lambda record: record["key"])
+
+
+def merged_fingerprints(records: Sequence[dict]) -> Dict[str, str]:
+    """Cell key -> scenario fingerprint for every successful cell."""
+    return {
+        record["key"]: record["result"]["fingerprint"]
+        for record in records
+        if "result" in record
+    }

@@ -1,0 +1,179 @@
+"""Arrival-driven multi-tenant job cohorts.
+
+The synthetic workloads in this package drive one collective at a time
+and quiesce the machine between phases (``machine.run()`` as a global
+barrier).  Multi-tenant traffic cannot do that -- jobs overlap -- so
+:class:`ArrivalDrivenJob` packages one job's whole lifecycle as a set of
+self-synchronising rank processes:
+
+1. sleep until the job's arrival offset (simulated seconds),
+2. open the job's file on every rank (cohort barrier: shared pointers
+   and M_SYNC read barriers need all participants registered),
+3. read ``rounds`` requests per rank, with the standard
+   :class:`~repro.faults.plan.NodeCrashed` retry (wait out the restart,
+   re-issue; the client replay keeps delivery exactly-once),
+4. barrier again, close, move to the next file.
+
+The machine runs once, to quiescence, with any number of these cohorts
+live -- the regime :mod:`repro.scale.runner` measures.  Spawn order is
+declaration order and every offset is a pure function of the scenario
+seed, so results stay bit-identical under either tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.faults.plan import NodeCrashed
+from repro.machine import Machine
+from repro.pfs.client import PFSClient, PFSFileHandle
+from repro.pfs.modes import IOMode
+from repro.pfs.mount import PFSMount
+from repro.workloads.synthetic import PrefetcherFactory
+
+
+class ArrivalDrivenJob:
+    """One job: a cohort of ``nprocs`` rank processes on given clients.
+
+    Parameters
+    ----------
+    machine, mount:
+        Where the job's files live.
+    filenames:
+        The job's own files, read sequentially (pre-created; no two
+        concurrent jobs may share a file -- open() binds the cohort
+        size to the file).
+    iomode:
+        PFS I/O mode for every open.
+    request_size, rounds:
+        Bytes per read call and calls per rank per file.
+    clients:
+        The compute-node client for each rank (``len(clients)`` ranks).
+    arrival_s:
+        Simulated start offset; every rank sleeps until then.
+    compute_delay_s:
+        Simulated computation between consecutive reads.
+    prefetcher_factory:
+        Called with the rank for each open (fresh prefetcher per
+        handle); None disables prefetching.
+    name:
+        Process-name prefix (shows up in traces and leak reports).
+
+    After the machine quiesces, ``handles`` holds every handle the job
+    opened (stats survive close), ``opened_s`` is when the first file's
+    cohort finished opening, and ``finished_s`` is when the last rank
+    finished its reads (−1.0 if the job never completed).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        mount: PFSMount,
+        filenames: Sequence[str],
+        iomode: IOMode,
+        request_size: int,
+        rounds: int,
+        clients: Sequence[PFSClient],
+        arrival_s: float = 0.0,
+        compute_delay_s: float = 0.0,
+        prefetcher_factory: Optional[PrefetcherFactory] = None,
+        name: str = "job",
+    ) -> None:
+        if request_size <= 0:
+            raise ValueError("request size must be positive")
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not filenames:
+            raise ValueError("job needs at least one file")
+        if not clients:
+            raise ValueError("job needs at least one client")
+        if arrival_s < 0 or compute_delay_s < 0:
+            raise ValueError("arrival and compute delay must be non-negative")
+        self.machine = machine
+        self.mount = mount
+        self.filenames = list(filenames)
+        self.iomode = iomode
+        self.request_size = request_size
+        self.rounds = rounds
+        self.clients = list(clients)
+        self.arrival_s = arrival_s
+        self.compute_delay_s = compute_delay_s
+        self.prefetcher_factory = prefetcher_factory
+        self.name = name
+        self.handles: List[PFSFileHandle] = []
+        self.opened_s: float = -1.0
+        self.finished_s: float = -1.0
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.clients)
+
+    def spawn(self) -> None:
+        """Start the cohort's rank processes (returns immediately; the
+        job runs whenever the caller next runs the machine)."""
+        env = self.machine.env
+        nprocs = self.nprocs
+        # One barrier pair per file: all ranks open before any reads,
+        # all ranks finish reading before any closes.
+        opened = [env.event() for _ in self.filenames]
+        read_done = [env.event() for _ in self.filenames]
+        counters = [{"opened": 0, "read": 0} for _ in self.filenames]
+
+        def rank_proc(rank: int):
+            if self.arrival_s > 0:
+                yield env.timeout(self.arrival_s)
+            client = self.clients[rank]
+            for index, filename in enumerate(self.filenames):
+                prefetcher = (
+                    self.prefetcher_factory(rank) if self.prefetcher_factory is not None else None
+                )
+                if prefetcher is not None and prefetcher.monitor is None:
+                    prefetcher.monitor = self.machine.monitor
+                handle = yield from client.open(
+                    self.mount,
+                    filename,
+                    self.iomode,
+                    rank=rank,
+                    nprocs=nprocs,
+                    prefetcher=prefetcher,
+                )
+                self.handles.append(handle)
+                counters[index]["opened"] += 1
+                if counters[index]["opened"] == nprocs:
+                    if index == 0:
+                        self.opened_s = env.now
+                    opened[index].succeed()
+                yield opened[index]
+                if self.iomode is IOMode.M_ASYNC and nprocs > 1:
+                    # Private pointers: partition the file into rank
+                    # slices for a fair aggregate (mirrors
+                    # CollectiveReadWorkload's async_partition).
+                    yield from handle.lseek(rank * (handle.file.size_bytes // nprocs))
+                first = True
+                for _ in range(self.rounds):
+                    if not first and self.compute_delay_s > 0:
+                        yield from handle.node.compute(self.compute_delay_s)
+                    first = False
+                    while True:
+                        try:
+                            yield from handle.read(self.request_size)
+                            break
+                        except NodeCrashed:
+                            yield from handle.client.wait_restarted()
+                counters[index]["read"] += 1
+                if counters[index]["read"] == nprocs:
+                    self.finished_s = env.now
+                    read_done[index].succeed()
+                yield read_done[index]
+                yield from handle.close()
+
+        for rank in range(nprocs):
+            self.machine.spawn(rank_proc(rank), name=f"{self.name}-r{rank}")
+
+    @property
+    def completed(self) -> bool:
+        return self.finished_s >= 0.0
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(handle.stats.bytes_read for handle in self.handles)

@@ -807,3 +807,180 @@ class TestFaultPlaneProperties:
                 assert spec.duration_s < a.retry.timeout_s
             if spec.windowed:
                 assert spec.window_s < a.retry.timeout_s
+
+
+# -- strategies for the fairness algebra (repro.obs.fairness) ---------------
+
+_bandwidths = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    max_size=12,
+)
+
+_tenant_names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+
+def _usages(name=None):
+    name_strategy = st.just(name) if name is not None else _tenant_names
+    return st.builds(
+        lambda tenant, nbytes, jobs, durations: __import__(
+            "repro.obs.fairness", fromlist=["TenantUsage"]
+        ).TenantUsage(
+            tenant=tenant, bytes_read=nbytes, jobs=jobs, call_durations_s=sorted(durations)
+        ),
+        name_strategy,
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=64),
+        st.lists(
+            st.floats(min_value=1e-9, max_value=100.0, allow_nan=False, allow_infinity=False),
+            max_size=10,
+        ),
+    )
+
+
+def _reports():
+    from repro.obs.fairness import FairnessReport
+
+    return st.builds(
+        lambda usages: FairnessReport(tenants={u.tenant: u for u in usages}),
+        st.lists(_usages(), max_size=4, unique_by=lambda u: u.tenant),
+    )
+
+
+class TestFairnessProperties:
+    """The fairness algebra the sharded bench runner leans on: Jain's
+    index laws, and FairnessReport/TenantUsage merges that commute and
+    associate *exactly* (mirroring the PrefetchStats.merge laws) so
+    shard merge order can never move a fingerprint."""
+
+    @given(_bandwidths)
+    @settings(max_examples=200, deadline=None)
+    def test_jain_in_unit_interval(self, values):
+        from repro.obs.fairness import jain_index
+
+        index = jain_index(values)
+        assert 0.0 < index <= 1.0
+
+    @given(_bandwidths, st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_jain_permutation_invariant(self, values, rng):
+        """Bit-identical under tenant reordering (fsum is
+        correctly-rounded, so the sum is order-free)."""
+        from repro.obs.fairness import jain_index
+
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert jain_index(shuffled) == jain_index(values)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_jain_identical_tenants_is_exactly_one(self, value, n):
+        from repro.obs.fairness import jain_index
+
+        assert jain_index([value] * n) == 1.0
+
+    @given(_bandwidths)
+    @settings(max_examples=100, deadline=None)
+    def test_jain_scale_invariant(self, values):
+        """Jain's index depends on the *shape* of the allocation, not
+        its units (MB/s vs bytes/s must agree to float tolerance)."""
+        from repro.obs.fairness import jain_index
+
+        scaled = [v * 1024.0 for v in values]
+        assert abs(jain_index(scaled) - jain_index(values)) < 1e-9
+
+    @given(_usages(name="alpha"), _usages(name="alpha"))
+    @settings(max_examples=150, deadline=None)
+    def test_usage_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(_usages(name="alpha"), _usages(name="alpha"), _usages(name="alpha"))
+    @settings(max_examples=150, deadline=None)
+    def test_usage_merge_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(_usages(name="alpha"), _usages(name="alpha"))
+    @settings(max_examples=100, deadline=None)
+    def test_usage_derived_time_is_population_pure(self, a, b):
+        """read_call_time_s is a pure function of the duration multiset,
+        so merging in either order yields the identical float."""
+        merged = a.merge(b)
+        assert merged.read_call_time_s == b.merge(a).read_call_time_s
+        assert merged.read_calls == a.read_calls + b.read_calls
+
+    @given(_usages(name="beta"))
+    @settings(max_examples=50, deadline=None)
+    def test_usage_merge_rejects_foreign_tenant(self, usage):
+        from repro.obs.fairness import TenantUsage
+
+        try:
+            usage.merge(TenantUsage(tenant="gamma"))
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("merge across tenants must raise")
+
+    @given(_reports(), _reports())
+    @settings(max_examples=150, deadline=None)
+    def test_report_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(_reports(), _reports(), _reports())
+    @settings(max_examples=150, deadline=None)
+    def test_report_merge_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(_reports())
+    @settings(max_examples=100, deadline=None)
+    def test_report_merge_identity_and_no_aliasing(self, report):
+        from repro.obs.fairness import FairnessReport
+
+        merged = report.merge(FairnessReport())
+        assert merged == report
+        # The merged report must not alias the operand's mutable usages.
+        for name in sorted(merged.tenants):
+            assert merged.tenants[name] is not report.tenants[name]
+
+    @given(_reports(), _reports())
+    @settings(max_examples=100, deadline=None)
+    def test_report_merge_fingerprint_order_free(self, a, b):
+        """The canonical fingerprint (what sharded cells are compared
+        by) is identical whichever shard merges first."""
+        from repro.analysis.sanitizers import report_fingerprint
+
+        assert report_fingerprint(a.merge(b)) == report_fingerprint(b.merge(a))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**30),
+                st.lists(
+                    st.floats(
+                        min_value=1e-9, max_value=10.0, allow_nan=False, allow_infinity=False
+                    ),
+                    max_size=6,
+                ),
+            ),
+            max_size=8,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_record_fold_order_free(self, handles, rng):
+        """Folding per-handle stats in any order yields bit-identical
+        usage -- the property that makes scenario fairness reports
+        tie-order invariant."""
+        from repro.obs.fairness import TenantUsage
+
+        forward = TenantUsage(tenant="alpha")
+        for nbytes, durations in handles:
+            forward.record(nbytes, durations)
+        shuffled = list(handles)
+        rng.shuffle(shuffled)
+        backward = TenantUsage(tenant="alpha")
+        for nbytes, durations in shuffled:
+            backward.record(nbytes, durations)
+        assert forward == backward
+        assert forward.read_call_time_s == backward.read_call_time_s
